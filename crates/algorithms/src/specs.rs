@@ -1,0 +1,469 @@
+//! Sequential specifications of the benchmark objects.
+//!
+//! Each type implements [`SequentialSpec`]; wrapping it in
+//! [`bb_sim::AtomicSpec`] yields the linearizable specification `Θsp`
+//! (every method body a single atomic block, Section II-C).
+//!
+//! Methods with several parameters (NewCAS, CCAS, RDCSS) take a single
+//! *encoded* argument so that call labels stay scalar; the same encoding is
+//! used by the concrete implementations, keeping the alphabets aligned.
+
+use bb_sim::{MethodId, MethodSpec, SequentialSpec, Value, EMPTY, FALSE, TRUE};
+
+/// FIFO queue specification (`Enq`/`Deq`; `Deq` returns [`EMPTY`] on an
+/// empty queue).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqQueue {
+    items: Vec<Value>,
+    domain: Vec<Value>,
+}
+
+impl SeqQueue {
+    /// Empty queue whose clients enqueue values from `domain`.
+    pub fn new(domain: &[Value]) -> Self {
+        SeqQueue {
+            items: Vec::new(),
+            domain: domain.to_vec(),
+        }
+    }
+}
+
+impl SequentialSpec for SeqQueue {
+    fn name(&self) -> &'static str {
+        "queue-spec"
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::with_args("Enq", &self.domain),
+            MethodSpec::no_arg("Deq"),
+        ]
+    }
+    fn apply(&self, method: MethodId, arg: Option<Value>) -> (Self, Option<Value>) {
+        let mut next = self.clone();
+        match method {
+            0 => {
+                next.items.push(arg.expect("Enq takes a value"));
+                (next, None)
+            }
+            1 => {
+                if next.items.is_empty() {
+                    (next, Some(EMPTY))
+                } else {
+                    let v = next.items.remove(0);
+                    (next, Some(v))
+                }
+            }
+            _ => unreachable!("queue has two methods"),
+        }
+    }
+}
+
+/// LIFO stack specification (`push`/`pop`; `pop` returns [`EMPTY`] on an
+/// empty stack).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqStack {
+    items: Vec<Value>,
+    domain: Vec<Value>,
+}
+
+impl SeqStack {
+    /// Empty stack whose clients push values from `domain`.
+    pub fn new(domain: &[Value]) -> Self {
+        SeqStack {
+            items: Vec::new(),
+            domain: domain.to_vec(),
+        }
+    }
+}
+
+impl SequentialSpec for SeqStack {
+    fn name(&self) -> &'static str {
+        "stack-spec"
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::with_args("push", &self.domain),
+            MethodSpec::no_arg("pop"),
+        ]
+    }
+    fn apply(&self, method: MethodId, arg: Option<Value>) -> (Self, Option<Value>) {
+        let mut next = self.clone();
+        match method {
+            0 => {
+                next.items.push(arg.expect("push takes a value"));
+                (next, None)
+            }
+            1 => match next.items.pop() {
+                Some(v) => (next, Some(v)),
+                None => (next, Some(EMPTY)),
+            },
+            _ => unreachable!("stack has two methods"),
+        }
+    }
+}
+
+/// Set specification (`add`/`remove`/`contains` over a finite key domain;
+/// results are [`TRUE`]/[`FALSE`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqSet {
+    items: Vec<Value>, // sorted
+    domain: Vec<Value>,
+}
+
+impl SeqSet {
+    /// Empty set over `domain`.
+    pub fn new(domain: &[Value]) -> Self {
+        SeqSet {
+            items: Vec::new(),
+            domain: domain.to_vec(),
+        }
+    }
+}
+
+impl SequentialSpec for SeqSet {
+    fn name(&self) -> &'static str {
+        "set-spec"
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::with_args("add", &self.domain),
+            MethodSpec::with_args("remove", &self.domain),
+            MethodSpec::with_args("contains", &self.domain),
+        ]
+    }
+    fn apply(&self, method: MethodId, arg: Option<Value>) -> (Self, Option<Value>) {
+        let k = arg.expect("set methods take a key");
+        let mut next = self.clone();
+        match method {
+            0 => match next.items.binary_search(&k) {
+                Ok(_) => (next, Some(FALSE)),
+                Err(i) => {
+                    next.items.insert(i, k);
+                    (next, Some(TRUE))
+                }
+            },
+            1 => match next.items.binary_search(&k) {
+                Ok(i) => {
+                    next.items.remove(i);
+                    (next, Some(TRUE))
+                }
+                Err(_) => (next, Some(FALSE)),
+            },
+            2 => {
+                let found = next.items.binary_search(&k).is_ok();
+                (next, Some(if found { TRUE } else { FALSE }))
+            }
+            _ => unreachable!("set has three methods"),
+        }
+    }
+}
+
+/// Encodes a `(exp, new)` pair over value domain `0..d` into one argument.
+pub fn encode_pair(exp: Value, new: Value, d: Value) -> Value {
+    exp * d + new
+}
+
+/// Decodes [`encode_pair`].
+pub fn decode_pair(enc: Value, d: Value) -> (Value, Value) {
+    (enc / d, enc % d)
+}
+
+/// Register with the `NewCompareAndSet` method of Fig. 3: returns the
+/// register's prior value, updating it to `new` only when the prior value
+/// equals `exp`. Arguments are [`encode_pair`]-encoded.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqRegister {
+    val: Value,
+    /// Domain size `d`: register values range over `0..d`.
+    d: Value,
+}
+
+impl SeqRegister {
+    /// Register holding 0 over value domain `0..d`.
+    pub fn new(d: Value) -> Self {
+        SeqRegister { val: 0, d }
+    }
+
+    /// All encoded `(exp, new)` arguments for domain size `d`.
+    pub fn arg_domain(d: Value) -> Vec<Value> {
+        let mut out = Vec::new();
+        for exp in 0..d {
+            for new in 0..d {
+                out.push(encode_pair(exp, new, d));
+            }
+        }
+        out
+    }
+}
+
+impl SequentialSpec for SeqRegister {
+    fn name(&self) -> &'static str {
+        "newcas-spec"
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![MethodSpec {
+            name: "NewCAS",
+            args: Self::arg_domain(self.d).into_iter().map(Some).collect(),
+        }]
+    }
+    fn apply(&self, _method: MethodId, arg: Option<Value>) -> (Self, Option<Value>) {
+        let (exp, new) = decode_pair(arg.expect("NewCAS takes (exp,new)"), self.d);
+        let prior = self.val;
+        let mut next = self.clone();
+        if prior == exp {
+            next.val = new;
+        }
+        (next, Some(prior))
+    }
+}
+
+/// Conditional-CAS specification (Turon et al.): `ccas(exp,new)` updates the
+/// cell to `new` only if it currently equals `exp` *and* the flag is unset,
+/// always returning the cell's prior value. `setflag(b)` sets the flag,
+/// `read` returns the cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqCcas {
+    cell: Value,
+    flag: bool,
+    d: Value,
+}
+
+impl SeqCcas {
+    /// Cell holding 0, flag clear, values over `0..d`.
+    pub fn new(d: Value) -> Self {
+        SeqCcas {
+            cell: 0,
+            flag: false,
+            d,
+        }
+    }
+}
+
+impl SequentialSpec for SeqCcas {
+    fn name(&self) -> &'static str {
+        "ccas-spec"
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec {
+                name: "ccas",
+                args: SeqRegister::arg_domain(self.d).into_iter().map(Some).collect(),
+            },
+            MethodSpec::with_args("setflag", &[0, 1]),
+            MethodSpec::no_arg("read"),
+        ]
+    }
+    fn apply(&self, method: MethodId, arg: Option<Value>) -> (Self, Option<Value>) {
+        let mut next = self.clone();
+        match method {
+            0 => {
+                let (exp, new) = decode_pair(arg.expect("ccas takes (exp,new)"), self.d);
+                let prior = next.cell;
+                if prior == exp && !next.flag {
+                    next.cell = new;
+                }
+                (next, Some(prior))
+            }
+            1 => {
+                next.flag = arg.expect("setflag takes a bool") != 0;
+                (next, None)
+            }
+            2 => {
+                let v = next.cell;
+                (next, Some(v))
+            }
+            _ => unreachable!("ccas has three methods"),
+        }
+    }
+}
+
+/// RDCSS specification (Harris et al.): `rdcss(o1,o2,n2)` writes `n2` into
+/// the data cell `c2` only if the control cell `c1` equals `o1` and `c2`
+/// equals `o2`, returning `c2`'s prior value. `write1` writes the control
+/// cell, `read2` reads the data cell. Arguments of `rdcss` are encoded as
+/// `o1*d² + o2*d + n2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqRdcss {
+    c1: Value,
+    c2: Value,
+    d: Value,
+}
+
+impl SeqRdcss {
+    /// Both cells 0, values over `0..d`.
+    pub fn new(d: Value) -> Self {
+        SeqRdcss { c1: 0, c2: 0, d }
+    }
+
+    /// Encodes an `rdcss(o1,o2,n2)` argument.
+    pub fn encode(o1: Value, o2: Value, n2: Value, d: Value) -> Value {
+        (o1 * d + o2) * d + n2
+    }
+
+    /// Decodes an `rdcss` argument into `(o1, o2, n2)`.
+    pub fn decode(enc: Value, d: Value) -> (Value, Value, Value) {
+        (enc / (d * d), (enc / d) % d, enc % d)
+    }
+
+    /// All encoded `rdcss` arguments for domain size `d`.
+    pub fn arg_domain(d: Value) -> Vec<Value> {
+        let mut out = Vec::new();
+        for o1 in 0..d {
+            for o2 in 0..d {
+                for n2 in 0..d {
+                    out.push(Self::encode(o1, o2, n2, d));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SequentialSpec for SeqRdcss {
+    fn name(&self) -> &'static str {
+        "rdcss-spec"
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec {
+                name: "rdcss",
+                args: Self::arg_domain(self.d).into_iter().map(Some).collect(),
+            },
+            MethodSpec {
+                name: "write1",
+                args: (0..self.d).map(Some).collect(),
+            },
+            MethodSpec::no_arg("read2"),
+        ]
+    }
+    fn apply(&self, method: MethodId, arg: Option<Value>) -> (Self, Option<Value>) {
+        let mut next = self.clone();
+        match method {
+            0 => {
+                let (o1, o2, n2) = Self::decode(arg.expect("rdcss takes (o1,o2,n2)"), self.d);
+                let prior = next.c2;
+                if next.c1 == o1 && next.c2 == o2 {
+                    next.c2 = n2;
+                }
+                (next, Some(prior))
+            }
+            1 => {
+                next.c1 = arg.expect("write1 takes a value");
+                (next, None)
+            }
+            2 => {
+                let v = next.c2;
+                (next, Some(v))
+            }
+            _ => unreachable!("rdcss has three methods"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_fifo() {
+        let q = SeqQueue::new(&[1, 2]);
+        let (q, _) = q.apply(0, Some(1));
+        let (q, _) = q.apply(0, Some(2));
+        let (q, v) = q.apply(1, None);
+        assert_eq!(v, Some(1));
+        let (q, v) = q.apply(1, None);
+        assert_eq!(v, Some(2));
+        let (_, v) = q.apply(1, None);
+        assert_eq!(v, Some(EMPTY));
+    }
+
+    #[test]
+    fn stack_lifo() {
+        let s = SeqStack::new(&[1, 2]);
+        let (s, _) = s.apply(0, Some(1));
+        let (s, _) = s.apply(0, Some(2));
+        let (s, v) = s.apply(1, None);
+        assert_eq!(v, Some(2));
+        let (_, v) = s.apply(1, None);
+        assert_eq!(v, Some(1));
+    }
+
+    #[test]
+    fn set_semantics() {
+        let s = SeqSet::new(&[1, 2]);
+        let (s, r) = s.apply(0, Some(1));
+        assert_eq!(r, Some(TRUE));
+        let (s, r) = s.apply(0, Some(1));
+        assert_eq!(r, Some(FALSE));
+        let (s, r) = s.apply(2, Some(1));
+        assert_eq!(r, Some(TRUE));
+        let (s, r) = s.apply(1, Some(1));
+        assert_eq!(r, Some(TRUE));
+        let (_, r) = s.apply(1, Some(1));
+        assert_eq!(r, Some(FALSE));
+    }
+
+    #[test]
+    fn register_newcas() {
+        let r = SeqRegister::new(2);
+        // exp=0, new=1 on value 0: success, returns prior 0.
+        let (r, v) = r.apply(0, Some(encode_pair(0, 1, 2)));
+        assert_eq!(v, Some(0));
+        // exp=0, new=1 on value 1: failure, returns prior 1.
+        let (r, v) = r.apply(0, Some(encode_pair(0, 1, 2)));
+        assert_eq!(v, Some(1));
+        assert_eq!(r.val, 1);
+    }
+
+    #[test]
+    fn ccas_respects_flag() {
+        let c = SeqCcas::new(2);
+        let (c, _) = c.apply(1, Some(1)); // set flag
+        let (c, v) = c.apply(0, Some(encode_pair(0, 1, 2)));
+        assert_eq!(v, Some(0), "prior value returned");
+        assert_eq!(c.cell, 0, "flagged ccas must not write");
+        let (c, _) = c.apply(1, Some(0)); // clear flag
+        let (c, v) = c.apply(0, Some(encode_pair(0, 1, 2)));
+        assert_eq!(v, Some(0));
+        assert_eq!(c.cell, 1);
+    }
+
+    #[test]
+    fn rdcss_double_compare() {
+        let r = SeqRdcss::new(2);
+        // c1=0, c2=0: rdcss(0,0,1) succeeds.
+        let (r, v) = r.apply(0, Some(SeqRdcss::encode(0, 0, 1, 2)));
+        assert_eq!(v, Some(0));
+        assert_eq!(r.c2, 1);
+        // control mismatch: rdcss(1, 1, 0) fails (c1 is 0).
+        let (r, v) = r.apply(0, Some(SeqRdcss::encode(1, 1, 0, 2)));
+        assert_eq!(v, Some(1));
+        assert_eq!(r.c2, 1);
+        // write control, then it succeeds.
+        let (r, _) = r.apply(1, Some(1));
+        let (r, v) = r.apply(0, Some(SeqRdcss::encode(1, 1, 0, 2)));
+        assert_eq!(v, Some(1));
+        assert_eq!(r.c2, 0);
+    }
+
+    #[test]
+    fn pair_encoding_roundtrip() {
+        for d in 2..4 {
+            for exp in 0..d {
+                for new in 0..d {
+                    assert_eq!(decode_pair(encode_pair(exp, new, d), d), (exp, new));
+                }
+            }
+        }
+        for o1 in 0..2 {
+            for o2 in 0..2 {
+                for n2 in 0..2 {
+                    assert_eq!(
+                        SeqRdcss::decode(SeqRdcss::encode(o1, o2, n2, 2), 2),
+                        (o1, o2, n2)
+                    );
+                }
+            }
+        }
+    }
+}

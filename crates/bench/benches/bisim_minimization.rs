@@ -1,0 +1,46 @@
+//! Branching-bisimulation minimization throughput — the engine behind
+//! every table of the paper. Measures partition refinement (all four
+//! equivalences) and quotient construction on MS-queue state spaces of
+//! growing size.
+
+use bb_bench::lts_of;
+use bb_bisim::{partition, quotient, Equivalence};
+use bb_algorithms::ms_queue::MsQueue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_partitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for (th, op) in [(2u8, 1u32), (2, 2), (3, 1)] {
+        let lts = lts_of(&MsQueue::new(&[1]), th, op);
+        group.throughput(criterion::Throughput::Elements(lts.num_states() as u64));
+        for (name, eq) in [
+            ("strong", Equivalence::Strong),
+            ("branching", Equivalence::Branching),
+            ("branching-div", Equivalence::BranchingDiv),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("ms-{th}-{op}")),
+                &lts,
+                |b, lts| b.iter(|| partition(lts, eq)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient");
+    for (th, op) in [(2u8, 2u32), (3, 1)] {
+        let lts = lts_of(&MsQueue::new(&[1]), th, op);
+        let p = partition(&lts, Equivalence::Branching);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("ms-{th}-{op}")),
+            &(&lts, &p),
+            |b, (lts, p)| b.iter(|| quotient(lts, p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitions, bench_quotient);
+criterion_main!(benches);

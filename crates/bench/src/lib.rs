@@ -1,0 +1,33 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! The `tables` binary (every table and figure of the paper) and the
+//! Criterion benches both build their systems through these helpers so the
+//! measured workloads stay consistent.
+
+use bb_lts::{ExploreLimits, Lts};
+use bb_sim::{explore_system, Bound, ObjectAlgorithm};
+
+/// Explores `alg` at `threads`-`ops` with default limits, panicking on
+/// explosion (bench workloads are sized to fit).
+pub fn lts_of<A: ObjectAlgorithm>(alg: &A, threads: u8, ops: u32) -> Lts {
+    explore_system(alg, Bound::new(threads, ops), ExploreLimits::default())
+        .unwrap_or_else(|e| panic!("exploration of {} exceeded limits: {e}", alg.name()))
+}
+
+/// Formats a boolean verdict the way the paper's tables do.
+pub fn mark(b: bool) -> &'static str {
+    if b {
+        "Yes"
+    } else {
+        "No"
+    }
+}
+
+/// Formats a check/cross verdict.
+pub fn check(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        "✗"
+    }
+}

@@ -1,0 +1,503 @@
+//! Signature-based partition refinement for all supported equivalences.
+//!
+//! Starting from the universal partition, each round assigns every state a
+//! *signature* — the set of moves it can perform up to the current partition —
+//! and splits blocks by signature. Since the previous block id is part of the
+//! split key, partitions refine monotonically and the loop terminates in at
+//! most `|S|` rounds at the coarsest bisimulation of the requested kind
+//! (Blom & Orzan, 2002; for the divergence flag, the mCRL2 variant of
+//! divergence-preserving branching bisimulation).
+
+use crate::partition::{BlockId, Partition};
+use bb_lts::{tarjan_scc, Lts, TauClosure};
+use std::collections::HashMap;
+
+/// The equivalence relation to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Equivalence {
+    /// Strong bisimulation (τ treated as an ordinary, single letter).
+    Strong,
+    /// Branching bisimulation `≈` (Definition 4.1).
+    Branching,
+    /// Divergence-sensitive branching bisimulation `≈div`
+    /// (Definitions 5.4/5.5): like `≈` but additionally separating states
+    /// that can diverge (have an infinite τ-path within their class) from
+    /// states that cannot.
+    BranchingDiv,
+    /// Weak bisimulation `~w` (Milner; Section VII of the paper).
+    Weak,
+}
+
+/// The sequence of partitions produced by the refinement rounds.
+///
+/// Round `0` is the universal partition; the last round is the final
+/// fixpoint. Used by the distinguishing-formula diagnostics.
+#[derive(Debug, Clone)]
+pub struct RefinementHistory {
+    /// One partition per round, coarsest first.
+    pub rounds: Vec<Partition>,
+}
+
+/// Sentinel letter marking a divergent state in `≈div` signatures.
+pub(crate) const DIV_LETTER: u32 = u32::MAX;
+/// Letter used for observable τ-moves (class-changing internal steps).
+pub(crate) const TAU_LETTER: u32 = 0;
+
+/// Per-LTS context shared by all refinement rounds.
+struct Ctx<'a> {
+    lts: &'a Lts,
+    /// Maps `ActionId` to a letter id: `TAU_LETTER` for every internal
+    /// action, a unique id `>= 1` per distinct observation otherwise.
+    letters: Vec<u32>,
+    /// Forward τ-closure, computed lazily for weak bisimulation only.
+    closure: Option<TauClosure>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(lts: &'a Lts, eq: Equivalence) -> Self {
+        let (letters, _) = letter_table(lts);
+        let closure = match eq {
+            Equivalence::Weak => Some(TauClosure::compute(lts)),
+            _ => None,
+        };
+        Ctx {
+            lts,
+            letters,
+            closure,
+        }
+    }
+
+    #[inline]
+    fn is_tau(&self, a: bb_lts::ActionId) -> bool {
+        self.letters[a.index()] == TAU_LETTER
+    }
+}
+
+/// A signature: sorted, deduplicated `(letter, target block)` pairs.
+pub(crate) type Signature = Vec<(u32, u32)>;
+
+/// Computes the letter table of `lts`: a per-action letter id (0 for τ) and
+/// the display name of each letter. Letter ids match those used in
+/// signatures, so diagnostics can name the moves that distinguish states.
+pub(crate) fn letter_table(lts: &Lts) -> (Vec<u32>, Vec<String>) {
+    let mut by_obs: HashMap<bb_lts::Observation, u32> = HashMap::new();
+    let mut letters = Vec::with_capacity(lts.num_actions());
+    let mut names = vec!["τ".to_string()];
+    for a in lts.actions() {
+        match a.observation() {
+            None => letters.push(TAU_LETTER),
+            Some(obs) => {
+                let next = names.len() as u32;
+                let id = *by_obs.entry(obs.clone()).or_insert_with(|| {
+                    names.push(obs.to_string());
+                    next
+                });
+                letters.push(id);
+            }
+        }
+    }
+    (letters, names)
+}
+
+/// Computes the signatures of all states w.r.t. a given (not necessarily
+/// stable) partition. Used by the distinguishing-formula diagnostics to
+/// replay a refinement round.
+pub(crate) fn signatures_at(lts: &Lts, p: &Partition, eq: Equivalence) -> Vec<Signature> {
+    let ctx = Ctx::new(lts, eq);
+    let mut sigs = vec![Vec::new(); lts.num_states()];
+    match eq {
+        Equivalence::Strong => strong_signatures(&ctx, p, &mut sigs),
+        Equivalence::Branching => branching_signatures(&ctx, p, false, &mut sigs),
+        Equivalence::BranchingDiv => branching_signatures(&ctx, p, true, &mut sigs),
+        Equivalence::Weak => weak_signatures(&ctx, p, &mut sigs),
+    }
+    sigs
+}
+
+fn strong_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) {
+    for s in ctx.lts.states() {
+        let sig = &mut sigs[s.index()];
+        sig.clear();
+        for t in ctx.lts.successors(s) {
+            sig.push((ctx.letters[t.action.index()], p.block_of(t.target).0));
+        }
+        sig.sort_unstable();
+        sig.dedup();
+    }
+}
+
+/// Branching (and divergence-sensitive branching) signatures.
+///
+/// `sig(s) = { (a, [s']) | s ⇒inert s'' →a s', a visible or [s'] ≠ [s] }`
+/// where `⇒inert` is any number of τ-steps staying inside `[s]`. Computed by
+/// condensing the inert-τ graph and propagating signatures in reverse
+/// topological order, so τ-cycles inside a block are handled exactly.
+///
+/// With `divergence` set, a state additionally carries the `DIV_LETTER`
+/// marker iff it can reach (via inert τ-steps) a cyclic inert-τ SCC — i.e.
+/// iff it has an infinite τ-path staying inside its own block.
+fn branching_signatures(
+    ctx: &Ctx<'_>,
+    p: &Partition,
+    divergence: bool,
+    sigs: &mut [Signature],
+) {
+    let lts = ctx.lts;
+    let n = lts.num_states();
+
+    // Condense the inert-τ graph w.r.t. the current partition.
+    let cond = tarjan_scc(n, |s, out| {
+        for t in lts.successors(s) {
+            if ctx.is_tau(t.action) && p.same_block(s, t.target) {
+                out.push(t.target);
+            }
+        }
+    });
+
+    let members = cond.members();
+    let mut scc_sig: Vec<Signature> = vec![Vec::new(); cond.num_sccs];
+    let mut scc_div: Vec<bool> = vec![false; cond.num_sccs];
+
+    // Tarjan ids are reverse-topological: successors of SCC k have ids < k.
+    for k in 0..cond.num_sccs {
+        let mut acc: Signature = Vec::new();
+        let mut div = cond.cyclic[k];
+        for &s in &members[k] {
+            let bs = p.block_of(s);
+            for t in lts.successors(s) {
+                let inert = ctx.is_tau(t.action) && p.block_of(t.target) == bs;
+                if inert {
+                    let succ_scc = cond.scc_of[t.target.index()];
+                    if succ_scc.index() != k {
+                        acc.extend_from_slice(&scc_sig[succ_scc.index()]);
+                        div |= scc_div[succ_scc.index()];
+                    }
+                } else if ctx.is_tau(t.action) {
+                    acc.push((TAU_LETTER, p.block_of(t.target).0));
+                } else {
+                    acc.push((ctx.letters[t.action.index()], p.block_of(t.target).0));
+                }
+            }
+        }
+        if divergence && div {
+            acc.push((DIV_LETTER, 0));
+        }
+        acc.sort_unstable();
+        acc.dedup();
+        // The DIV marker must survive even though inert successors without it
+        // were merged in: recompute div flag storage.
+        scc_div[k] = div;
+        scc_sig[k] = acc;
+    }
+
+    for s in lts.states() {
+        let scc = cond.scc_of[s.index()];
+        sigs[s.index()].clone_from(&scc_sig[scc.index()]);
+    }
+}
+
+/// Weak signatures:
+/// `sig(s) = { (a, [s']) | s ⇒ →a ⇒ s' } ∪ { (τ, [s']) | s ⇒ s', [s'] ≠ [s] }`.
+fn weak_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) {
+    let lts = ctx.lts;
+    let closure = ctx
+        .closure
+        .as_ref()
+        .expect("weak signatures require the τ-closure");
+    for s in lts.states() {
+        let sig = &mut sigs[s.index()];
+        sig.clear();
+        let bs = p.block_of(s);
+        for &w in closure.of(s) {
+            if p.block_of(w) != bs {
+                sig.push((TAU_LETTER, p.block_of(w).0));
+            }
+            for t in lts.successors(w) {
+                if !ctx.is_tau(t.action) {
+                    let letter = ctx.letters[t.action.index()];
+                    for &v in closure.of(t.target) {
+                        sig.push((letter, p.block_of(v).0));
+                    }
+                }
+            }
+        }
+        sig.sort_unstable();
+        sig.dedup();
+    }
+}
+
+fn refine_once(ctx: &Ctx<'_>, p: &Partition, eq: Equivalence, sigs: &mut [Signature]) -> Partition {
+    match eq {
+        Equivalence::Strong => strong_signatures(ctx, p, sigs),
+        Equivalence::Branching => branching_signatures(ctx, p, false, sigs),
+        Equivalence::BranchingDiv => branching_signatures(ctx, p, true, sigs),
+        Equivalence::Weak => weak_signatures(ctx, p, sigs),
+    }
+    // Split key = (previous block, signature) so refinement is monotone.
+    let mut ids: HashMap<(BlockId, &Signature), u32> = HashMap::new();
+    let mut assignment = Vec::with_capacity(p.num_states());
+    for s in ctx.lts.states() {
+        let key = (p.block_of(s), &sigs[s.index()]);
+        let next = ids.len() as u32;
+        let id = *ids.entry(key).or_insert(next);
+        assignment.push(BlockId(id));
+    }
+    let num_blocks = ids.len();
+    Partition::new(assignment, num_blocks)
+}
+
+fn run(lts: &Lts, eq: Equivalence, history: Option<&mut Vec<Partition>>) -> Partition {
+    let n = lts.num_states();
+    let ctx = Ctx::new(lts, eq);
+    let mut p = Partition::universal(n);
+    let mut sigs: Vec<Signature> = vec![Vec::new(); n];
+    let mut rounds: Vec<Partition> = vec![p.clone()];
+    loop {
+        let next = refine_once(&ctx, &p, eq, &mut sigs);
+        debug_assert!(next.refines(&p), "refinement must be monotone");
+        let stable = next.num_blocks() == p.num_blocks();
+        p = next;
+        if history.is_some() {
+            rounds.push(p.clone());
+        }
+        if stable {
+            break;
+        }
+    }
+    if let Some(h) = history {
+        *h = rounds;
+    }
+    p
+}
+
+/// Computes the coarsest partition of `lts` under the given equivalence.
+///
+/// For [`Equivalence::Branching`] this is the partition into
+/// `≈`-equivalence classes of Definition 4.1 (equivalently, max-trace
+/// equivalence classes by Theorem 4.3); for [`Equivalence::BranchingDiv`]
+/// the classes of `≈div`.
+pub fn partition(lts: &Lts, eq: Equivalence) -> Partition {
+    run(lts, eq, None)
+}
+
+/// Like [`partition`], additionally returning the per-round history for
+/// diagnostics (distinguishing formulas).
+pub fn partition_with_history(lts: &Lts, eq: Equivalence) -> (Partition, RefinementHistory) {
+    let mut rounds = Vec::new();
+    let p = run(lts, eq, Some(&mut rounds));
+    (p, RefinementHistory { rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_lts::{Action, LtsBuilder, ThreadId};
+
+    fn tau(b: &mut LtsBuilder) -> bb_lts::ActionId {
+        b.intern_action(Action::tau(ThreadId(1)))
+    }
+    fn vis(b: &mut LtsBuilder, name: &str) -> bb_lts::ActionId {
+        b.intern_action(Action::call(ThreadId(1), name, None))
+    }
+
+    /// s0 --τ--> s1 --a--> s2: the τ is inert, s0 ≈ s1.
+    #[test]
+    fn inert_tau_is_collapsed_by_branching() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        b.add_transition(s0, t, s1);
+        b.add_transition(s1, a, s2);
+        let lts = b.build(s0);
+
+        let p = partition(&lts, Equivalence::Branching);
+        assert!(p.same_block(s0, s1));
+        assert!(!p.same_block(s0, s2));
+
+        // Strong bisimulation distinguishes s0 from s1.
+        let ps = partition(&lts, Equivalence::Strong);
+        assert!(!ps.same_block(s0, s1));
+    }
+
+    /// The classic example where weak and branching differ:
+    ///
+    ///   u:  a.(b + τ.c)   vs   v: a.(b + τ.c) + a.c
+    ///
+    /// Branching distinguishes the intermediate state reached by v's extra
+    /// `a` from u's; weak relates the two processes.
+    #[test]
+    fn weak_coarser_than_branching() {
+        let mut b = LtsBuilder::new();
+        // u-side
+        let u0 = b.add_state();
+        let u1 = b.add_state(); // b + tau.c
+        let u2 = b.add_state(); // c
+        let u3 = b.add_state(); // terminal after b
+        let u4 = b.add_state(); // terminal after c
+        // v-side
+        let v0 = b.add_state();
+        let v1 = b.add_state(); // b + tau.c (same shape as u1)
+        let v2 = b.add_state(); // c
+        let v3 = b.add_state();
+        let v4 = b.add_state();
+        let v5 = b.add_state(); // direct c branch
+        let v6 = b.add_state();
+
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        let bb = vis(&mut b, "b");
+        let c = vis(&mut b, "c");
+
+        b.add_transition(u0, a, u1);
+        b.add_transition(u1, bb, u3);
+        b.add_transition(u1, t, u2);
+        b.add_transition(u2, c, u4);
+
+        b.add_transition(v0, a, v1);
+        b.add_transition(v1, bb, v3);
+        b.add_transition(v1, t, v2);
+        b.add_transition(v2, c, v4);
+        b.add_transition(v0, a, v5);
+        b.add_transition(v5, c, v6);
+
+        let lts = b.build(u0);
+        let pw = partition(&lts, Equivalence::Weak);
+        let pb = partition(&lts, Equivalence::Branching);
+        // v5 ~w u2 (both: just c). Under weak, v0's extra a-move to v5 is
+        // matched by u0 --a--> u1 --τ--> u2, so u0 ~w v0.
+        assert!(pw.same_block(u0, v0), "weak should relate u0 and v0");
+        // Branching must distinguish them: v0 --a--> v5 can only be matched
+        // by u0 --a--> u1, but u1 (offering b) is not equivalent to v5.
+        assert!(!pb.same_block(u0, v0), "branching distinguishes u0 and v0");
+    }
+
+    /// Divergence: a τ-self-loop is invisible to plain branching bisimulation
+    /// but distinguishes states under ≈div.
+    #[test]
+    fn divergence_sensitivity() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state(); // has a tau self-loop and an a-move
+        let s1 = b.add_state(); // only the a-move
+        let s2 = b.add_state();
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        b.add_transition(s0, t, s0);
+        b.add_transition(s0, a, s2);
+        b.add_transition(s1, a, s2);
+        let lts = b.build(s0);
+
+        let p = partition(&lts, Equivalence::Branching);
+        assert!(p.same_block(s0, s1), "≈ ignores divergence");
+        let pd = partition(&lts, Equivalence::BranchingDiv);
+        assert!(!pd.same_block(s0, s1), "≈div observes divergence");
+    }
+
+    /// τ-cycles within a block: two states on a τ-loop with identical visible
+    /// options are branching bisimilar (Lemma 5.6).
+    #[test]
+    fn tau_cycle_states_equivalent() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        b.add_transition(s0, t, s1);
+        b.add_transition(s1, t, s0);
+        b.add_transition(s0, a, s2);
+        b.add_transition(s1, a, s2);
+        let lts = b.build(s0);
+        let p = partition(&lts, Equivalence::Branching);
+        assert!(p.same_block(s0, s1));
+        let pd = partition(&lts, Equivalence::BranchingDiv);
+        assert!(pd.same_block(s0, s1), "both divergent, both same options");
+    }
+
+    /// A τ that enables new behaviour is never inert.
+    #[test]
+    fn effectful_tau_is_preserved() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        let c = vis(&mut b, "b");
+        b.add_transition(s0, a, s2);
+        b.add_transition(s0, t, s1);
+        b.add_transition(s1, c, s3);
+        let lts = b.build(s0);
+        let p = partition(&lts, Equivalence::Branching);
+        assert!(!p.same_block(s0, s1));
+    }
+
+    #[test]
+    fn history_starts_universal_and_ends_fixed() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let a = vis(&mut b, "a");
+        b.add_transition(s0, a, s1);
+        let lts = b.build(s0);
+        let (p, h) = partition_with_history(&lts, Equivalence::Branching);
+        assert_eq!(h.rounds.first().unwrap().num_blocks(), 1);
+        assert_eq!(h.rounds.last().unwrap(), &p);
+        for w in h.rounds.windows(2) {
+            assert!(w[1].refines(&w[0]));
+        }
+    }
+
+    #[test]
+    fn thread_ids_of_tau_are_ignored() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        let t1 = b.intern_action(Action::tau(ThreadId(1)));
+        let t2 = b.intern_action(Action::tau(ThreadId(2)));
+        let a = vis(&mut b, "a");
+        // s0 --τ(t1)--> s2 --a--> s3 ; s1 --τ(t2)--> s2.
+        b.add_transition(s0, t1, s2);
+        b.add_transition(s1, t2, s2);
+        b.add_transition(s2, a, s3);
+        let lts = b.build(s0);
+        let p = partition(&lts, Equivalence::Branching);
+        assert!(p.same_block(s0, s1));
+    }
+
+    #[test]
+    fn visible_thread_ids_are_observable() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let a1 = b.intern_action(Action::call(ThreadId(1), "m", None));
+        let a2 = b.intern_action(Action::call(ThreadId(2), "m", None));
+        b.add_transition(s0, a1, s2);
+        b.add_transition(s1, a2, s2);
+        let lts = b.build(s0);
+        let p = partition(&lts, Equivalence::Branching);
+        assert!(!p.same_block(s0, s1));
+    }
+
+    #[test]
+    fn empty_lts() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let lts = b.build(s0);
+        for eq in [
+            Equivalence::Strong,
+            Equivalence::Branching,
+            Equivalence::BranchingDiv,
+            Equivalence::Weak,
+        ] {
+            let p = partition(&lts, eq);
+            assert_eq!(p.num_blocks(), 1);
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The `≡ₖ` hierarchy of Definition 3.1.
+
+use crate::subset::{determinize, dfa_partition, observation_ids, TooLarge};
+use bb_lts::{Lts, LtsBuilder, StateId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Strong-bisimulation pre-quotient.
+///
+/// Strong bisimilarity refines `≡ₖ` for every `k`, and colored languages
+/// (the per-level refinement step) factor through the strong quotient: a
+/// state and its block have the same colored language under any coloring
+/// that is a union of blocks. Since level 0 is the universal coloring, every
+/// level of the hierarchy computed on the quotient, pulled back along the
+/// block map, equals the level computed on the original system — while the
+/// subset constructions run on a (often much) smaller automaton.
+///
+/// Unlike the Definition 5.1 quotient, *all* transitions are kept (a
+/// τ-step between equivalent states becomes a block-level self-loop), so
+/// stuttering structure is preserved exactly.
+struct StrongQuotient {
+    lts: Lts,
+    /// Block of each original state.
+    block_of: Vec<u32>,
+}
+
+fn strong_quotient(lts: &Lts) -> StrongQuotient {
+    let p = bb_bisim::partition(lts, bb_bisim::Equivalence::Strong);
+    let mut b = LtsBuilder::new();
+    b.add_states(p.num_blocks());
+    for (src, act, dst) in lts.iter_transitions() {
+        let aid = b.intern_action(lts.action(act).clone());
+        b.add_transition(
+            StateId(p.block_of(src).0),
+            aid,
+            StateId(p.block_of(dst).0),
+        );
+    }
+    let init = StateId(p.block_of(lts.initial()).0);
+    StrongQuotient {
+        lts: b.build(init),
+        block_of: p.assignment().iter().map(|b| b.0).collect(),
+    }
+}
+
+/// Budget for the subset constructions underlying the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct KtraceLimits {
+    /// Maximum number of deterministic subset-states per level.
+    pub max_det_states: usize,
+}
+
+impl Default for KtraceLimits {
+    fn default() -> Self {
+        KtraceLimits {
+            max_det_states: 2_000_000,
+        }
+    }
+}
+
+/// Error raised when a k-trace computation exceeds its limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KtraceError {
+    /// The determinization grew beyond [`KtraceLimits::max_det_states`].
+    TooLarge {
+        /// The level `k` at which the construction exploded.
+        level: usize,
+        /// Number of deterministic states constructed before giving up.
+        det_states: usize,
+    },
+}
+
+impl fmt::Display for KtraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KtraceError::TooLarge { level, det_states } => write!(
+                f,
+                "determinization for ≡{level} exceeded the budget ({det_states} subset states)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KtraceError {}
+
+/// Computes one level of the hierarchy: given the coloring `Cₖ` (as a dense
+/// class assignment), returns `Cₖ₊₁`.
+fn refine_level(
+    lts: &Lts,
+    obs_ids: &[u32],
+    color: &[u32],
+    level: usize,
+    limits: KtraceLimits,
+) -> Result<Vec<u32>, KtraceError> {
+    let dfa = determinize(lts, color, obs_ids, limits.max_det_states).map_err(
+        |TooLarge { det_states }| KtraceError::TooLarge { level, det_states },
+    )?;
+    let dfa_blocks = dfa_partition(&dfa);
+    // New class = (previous class, colored-language class).
+    let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut next = Vec::with_capacity(lts.num_states());
+    for s in lts.states() {
+        let key = (
+            color[s.index()],
+            dfa_blocks[dfa.seed_of[s.index()] as usize],
+        );
+        let fresh = ids.len() as u32;
+        next.push(*ids.entry(key).or_insert(fresh));
+    }
+    Ok(next)
+}
+
+/// Computes the partition of `lts` into `≡ₖ` classes (`k ≥ 1`).
+///
+/// `≡₁` is ordinary trace-set equality; each further level refines the
+/// previous one by comparing colored traces (Definition 3.1).
+///
+/// # Errors
+///
+/// Returns [`KtraceError::TooLarge`] if a subset construction explodes.
+pub fn ktrace_partition(
+    lts: &Lts,
+    k: usize,
+    limits: KtraceLimits,
+) -> Result<Vec<u32>, KtraceError> {
+    assert!(k >= 1, "the hierarchy starts at ≡1");
+    let sq = strong_quotient(lts);
+    let obs_ids = observation_ids(&sq.lts);
+    let mut color = vec![0u32; sq.lts.num_states()];
+    for level in 1..=k {
+        color = refine_level(&sq.lts, &obs_ids, &color, level, limits)?;
+    }
+    // Pull the quotient-level classes back to the original states.
+    Ok(sq
+        .block_of
+        .iter()
+        .map(|&b| color[b as usize])
+        .collect())
+}
+
+/// Are `a` and `b` k-trace equivalent (`a ≡ₖ b`)?
+///
+/// # Errors
+///
+/// Returns [`KtraceError::TooLarge`] if a subset construction explodes.
+pub fn ktrace_equivalent(
+    lts: &Lts,
+    a: StateId,
+    b: StateId,
+    k: usize,
+    limits: KtraceLimits,
+) -> Result<bool, KtraceError> {
+    let p = ktrace_partition(lts, k, limits)?;
+    Ok(p[a.index()] == p[b.index()])
+}
+
+/// Computes the *cap* of the system (Section III-B): the smallest `k` such
+/// that `≡ₖ` equals `≡ₖ₊₁`, bounded by `max_k`.
+///
+/// Returns `Ok(None)` if the hierarchy has not stabilized within `max_k`
+/// levels (cannot happen for `max_k ≥ |S|`).
+///
+/// # Errors
+///
+/// Returns [`KtraceError::TooLarge`] if a subset construction explodes.
+pub fn cap(lts: &Lts, max_k: usize, limits: KtraceLimits) -> Result<Option<usize>, KtraceError> {
+    let sq = strong_quotient(lts);
+    let lts = &sq.lts;
+    let obs_ids = observation_ids(lts);
+    let mut color = vec![0u32; lts.num_states()];
+    let mut num_classes = 0usize;
+    // color after the loop body at iteration k is the ≡ₖ coloring.
+    for level in 1..=max_k + 1 {
+        let next = refine_level(lts, &obs_ids, &color, level, limits)?;
+        let next_classes = (*next.iter().max().unwrap_or(&0) + 1) as usize;
+        if level > 1 && next_classes == num_classes {
+            return Ok(Some(level - 1));
+        }
+        num_classes = next_classes;
+        color = next;
+    }
+    Ok(None)
+}
+
+/// Classification of the τ-transitions of a system by the hierarchy — the
+/// data behind Table I.
+#[derive(Debug, Clone, Default)]
+pub struct TauEdgeClassification {
+    /// τ-edges `s --τ--> r` with `s ≡₁ r` but `s ≢₂ r` — the signature of
+    /// intricate (non-fixed-LP) interleavings.
+    pub eq1_neq2: Vec<(StateId, StateId)>,
+    /// τ-edges with `s ≢₁ r` — ordinary effectful internal steps.
+    pub neq1: Vec<(StateId, StateId)>,
+    /// Total number of τ-edges inspected.
+    pub total_tau_edges: usize,
+}
+
+impl TauEdgeClassification {
+    /// `true` iff the system has a τ-edge that is 1-trace-equivalent but not
+    /// 2-trace-equivalent (third column of Table I).
+    pub fn has_eq1_neq2(&self) -> bool {
+        !self.eq1_neq2.is_empty()
+    }
+
+    /// `true` iff the system has a 1-trace-inequivalent τ-edge (fourth
+    /// column of Table I).
+    pub fn has_neq1(&self) -> bool {
+        !self.neq1.is_empty()
+    }
+}
+
+/// Classifies every τ-edge of `lts` against `≡₁` and `≡₂` (Table I).
+///
+/// # Errors
+///
+/// Returns [`KtraceError::TooLarge`] if a subset construction explodes.
+pub fn classify_tau_edges(
+    lts: &Lts,
+    limits: KtraceLimits,
+) -> Result<TauEdgeClassification, KtraceError> {
+    let sq = strong_quotient(lts);
+    let obs_ids = observation_ids(&sq.lts);
+    let c0 = vec![0u32; sq.lts.num_states()];
+    let c1 = refine_level(&sq.lts, &obs_ids, &c0, 1, limits)?;
+    let c2 = refine_level(&sq.lts, &obs_ids, &c1, 2, limits)?;
+    let mut out = TauEdgeClassification::default();
+    for (src, act, dst) in lts.iter_transitions() {
+        if lts.is_visible(act) {
+            continue;
+        }
+        out.total_tau_edges += 1;
+        let (bs, bd) = (
+            sq.block_of[src.index()] as usize,
+            sq.block_of[dst.index()] as usize,
+        );
+        if c1[bs] != c1[bd] {
+            out.neq1.push((src, dst));
+        } else if c2[bs] != c2[bd] {
+            out.eq1_neq2.push((src, dst));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_lts::{Action, LtsBuilder, ThreadId};
+
+    fn limits() -> KtraceLimits {
+        KtraceLimits::default()
+    }
+
+    /// The paper's motivating shape (Fig. 6, simplified):
+    ///
+    /// s1 --τ--> s2 (then only `empty`)
+    /// s1 --τ--> s3; s3 --τ--> s4 --τ--> s5 where s4 enables `val` too.
+    ///
+    /// Then T¹(s1) = T¹(s3) but the intermediate s4 distinguishes them at
+    /// level 2.
+    fn fig6_shape() -> (Lts, StateId, StateId) {
+        let mut b = LtsBuilder::new();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        let s4 = b.add_state();
+        let s5 = b.add_state();
+        let sink = b.add_state();
+        let tau = b.intern_action(Action::tau(ThreadId(1)));
+        let x = b.intern_action(Action::ret(ThreadId(2), "Deq", Some(-1)));
+        let y = b.intern_action(Action::ret(ThreadId(2), "Deq", Some(20)));
+        let z = b.intern_action(Action::call(ThreadId(1), "Enq", Some(30)));
+        // T¹ classes: A = {ε,x,y,z} for s1 and s3; B = {ε,x,y} for s4;
+        // C = {ε,x} for s2 and s5.
+        //
+        // s1 jumps directly from class A to class C (s1 --τ--> s2), while
+        // s3 can only reach class C by stuttering through the distinct
+        // intermediate class B (s3 --τ--> s4 --τ--> s5). Hence s1 ≡₁ s3 but
+        // s1 ≢₂ s3, mirroring the branching potential of Fig. 6.
+        b.add_transition(s1, tau, s2);
+        b.add_transition(s1, tau, s3);
+        b.add_transition(s2, x, sink);
+        b.add_transition(s3, tau, s4);
+        b.add_transition(s3, z, sink);
+        b.add_transition(s4, y, sink);
+        b.add_transition(s4, tau, s5);
+        b.add_transition(s5, x, sink);
+        (b.build(s1), s1, s3)
+    }
+
+    #[test]
+    fn level1_equal_level2_different() {
+        let (lts, s1, s3) = fig6_shape();
+        assert!(ktrace_equivalent(&lts, s1, s3, 1, limits()).unwrap());
+        assert!(!ktrace_equivalent(&lts, s1, s3, 2, limits()).unwrap());
+    }
+
+    #[test]
+    fn classification_finds_the_subtle_edge() {
+        let (lts, _, _) = fig6_shape();
+        let c = classify_tau_edges(&lts, limits()).unwrap();
+        assert!(c.has_eq1_neq2());
+        assert!(c.has_neq1());
+        assert_eq!(c.total_tau_edges, 4);
+    }
+
+    /// On a system with fixed LPs (pure sequence), only ≢₁ edges exist.
+    #[test]
+    fn simple_system_has_no_higher_inequivalence() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let tau = b.intern_action(Action::tau(ThreadId(1)));
+        let a = b.intern_action(Action::call(ThreadId(1), "a", None));
+        b.add_transition(s0, tau, s1); // effectful: enables a
+        b.add_transition(s1, a, s2);
+        let lts = b.build(s0);
+        let c = classify_tau_edges(&lts, limits()).unwrap();
+        assert!(!c.has_eq1_neq2());
+        assert!(!c.has_neq1()); // this τ is inert (s0 ≡₁ s1: same traces)
+    }
+
+    #[test]
+    fn effectful_tau_is_neq1() {
+        // τ leading to a state with *different* traces.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        let tau = b.intern_action(Action::tau(ThreadId(1)));
+        let a = b.intern_action(Action::call(ThreadId(1), "a", None));
+        let c = b.intern_action(Action::call(ThreadId(1), "b", None));
+        b.add_transition(s0, a, s2);
+        b.add_transition(s0, tau, s1);
+        b.add_transition(s1, c, s3);
+        let lts = b.build(s0);
+        let cl = classify_tau_edges(&lts, limits()).unwrap();
+        assert!(cl.has_neq1());
+        assert!(!cl.has_eq1_neq2());
+    }
+
+    #[test]
+    fn hierarchy_is_monotone_and_caps() {
+        let (lts, _, _) = fig6_shape();
+        let p1 = ktrace_partition(&lts, 1, limits()).unwrap();
+        let p2 = ktrace_partition(&lts, 2, limits()).unwrap();
+        let classes = |p: &Vec<u32>| *p.iter().max().unwrap() as usize + 1;
+        assert!(classes(&p2) >= classes(&p1));
+        let cap_k = cap(&lts, 10, limits()).unwrap();
+        assert!(cap_k.is_some());
+        assert!(cap_k.unwrap() >= 2);
+    }
+
+    /// Theorem 4.3: the fixpoint of the hierarchy equals branching
+    /// bisimilarity.
+    #[test]
+    fn fixpoint_matches_branching_bisimulation() {
+        use bb_lts::{random_lts, RandomLtsConfig};
+        for seed in 0..15u64 {
+            let lts = random_lts(
+                seed,
+                RandomLtsConfig {
+                    num_states: 12,
+                    num_transitions: 20,
+                    num_visible_letters: 2,
+                    tau_percent: 50,
+                },
+            );
+            let k = cap(&lts, 30, limits()).unwrap().expect("cap exists");
+            let pk = ktrace_partition(&lts, k, limits()).unwrap();
+            let pb = bb_bisim::partition(&lts, bb_bisim::Equivalence::Branching);
+            for a in lts.states() {
+                for b in lts.states() {
+                    assert_eq!(
+                        pk[a.index()] == pk[b.index()],
+                        pb.same_block(a, b),
+                        "seed {seed}: states {a:?} {b:?} disagree"
+                    );
+                }
+            }
+        }
+    }
+}

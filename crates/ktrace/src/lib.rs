@@ -1,0 +1,24 @@
+//! k-trace sets and k-trace equivalence (Section III of the paper).
+//!
+//! Definition 3.1 builds a hierarchy of equivalences: `≡₁` is ordinary
+//! trace-set equality; `≡ₖ₊₁` compares *colored traces* — visible-action
+//! sequences that also record the `≡ₖ`-class of every state passed through,
+//! with stuttering τ-segments (consecutive states of the same class)
+//! collapsed. Max-trace equivalence `≡` (the limit of the hierarchy)
+//! coincides with branching bisimilarity (Theorem 4.3), and the paper's
+//! Table I uses the hierarchy to measure how intricate an algorithm's
+//! interleavings are: algorithms with non-fixed linearization points exhibit
+//! τ-transitions `s --τ--> r` with `s ≡₁ r` but `s ≢₂ r`.
+//!
+//! The implementation computes each level as a partition: given the coloring
+//! `Cₖ`, two states are `≡ₖ₊₁` iff they have the same *colored language*,
+//! decided by a τ-stuttering-aware subset construction followed by partition
+//! refinement on the (deterministic) subset automaton.
+
+mod hierarchy;
+mod subset;
+
+pub use hierarchy::{
+    cap, classify_tau_edges, ktrace_equivalent, ktrace_partition, KtraceError, KtraceLimits,
+    TauEdgeClassification,
+};

@@ -1,0 +1,251 @@
+//! Colored subset construction and deterministic-automaton minimization.
+//!
+//! Given an LTS and a coloring (a partition of its states), the *colored
+//! language* of a state is the set of sequences of letters
+//!
+//! * `(a, color-of-target)` for a visible action `a`, and
+//! * `(τ, color-of-target)` for a τ-step that changes color,
+//!
+//! while τ-steps between same-colored states are silent (stuttering). Two
+//! states of equal color have the same set of k-traces at the next level of
+//! the Definition 3.1 hierarchy iff they have the same colored language.
+//!
+//! Colored languages are prefix-closed, so equality is decided by
+//! determinizing (subset construction over the stuttering closure) and
+//! computing the coarsest partition of the deterministic automaton in which
+//! related states enable the same letters into related states.
+
+use bb_lts::{Lts, StateId};
+use std::collections::HashMap;
+
+/// A letter of the colored alphabet: `obs` is `0` for τ, otherwise an
+/// observation id (1-based); `color` is the color of the target state.
+pub(crate) type Letter = u64;
+
+pub(crate) fn letter(obs: u32, color: u32) -> Letter {
+    ((obs as u64) << 32) | color as u64
+}
+
+/// Per-action observation ids: `0` for τ, `1..` per distinct observation.
+pub(crate) fn observation_ids(lts: &Lts) -> Vec<u32> {
+    let mut by_obs: HashMap<bb_lts::Observation, u32> = HashMap::new();
+    let mut ids = Vec::with_capacity(lts.num_actions());
+    for a in lts.actions() {
+        match a.observation() {
+            None => ids.push(0),
+            Some(obs) => {
+                let next = by_obs.len() as u32 + 1;
+                ids.push(*by_obs.entry(obs).or_insert(next));
+            }
+        }
+    }
+    ids
+}
+
+/// The determinized colored automaton, with one designated subset per
+/// original state (the determinization of that state's colored language).
+pub(crate) struct ColoredDfa {
+    /// Deterministic transitions: for each det-state, sorted `(letter, target)`.
+    pub succ: Vec<Vec<(Letter, u32)>>,
+    /// For each original state, the det-state of its stuttering closure.
+    pub seed_of: Vec<u32>,
+}
+
+/// Error raised when the subset construction exceeds its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooLarge {
+    /// Number of deterministic states constructed before giving up.
+    pub det_states: usize,
+}
+
+/// Stuttering closure of `set` w.r.t. `color`: extends with all states
+/// reachable via τ-steps between same-colored states.
+fn stutter_closure(lts: &Lts, color: &[u32], set: &mut Vec<StateId>) {
+    set.sort_unstable();
+    set.dedup();
+    let mut stack: Vec<StateId> = set.clone();
+    while let Some(s) = stack.pop() {
+        for t in lts.successors(s) {
+            if !lts.is_visible(t.action) && color[s.index()] == color[t.target.index()] {
+                if let Err(pos) = set.binary_search(&t.target) {
+                    set.insert(pos, t.target);
+                    stack.push(t.target);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the determinized colored automaton of `lts` under `color`,
+/// seeding the construction with the closure of every single state.
+pub(crate) fn determinize(
+    lts: &Lts,
+    color: &[u32],
+    obs_ids: &[u32],
+    max_det_states: usize,
+) -> Result<ColoredDfa, TooLarge> {
+    let mut ids: HashMap<Vec<StateId>, u32> = HashMap::new();
+    let mut sets: Vec<Vec<StateId>> = Vec::new();
+    let mut succ: Vec<Vec<(Letter, u32)>> = Vec::new();
+    let mut seed_of = Vec::with_capacity(lts.num_states());
+    let mut worklist: Vec<u32> = Vec::new();
+
+    let intern = |set: Vec<StateId>,
+                      ids: &mut HashMap<Vec<StateId>, u32>,
+                      sets: &mut Vec<Vec<StateId>>,
+                      succ: &mut Vec<Vec<(Letter, u32)>>,
+                      worklist: &mut Vec<u32>|
+     -> u32 {
+        if let Some(&id) = ids.get(&set) {
+            return id;
+        }
+        let id = sets.len() as u32;
+        sets.push(set.clone());
+        succ.push(Vec::new());
+        ids.insert(set, id);
+        worklist.push(id);
+        id
+    };
+
+    for s in lts.states() {
+        let mut set = vec![s];
+        stutter_closure(lts, color, &mut set);
+        let id = intern(set, &mut ids, &mut sets, &mut succ, &mut worklist);
+        seed_of.push(id);
+    }
+
+    while let Some(d) = worklist.pop() {
+        if sets.len() > max_det_states {
+            return Err(TooLarge {
+                det_states: sets.len(),
+            });
+        }
+        // Group targets by letter.
+        let mut by_letter: HashMap<Letter, Vec<StateId>> = HashMap::new();
+        for &s in &sets[d as usize] {
+            for t in lts.successors(s) {
+                let target_color = color[t.target.index()];
+                let obs = obs_ids[t.action.index()];
+                if obs == 0 {
+                    if color[s.index()] == target_color {
+                        continue; // stuttering, already in the closure
+                    }
+                    by_letter
+                        .entry(letter(0, target_color))
+                        .or_default()
+                        .push(t.target);
+                } else {
+                    by_letter
+                        .entry(letter(obs, target_color))
+                        .or_default()
+                        .push(t.target);
+                }
+            }
+        }
+        let mut row: Vec<(Letter, u32)> = Vec::with_capacity(by_letter.len());
+        for (l, mut targets) in by_letter {
+            stutter_closure(lts, color, &mut targets);
+            let id = intern(targets, &mut ids, &mut sets, &mut succ, &mut worklist);
+            row.push((l, id));
+        }
+        row.sort_unstable();
+        succ[d as usize] = row;
+    }
+
+    Ok(ColoredDfa { succ, seed_of })
+}
+
+/// Coarsest partition of the deterministic automaton under letter-wise
+/// successor-block equality (language equality for prefix-closed,
+/// all-accepting deterministic automata).
+pub(crate) fn dfa_partition(dfa: &ColoredDfa) -> Vec<u32> {
+    let n = dfa.succ.len();
+    let mut block = vec![0u32; n];
+    let mut num_blocks = 1usize;
+    loop {
+        let mut ids: HashMap<Vec<(Letter, u32)>, u32> = HashMap::new();
+        let mut next = Vec::with_capacity(n);
+        for d in 0..n {
+            let sig: Vec<(Letter, u32)> = dfa.succ[d]
+                .iter()
+                .map(|&(l, t)| (l, block[t as usize]))
+                .collect();
+            let fresh = ids.len() as u32;
+            next.push(*ids.entry(sig).or_insert(fresh));
+        }
+        let new_blocks = ids.len();
+        block = next;
+        if new_blocks == num_blocks {
+            return block;
+        }
+        num_blocks = new_blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_lts::{Action, LtsBuilder, ThreadId};
+
+    /// Two states with the same plain language but different colored
+    /// languages once colors distinguish their targets.
+    #[test]
+    fn coloring_changes_equivalence() {
+        // s0 --a--> s2 ; s1 --a--> s3. Plain language: both {a}.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        let a = b.intern_action(Action::call(ThreadId(1), "a", None));
+        b.add_transition(s0, a, s2);
+        b.add_transition(s1, a, s3);
+        let lts = b.build(s0);
+        let obs = observation_ids(&lts);
+
+        // Uniform coloring: s0 and s1 equivalent.
+        let dfa = determinize(&lts, &[0, 0, 0, 0], &obs, 1000).unwrap();
+        let p = dfa_partition(&dfa);
+        assert_eq!(p[dfa.seed_of[0] as usize], p[dfa.seed_of[1] as usize]);
+
+        // Color s2 and s3 apart: seeds now differ.
+        let dfa = determinize(&lts, &[0, 0, 1, 2], &obs, 1000).unwrap();
+        let p = dfa_partition(&dfa);
+        assert_ne!(p[dfa.seed_of[0] as usize], p[dfa.seed_of[1] as usize]);
+    }
+
+    #[test]
+    fn stuttering_tau_is_silent() {
+        // s0 --τ--> s1 --a--> s2 with uniform colors: s0 and s1 equal.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let tau = b.intern_action(Action::tau(ThreadId(1)));
+        let a = b.intern_action(Action::call(ThreadId(1), "a", None));
+        b.add_transition(s0, tau, s1);
+        b.add_transition(s1, a, s2);
+        let lts = b.build(s0);
+        let obs = observation_ids(&lts);
+        let dfa = determinize(&lts, &[0, 0, 0], &obs, 1000).unwrap();
+        let p = dfa_partition(&dfa);
+        assert_eq!(p[dfa.seed_of[0] as usize], p[dfa.seed_of[1] as usize]);
+    }
+
+    #[test]
+    fn size_limit_is_enforced() {
+        let mut b = LtsBuilder::new();
+        let states: Vec<_> = (0..8).map(|_| b.add_state()).collect();
+        let a = b.intern_action(Action::call(ThreadId(1), "a", None));
+        // Dense nondeterminism to force many subsets.
+        for &s in &states {
+            for &t in &states {
+                b.add_transition(s, a, t);
+            }
+        }
+        let lts = b.build(states[0]);
+        let obs = observation_ids(&lts);
+        let r = determinize(&lts, &(0..8).collect::<Vec<u32>>(), &obs, 4);
+        assert!(r.is_err());
+    }
+}

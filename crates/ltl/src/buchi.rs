@@ -1,0 +1,314 @@
+//! Tableau translation of next-free LTL to Büchi automata (GPVW).
+//!
+//! The construction follows Gerth–Peled–Vardi–Wolper: formulas are expanded
+//! into tableau nodes whose `Old` sets carry the literals that must hold of
+//! the letter read *at* that node; generalized acceptance (one set per
+//! `Until` subformula) is then degeneralized with the usual counter
+//! construction. The resulting automaton is state-labeled: a run enters a
+//! state by consuming a letter satisfying the state's literal conjunction.
+
+use crate::syntax::{Ltl, Prop};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A state-labeled Büchi automaton.
+///
+/// Entering state `q` consumes one letter, which must satisfy every literal
+/// in `literals[q]` (a conjunction; `(p, true)` requires `p`, `(p, false)`
+/// requires `¬p`).
+#[derive(Debug, Clone)]
+pub struct Buchi {
+    /// Literal conjunction guarding entry into each state.
+    pub literals: Vec<Vec<(Prop, bool)>>,
+    /// Büchi-accepting states (after degeneralization).
+    pub accepting: Vec<bool>,
+    /// States a run may start in (consuming the first letter on entry).
+    pub initial: Vec<u32>,
+    /// Successor lists.
+    pub succ: Vec<Vec<u32>>,
+}
+
+impl Buchi {
+    /// Number of automaton states.
+    pub fn num_states(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Does `step` (`None` = the synthetic `done` letter) satisfy the entry
+    /// guard of state `q`?
+    pub fn letter_allowed(&self, q: u32, step: Option<&bb_lts::Action>) -> bool {
+        self.literals[q as usize]
+            .iter()
+            .all(|(p, pos)| p.eval(step) == *pos)
+    }
+}
+
+/// A tableau node during GPVW expansion.
+#[derive(Debug, Clone)]
+struct Node {
+    incoming: BTreeSet<usize>, // INIT is usize::MAX
+    new: BTreeSet<Ltl>,
+    old: BTreeSet<Ltl>,
+    next: BTreeSet<Ltl>,
+}
+
+const INIT: usize = usize::MAX;
+
+/// Translates an NNF next-free LTL formula into a Büchi automaton accepting
+/// exactly the infinite words satisfying it.
+pub fn translate(f: &Ltl) -> Buchi {
+    // --- GPVW expansion -------------------------------------------------
+    let mut nodes: Vec<Node> = Vec::new();
+    let start = Node {
+        incoming: BTreeSet::from([INIT]),
+        new: BTreeSet::from([f.clone()]),
+        old: BTreeSet::new(),
+        next: BTreeSet::new(),
+    };
+    expand(start, &mut nodes);
+
+    // --- Generalized acceptance sets ------------------------------------
+    let untils: Vec<(Ltl, Ltl)> = collect_untils(f);
+    let k = untils.len().max(1);
+    let mut gen_sets: Vec<Vec<bool>> = Vec::with_capacity(k);
+    if untils.is_empty() {
+        gen_sets.push(vec![true; nodes.len()]);
+    } else {
+        for (u, b) in &untils {
+            gen_sets.push(
+                nodes
+                    .iter()
+                    .map(|n| !n.old.contains(u) || n.old.contains(b))
+                    .collect(),
+            );
+        }
+    }
+
+    // --- Degeneralization -----------------------------------------------
+    // NBA states are (node, counter) pairs with counter in 0..k. Moving out
+    // of (m, i) bumps the counter iff m is in acceptance set i. Accepting
+    // states are (n, 0) with n in set 0; initial runs start with counter 0.
+    let n_nodes = nodes.len();
+    let id = |node: usize, counter: usize| (node * k + counter) as u32;
+    let mut literals = Vec::with_capacity(n_nodes * k);
+    let mut accepting = Vec::with_capacity(n_nodes * k);
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n_nodes * k];
+
+    for (ni, node) in nodes.iter().enumerate() {
+        let lits = node_literals(node);
+        for counter in 0..k {
+            literals.push(lits.clone());
+            accepting.push(counter == 0 && gen_sets[0][ni]);
+        }
+    }
+    let mut initial = Vec::new();
+    for (ni, node) in nodes.iter().enumerate() {
+        for &src in &node.incoming {
+            if src == INIT {
+                initial.push(id(ni, 0));
+            } else {
+                for counter in 0..k {
+                    let next_counter = if gen_sets[counter][src] {
+                        (counter + 1) % k
+                    } else {
+                        counter
+                    };
+                    succ[id(src, counter) as usize].push(id(ni, next_counter));
+                }
+            }
+        }
+    }
+    for row in &mut succ {
+        row.sort_unstable();
+        row.dedup();
+    }
+    initial.sort_unstable();
+    initial.dedup();
+
+    Buchi {
+        literals,
+        accepting,
+        initial,
+        succ,
+    }
+}
+
+/// Extracts the literal constraints of a node's `Old` set.
+fn node_literals(node: &Node) -> Vec<(Prop, bool)> {
+    let mut lits = Vec::new();
+    for f in &node.old {
+        match f {
+            Ltl::Prop(p) => lits.push((p.clone(), true)),
+            Ltl::NotProp(p) => lits.push((p.clone(), false)),
+            _ => {}
+        }
+    }
+    lits
+}
+
+/// All `Until` subformulas as `(until, right-operand)` pairs.
+fn collect_untils(f: &Ltl) -> Vec<(Ltl, Ltl)> {
+    let mut set: BTreeMap<Ltl, Ltl> = BTreeMap::new();
+    fn go(f: &Ltl, set: &mut BTreeMap<Ltl, Ltl>) {
+        match f {
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Release(a, b) => {
+                go(a, set);
+                go(b, set);
+            }
+            Ltl::Until(a, b) => {
+                set.insert(f.clone(), (**b).clone());
+                go(a, set);
+                go(b, set);
+            }
+            _ => {}
+        }
+    }
+    go(f, &mut set);
+    set.into_iter().collect()
+}
+
+fn expand(mut node: Node, nodes: &mut Vec<Node>) {
+    let Some(eta) = node.new.iter().next().cloned() else {
+        // New is empty: merge with an existing node or create a fresh one.
+        if let Some(existing) = nodes
+            .iter_mut()
+            .find(|n| n.old == node.old && n.next == node.next)
+        {
+            existing.incoming.extend(node.incoming.iter().copied());
+            return;
+        }
+        let new_id = nodes.len();
+        let next = node.next.clone();
+        nodes.push(node);
+        expand(
+            Node {
+                incoming: BTreeSet::from([new_id]),
+                new: next,
+                old: BTreeSet::new(),
+                next: BTreeSet::new(),
+            },
+            nodes,
+        );
+        return;
+    };
+    node.new.remove(&eta);
+    match &eta {
+        Ltl::False => { /* contradiction: drop the node */ }
+        Ltl::Prop(p) => {
+            if node.old.contains(&Ltl::NotProp(p.clone())) {
+                return; // contradiction
+            }
+            node.old.insert(eta);
+            expand(node, nodes);
+        }
+        Ltl::NotProp(p) => {
+            if node.old.contains(&Ltl::Prop(p.clone())) {
+                return;
+            }
+            node.old.insert(eta);
+            expand(node, nodes);
+        }
+        Ltl::True => {
+            node.old.insert(eta);
+            expand(node, nodes);
+        }
+        Ltl::And(a, b) => {
+            node.old.insert(eta.clone());
+            if !node.old.contains(a.as_ref()) {
+                node.new.insert((**a).clone());
+            }
+            if !node.old.contains(b.as_ref()) {
+                node.new.insert((**b).clone());
+            }
+            expand(node, nodes);
+        }
+        Ltl::Or(a, b) => {
+            let mut left = node.clone();
+            left.old.insert(eta.clone());
+            if !left.old.contains(a.as_ref()) {
+                left.new.insert((**a).clone());
+            }
+            expand(left, nodes);
+            let mut right = node;
+            right.old.insert(eta.clone());
+            if !right.old.contains(b.as_ref()) {
+                right.new.insert((**b).clone());
+            }
+            expand(right, nodes);
+        }
+        Ltl::Until(a, b) => {
+            // a U b  ≡  b ∨ (a ∧ X(a U b))
+            let mut left = node.clone();
+            left.old.insert(eta.clone());
+            if !left.old.contains(a.as_ref()) {
+                left.new.insert((**a).clone());
+            }
+            left.next.insert(eta.clone());
+            expand(left, nodes);
+            let mut right = node;
+            right.old.insert(eta.clone());
+            if !right.old.contains(b.as_ref()) {
+                right.new.insert((**b).clone());
+            }
+            expand(right, nodes);
+        }
+        Ltl::Release(a, b) => {
+            // a R b  ≡  (a ∧ b) ∨ (b ∧ X(a R b))
+            let mut left = node.clone();
+            left.old.insert(eta.clone());
+            if !left.old.contains(b.as_ref()) {
+                left.new.insert((**b).clone());
+            }
+            left.next.insert(eta.clone());
+            expand(left, nodes);
+            let mut right = node;
+            right.old.insert(eta.clone());
+            if !right.old.contains(a.as_ref()) {
+                right.new.insert((**a).clone());
+            }
+            if !right.old.contains(b.as_ref()) {
+                right.new.insert((**b).clone());
+            }
+            expand(right, nodes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_globally_prop() {
+        // G(ret): single-node loop requiring ret at every step.
+        let b = translate(&Ltl::globally(Ltl::prop(Prop::IsReturn)));
+        assert!(!b.initial.is_empty());
+        // Every reachable state requires the ret literal.
+        for &q in &b.initial {
+            assert!(b
+                .literals[q as usize]
+                .iter()
+                .any(|(p, pos)| *p == Prop::IsReturn && *pos));
+        }
+    }
+
+    #[test]
+    fn eventually_has_accepting_loop() {
+        let b = translate(&Ltl::eventually(Ltl::prop(Prop::IsReturn)));
+        assert!(b.accepting.iter().any(|&a| a));
+        // There must be a state with no literal obligations (after the ret).
+        assert!(b.literals.iter().any(|l| l.is_empty()));
+    }
+
+    #[test]
+    fn contradictory_formula_has_no_run() {
+        let f = Ltl::and(Ltl::prop(Prop::IsReturn), Ltl::NotProp(Prop::IsReturn));
+        let b = translate(&f);
+        assert!(b.initial.is_empty(), "contradiction yields no initial node");
+    }
+
+    #[test]
+    fn false_translates_to_empty() {
+        let b = translate(&Ltl::False);
+        assert!(b.initial.is_empty());
+    }
+}

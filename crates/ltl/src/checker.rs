@@ -1,0 +1,365 @@
+//! Automata-theoretic LTL checking: product construction + accepting-cycle
+//! search.
+//!
+//! The product of the LTS with the Büchi automaton for the negated formula
+//! is materialized by BFS (product sizes are moderate because the intended
+//! inputs are branching-bisimulation quotients), then searched for a
+//! reachable cycle through an accepting product state via Tarjan SCCs.
+
+use crate::buchi::translate;
+use crate::syntax::Ltl;
+use bb_lts::{tarjan_scc, Action, ActionId, Lts, StateId};
+use std::collections::HashMap;
+
+/// A lasso-shaped counterexample to an LTL property: the actions of a finite
+/// prefix followed by the actions of a cycle repeated forever. `None`
+/// entries denote the synthetic `done` step of a terminated execution.
+#[derive(Debug, Clone)]
+pub struct LassoTrace {
+    /// Actions of the prefix (first step first).
+    pub prefix: Vec<Option<Action>>,
+    /// Actions of the repeated cycle (non-empty).
+    pub cycle: Vec<Option<Action>>,
+}
+
+impl LassoTrace {
+    /// Renders the lasso in a CADP-like textual form (cf. Figure 9).
+    pub fn to_pretty(&self) -> String {
+        let fmt = |steps: &[Option<Action>]| {
+            steps
+                .iter()
+                .map(|s| match s {
+                    Some(a) => a.to_string(),
+                    None => "<done>".to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n  ")
+        };
+        format!(
+            "<initial state>\n  {}\n-- loop (repeated forever) --\n  {}",
+            fmt(&self.prefix),
+            fmt(&self.cycle)
+        )
+    }
+}
+
+/// Outcome of an LTL check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Whether every maximal execution of the system satisfies the formula.
+    pub holds: bool,
+    /// A violating lasso when `holds` is `false`.
+    pub counterexample: Option<LassoTrace>,
+    /// Number of product states constructed (diagnostic metric).
+    pub product_states: usize,
+}
+
+/// A product node: LTS state × "terminated" flag × Büchi state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PNode {
+    state: StateId,
+    /// Set once the system has no real successors; only `done` remains.
+    terminated: bool,
+    buchi: u32,
+}
+
+/// Checks whether every maximal execution of `lts` satisfies `formula`.
+///
+/// Maximal finite executions are extended with an infinite synthetic `done`
+/// self-loop (satisfying only [`Prop::Done`](crate::Prop::Done)) so that LTL
+/// over infinite words applies uniformly. The negated formula is translated
+/// to a Büchi automaton (GPVW) and the product is searched for an accepting
+/// cycle; one is returned as a [`LassoTrace`] if found.
+pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
+    let buchi = translate(&Ltl::not(formula.clone()));
+
+    // --- Materialize the product by BFS ---------------------------------
+    let mut ids: HashMap<PNode, u32> = HashMap::new();
+    let mut nodes: Vec<PNode> = Vec::new();
+    let mut edges: Vec<Vec<(u32, Option<ActionId>)>> = Vec::new();
+    // BFS parents for prefix reconstruction.
+    let mut parent: Vec<Option<(u32, Option<ActionId>)>> = Vec::new();
+
+    let intern = |n: PNode,
+                      ids: &mut HashMap<PNode, u32>,
+                      nodes: &mut Vec<PNode>,
+                      edges: &mut Vec<Vec<(u32, Option<ActionId>)>>,
+                      parent: &mut Vec<Option<(u32, Option<ActionId>)>>|
+     -> (u32, bool) {
+        if let Some(&id) = ids.get(&n) {
+            return (id, false);
+        }
+        let id = nodes.len() as u32;
+        nodes.push(n);
+        edges.push(Vec::new());
+        parent.push(None);
+        ids.insert(n, id);
+        (id, true)
+    };
+
+    // Entering Büchi state q consumes one system step from (s, terminated).
+    // Returns (target PNode, step) pairs.
+    let moves = |s: StateId, terminated: bool, q: u32| -> Vec<(PNode, Option<ActionId>)> {
+        let mut out = Vec::new();
+        if terminated || lts.successors(s).is_empty() {
+            if buchi.letter_allowed(q, None) {
+                out.push((
+                    PNode {
+                        state: s,
+                        terminated: true,
+                        buchi: q,
+                    },
+                    None,
+                ));
+            }
+        } else {
+            for t in lts.successors(s) {
+                if buchi.letter_allowed(q, Some(lts.action(t.action))) {
+                    out.push((
+                        PNode {
+                            state: t.target,
+                            terminated: false,
+                            buchi: q,
+                        },
+                        Some(t.action),
+                    ));
+                }
+            }
+        }
+        out
+    };
+
+    let mut queue = std::collections::VecDeque::new();
+    for &q in &buchi.initial {
+        for (pn, _step) in moves(lts.initial(), false, q) {
+            let (id, fresh) = intern(pn, &mut ids, &mut nodes, &mut edges, &mut parent);
+            if fresh {
+                // Initial product nodes have no parent; their entering step
+                // is reconstructed separately below via `initial_step`.
+                queue.push_back(id);
+            }
+        }
+    }
+    // Record the step by which each *initial* node is entered from the root.
+    let mut initial_step: HashMap<u32, Option<ActionId>> = HashMap::new();
+    for &q in &buchi.initial {
+        for (pn, step) in moves(lts.initial(), false, q) {
+            if let Some(&id) = ids.get(&pn) {
+                initial_step.entry(id).or_insert(step);
+            }
+        }
+    }
+
+    while let Some(v) = queue.pop_front() {
+        let pn = nodes[v as usize];
+        for q in buchi.succ[pn.buchi as usize].clone() {
+            for (target, step) in moves(pn.state, pn.terminated, q) {
+                let (id, fresh) = intern(target, &mut ids, &mut nodes, &mut edges, &mut parent);
+                edges[v as usize].push((id, step));
+                if fresh {
+                    parent[id as usize] = Some((v, step));
+                    queue.push_back(id);
+                }
+            }
+        }
+    }
+
+    // --- Find a reachable accepting cycle -------------------------------
+    let n = nodes.len();
+    let cond = tarjan_scc(n, |s, out| {
+        for &(t, _) in &edges[s.0 as usize] {
+            out.push(StateId(t));
+        }
+    });
+
+    let mut witness: Option<u32> = None;
+    for v in 0..n as u32 {
+        if buchi.accepting[nodes[v as usize].buchi as usize]
+            && cond.cyclic[cond.scc_of[v as usize].index()]
+        {
+            witness = Some(v);
+            break;
+        }
+    }
+
+    let Some(seed) = witness else {
+        return CheckResult {
+            holds: true,
+            counterexample: None,
+            product_states: n,
+        };
+    };
+
+    // Prefix: BFS parents from an initial node to `seed`.
+    let mut prefix_rev: Vec<Option<ActionId>> = Vec::new();
+    let mut cur = seed;
+    while let Some((p, step)) = parent[cur as usize] {
+        prefix_rev.push(step);
+        cur = p;
+    }
+    prefix_rev.push(*initial_step.get(&cur).expect("root node has an entering step"));
+    prefix_rev.reverse();
+
+    // Cycle: walk within the SCC from `seed` back to `seed` (BFS).
+    let scc = cond.scc_of[seed as usize];
+    let mut cyc_parent: HashMap<u32, (u32, Option<ActionId>)> = HashMap::new();
+    let mut q2 = std::collections::VecDeque::new();
+    q2.push_back(seed);
+    let mut closed = false;
+    'bfs: while let Some(v) = q2.pop_front() {
+        for &(w, step) in &edges[v as usize] {
+            if cond.scc_of[w as usize] != scc {
+                continue;
+            }
+            if w == seed {
+                cyc_parent.insert(u32::MAX, (v, step)); // virtual "closing" edge
+                closed = true;
+                break 'bfs;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = cyc_parent.entry(w) {
+                e.insert((v, step));
+                q2.push_back(w);
+            }
+        }
+    }
+    debug_assert!(closed, "cyclic SCC must close a cycle through the seed");
+    let mut cycle_rev: Vec<Option<ActionId>> = Vec::new();
+    let (mut at, step) = cyc_parent[&u32::MAX];
+    cycle_rev.push(step);
+    while at != seed {
+        let (p, step) = cyc_parent[&at];
+        cycle_rev.push(step);
+        at = p;
+    }
+    cycle_rev.reverse();
+
+    let to_actions = |steps: Vec<Option<ActionId>>| {
+        steps
+            .into_iter()
+            .map(|s| s.map(|aid| lts.action(aid).clone()))
+            .collect::<Vec<_>>()
+    };
+
+    CheckResult {
+        holds: false,
+        counterexample: Some(LassoTrace {
+            prefix: to_actions(prefix_rev),
+            cycle: to_actions(cycle_rev),
+        }),
+        product_states: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{lock_freedom, method_completion, Prop};
+    use bb_lts::{LtsBuilder, ThreadId};
+
+    fn spin_system() -> Lts {
+        // call m; then τ-spin forever.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let call = b.intern_action(Action::call(ThreadId(1), "m", None));
+        let tau = b.intern_action(Action::tau(ThreadId(1)));
+        b.add_transition(s0, call, s1);
+        b.add_transition(s1, tau, s1);
+        b.build(s0)
+    }
+
+    fn terminating_system() -> Lts {
+        // call m; τ; ret m.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let s3 = b.add_state();
+        let call = b.intern_action(Action::call(ThreadId(1), "m", None));
+        let tau = b.intern_action(Action::tau(ThreadId(1)));
+        let ret = b.intern_action(Action::ret(ThreadId(1), "m", Some(0)));
+        b.add_transition(s0, call, s1);
+        b.add_transition(s1, tau, s2);
+        b.add_transition(s2, ret, s3);
+        b.build(s0)
+    }
+
+    #[test]
+    fn lock_freedom_fails_on_spin() {
+        let r = check(&spin_system(), &lock_freedom());
+        assert!(!r.holds);
+        let ce = r.counterexample.unwrap();
+        assert!(!ce.cycle.is_empty());
+        // The cycle must consist of τ steps only (no returns, no done).
+        assert!(ce
+            .cycle
+            .iter()
+            .all(|s| matches!(s, Some(a) if a.kind == bb_lts::ActionKind::Tau)));
+    }
+
+    #[test]
+    fn lock_freedom_holds_on_terminating() {
+        let r = check(&terminating_system(), &lock_freedom());
+        assert!(r.holds, "counterexample: {:?}", r.counterexample);
+    }
+
+    #[test]
+    fn method_completion_holds_on_terminating() {
+        let r = check(&terminating_system(), &method_completion("m"));
+        assert!(r.holds);
+    }
+
+    #[test]
+    fn method_completion_fails_on_spin() {
+        let r = check(&spin_system(), &method_completion("m"));
+        assert!(!r.holds);
+    }
+
+    #[test]
+    fn globally_tau_free_fails_if_tau_exists() {
+        let f = Ltl::globally(Ltl::not(Ltl::prop(Prop::IsTau)));
+        let r = check(&terminating_system(), &f);
+        assert!(!r.holds);
+        // Prefix must end at the τ... i.e. contain exactly call then τ.
+        let ce = r.counterexample.unwrap();
+        let total: Vec<_> = ce.prefix.iter().chain(ce.cycle.iter()).collect();
+        assert!(total
+            .iter()
+            .any(|s| matches!(s, Some(a) if a.kind == bb_lts::ActionKind::Tau)));
+    }
+
+    #[test]
+    fn trivial_true_holds() {
+        let r = check(&spin_system(), &Ltl::True);
+        assert!(r.holds);
+    }
+
+    #[test]
+    fn trivial_false_fails() {
+        let r = check(&spin_system(), &Ltl::False);
+        assert!(!r.holds);
+    }
+
+    #[test]
+    fn eventually_return_fails_on_spin() {
+        let f = Ltl::eventually(Ltl::prop(Prop::IsReturn));
+        let r = check(&spin_system(), &f);
+        assert!(!r.holds);
+    }
+
+    #[test]
+    fn eventually_return_holds_on_terminating() {
+        let f = Ltl::eventually(Ltl::prop(Prop::IsReturn));
+        let r = check(&terminating_system(), &f);
+        assert!(r.holds);
+    }
+
+    #[test]
+    fn done_extension_distinguishes_termination_from_starvation() {
+        // □◇done holds for a terminating system…
+        let f = Ltl::globally(Ltl::eventually(Ltl::prop(Prop::Done)));
+        assert!(check(&terminating_system(), &f).holds);
+        // …but not for the spinning one.
+        assert!(!check(&spin_system(), &f).holds);
+    }
+}

@@ -1,0 +1,46 @@
+//! Next-free LTL model checking over object-system LTSs.
+//!
+//! Progress properties of concurrent objects — lock-freedom, wait-freedom,
+//! and the broader class discussed in Section V-B of the paper — are
+//! expressible in next-free LTL and are preserved by divergence-sensitive
+//! branching bisimilarity. This crate provides the "off-the-shelf model
+//! checker" role that CADP's evaluator plays in the paper: an action-based
+//! next-free LTL syntax, a tableau translation to Büchi automata (GPVW), and
+//! a nested-DFS emptiness check on the product with an LTS, returning lasso
+//! counterexamples.
+//!
+//! Properties are interpreted over the *action sequences* of maximal paths;
+//! finite maximal paths (e.g. every thread finished its bounded operations)
+//! are extended by a synthetic stuttering `done` step so that termination is
+//! never confused with starvation.
+//!
+//! # Example: lock-freedom
+//!
+//! ```
+//! use bb_lts::{Action, LtsBuilder, ThreadId};
+//! use bb_ltl::{check, lock_freedom};
+//!
+//! // A system that calls a method and then spins forever on τ.
+//! let mut b = LtsBuilder::new();
+//! let s0 = b.add_state();
+//! let s1 = b.add_state();
+//! let call = b.intern_action(Action::call(ThreadId(1), "m", None));
+//! let tau = b.intern_action(Action::tau(ThreadId(1)));
+//! b.add_transition(s0, call, s1);
+//! b.add_transition(s1, tau, s1);
+//! let lts = b.build(s0);
+//!
+//! let verdict = check(&lts, &lock_freedom());
+//! assert!(!verdict.holds);           // the τ-loop starves every thread
+//! assert!(verdict.counterexample.is_some());
+//! ```
+
+mod buchi;
+mod checker;
+mod parser;
+mod syntax;
+
+pub use buchi::{translate, Buchi};
+pub use checker::{check, CheckResult, LassoTrace};
+pub use parser::{parse, ParseLtlError};
+pub use syntax::{lock_freedom, method_completion, Ltl, Prop};

@@ -1,0 +1,445 @@
+//! A small concrete syntax for next-free LTL formulas.
+//!
+//! ```text
+//! φ ::= true | false | ret | call | tau | done
+//!     | by(tN) | of(name)
+//!     | ! φ | G φ | F φ
+//!     | φ & φ | φ "|" φ | φ -> φ | φ U φ | φ R φ
+//!     | ( φ )
+//! ```
+//!
+//! Operator precedence, loosest to tightest: `->` (right-associative),
+//! `|`, `&`, `U`/`R` (right-associative), prefix `!`/`G`/`F`.
+//!
+//! # Example
+//!
+//! ```
+//! use bb_ltl::{lock_freedom, parse};
+//! let f = parse("G F (ret | done)").unwrap();
+//! assert_eq!(f, lock_freedom());
+//! ```
+
+use crate::syntax::{Ltl, Prop};
+use bb_lts::ThreadId;
+use std::fmt;
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLtlError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseLtlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    True,
+    False,
+    Ret,
+    Call,
+    Tau,
+    Done,
+    By(u8),
+    Of(String),
+    Not,
+    Globally,
+    Eventually,
+    And,
+    Or,
+    Implies,
+    Until,
+    Release,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseLtlError> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                chars.next();
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                chars.next();
+            }
+            '!' | '¬' => {
+                out.push((i, Tok::Not));
+                chars.next();
+            }
+            '&' | '∧' => {
+                out.push((i, Tok::And));
+                chars.next();
+            }
+            '|' | '∨' => {
+                out.push((i, Tok::Or));
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '>')) => {
+                        chars.next();
+                        out.push((i, Tok::Implies));
+                    }
+                    _ => {
+                        return Err(ParseLtlError {
+                            offset: i,
+                            message: "expected `->`".into(),
+                        })
+                    }
+                }
+            }
+            _ if c.is_ascii_alphabetic() => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        end = j + d.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..end];
+                let tok = match word {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "ret" => Tok::Ret,
+                    "call" => Tok::Call,
+                    "tau" => Tok::Tau,
+                    "done" => Tok::Done,
+                    "G" => Tok::Globally,
+                    "F" => Tok::Eventually,
+                    "U" => Tok::Until,
+                    "R" => Tok::Release,
+                    "by" | "of" => {
+                        // Parse the parenthesized operand.
+                        if chars.peek().map(|&(_, d)| d) != Some('(') {
+                            return Err(ParseLtlError {
+                                offset: end,
+                                message: format!("`{word}` needs a parenthesized operand"),
+                            });
+                        }
+                        chars.next(); // consume '('
+                        let mut operand = String::new();
+                        let mut closed = false;
+                        for (_, d) in chars.by_ref() {
+                            if d == ')' {
+                                closed = true;
+                                break;
+                            }
+                            operand.push(d);
+                        }
+                        if !closed {
+                            return Err(ParseLtlError {
+                                offset: end,
+                                message: "unclosed operand".into(),
+                            });
+                        }
+                        let operand = operand.trim().to_string();
+                        let tok = if word == "by" {
+                            let t = operand
+                                .strip_prefix('t')
+                                .unwrap_or(&operand)
+                                .parse::<u8>()
+                                .map_err(|e| ParseLtlError {
+                                    offset: end,
+                                    message: format!("bad thread `{operand}`: {e}"),
+                                })?;
+                            Tok::By(t)
+                        } else {
+                            Tok::Of(operand)
+                        };
+                        out.push((start, tok));
+                        continue;
+                    }
+                    other => {
+                        return Err(ParseLtlError {
+                            offset: start,
+                            message: format!("unknown word `{other}`"),
+                        })
+                    }
+                };
+                out.push((start, tok));
+            }
+            other => {
+                return Err(ParseLtlError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.len, |(o, _)| *o)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseLtlError {
+        ParseLtlError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    // implies := or ( '->' implies )?
+    fn implies(&mut self) -> Result<Ltl, ParseLtlError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.bump();
+            let rhs = self.implies()?;
+            return Ok(Ltl::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Ltl, ParseLtlError> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            let rhs = self.and()?;
+            lhs = Ltl::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Ltl, ParseLtlError> {
+        let mut lhs = self.temporal()?;
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            let rhs = self.temporal()?;
+            lhs = Ltl::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    // temporal := unary ( ('U'|'R') temporal )?   (right-assoc)
+    fn temporal(&mut self) -> Result<Ltl, ParseLtlError> {
+        let lhs = self.unary()?;
+        match self.peek() {
+            Some(Tok::Until) => {
+                self.bump();
+                let rhs = self.temporal()?;
+                Ok(Ltl::until(lhs, rhs))
+            }
+            Some(Tok::Release) => {
+                self.bump();
+                let rhs = self.temporal()?;
+                Ok(Ltl::release(lhs, rhs))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Ltl, ParseLtlError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.bump();
+                Ok(Ltl::not(self.unary()?))
+            }
+            Some(Tok::Globally) => {
+                self.bump();
+                Ok(Ltl::globally(self.unary()?))
+            }
+            Some(Tok::Eventually) => {
+                self.bump();
+                Ok(Ltl::eventually(self.unary()?))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ltl, ParseLtlError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(Tok::True) => Ok(Ltl::True),
+            Some(Tok::False) => Ok(Ltl::False),
+            Some(Tok::Ret) => Ok(Ltl::prop(Prop::IsReturn)),
+            Some(Tok::Call) => Ok(Ltl::prop(Prop::IsCall)),
+            Some(Tok::Tau) => Ok(Ltl::prop(Prop::IsTau)),
+            Some(Tok::Done) => Ok(Ltl::prop(Prop::Done)),
+            Some(Tok::By(t)) => Ok(Ltl::prop(Prop::ByThread(ThreadId(t)))),
+            Some(Tok::Of(m)) => Ok(Ltl::prop(Prop::OfMethod(m.into()))),
+            Some(Tok::LParen) => {
+                let inner = self.implies()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(inner),
+                    _ => Err(ParseLtlError {
+                        offset: off,
+                        message: "unclosed parenthesis".into(),
+                    }),
+                }
+            }
+            other => Err(ParseLtlError {
+                offset: off,
+                message: format!("expected a formula, got {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses a next-free LTL formula from its concrete syntax.
+///
+/// # Errors
+///
+/// Returns [`ParseLtlError`] on lexical or syntactic errors, with the byte
+/// offset of the problem.
+pub fn parse(input: &str) -> Result<Ltl, ParseLtlError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        len: input.len(),
+    };
+    let f = p.implies()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{lock_freedom, method_completion};
+
+    #[test]
+    fn parses_lock_freedom() {
+        assert_eq!(parse("G F (ret | done)").unwrap(), lock_freedom());
+        assert_eq!(parse("G(F((ret ∨ done)))").unwrap(), lock_freedom());
+    }
+
+    #[test]
+    fn parses_method_completion() {
+        let f = parse("G ((call & of(m)) -> F ((ret & of(m)) | done))").unwrap();
+        assert_eq!(f, method_completion("m"));
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        // a | b & c parses as a | (b & c)
+        let f = parse("ret | call & tau").unwrap();
+        assert_eq!(
+            f,
+            Ltl::or(
+                Ltl::prop(Prop::IsReturn),
+                Ltl::and(Ltl::prop(Prop::IsCall), Ltl::prop(Prop::IsTau))
+            )
+        );
+    }
+
+    #[test]
+    fn until_binds_tighter_than_and() {
+        // a U b & c  parses as  (a U b) & c
+        let f = parse("ret U call & tau").unwrap();
+        assert_eq!(
+            f,
+            Ltl::and(
+                Ltl::until(Ltl::prop(Prop::IsReturn), Ltl::prop(Prop::IsCall)),
+                Ltl::prop(Prop::IsTau)
+            )
+        );
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        let f = parse("ret U call U tau").unwrap();
+        assert_eq!(
+            f,
+            Ltl::until(
+                Ltl::prop(Prop::IsReturn),
+                Ltl::until(Ltl::prop(Prop::IsCall), Ltl::prop(Prop::IsTau))
+            )
+        );
+    }
+
+    #[test]
+    fn by_and_of_operands() {
+        let f = parse("F (by(t2) & of(Enq))").unwrap();
+        assert_eq!(
+            f,
+            Ltl::eventually(Ltl::and(
+                Ltl::prop(Prop::ByThread(ThreadId(2))),
+                Ltl::prop(Prop::OfMethod("Enq".into()))
+            ))
+        );
+        // Bare numbers work too.
+        assert_eq!(parse("by(2)").unwrap(), parse("by(t2)").unwrap());
+    }
+
+    #[test]
+    fn negation_produces_nnf() {
+        let f = parse("!G ret").unwrap();
+        assert_eq!(f, Ltl::not(Ltl::globally(Ltl::prop(Prop::IsReturn))));
+        // NNF: no Not node survives.
+        fn no_neg(f: &Ltl) -> bool {
+            match f {
+                Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                    no_neg(a) && no_neg(b)
+                }
+                _ => true,
+            }
+        }
+        assert!(no_neg(&f));
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse("G F %").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(parse("(ret").is_err());
+        assert!(parse("ret ret").is_err());
+        assert!(parse("by(x)").is_err());
+        assert!(parse("of").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        for text in [
+            "G F (ret | done)",
+            "(call U ret) & F tau",
+            "G (call -> F ret)",
+            "! (ret U call)",
+        ] {
+            let f = parse(text).unwrap();
+            let redisplayed = parse(&f.to_string()).unwrap();
+            assert_eq!(f, redisplayed, "{text}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Action-based next-free LTL syntax.
+
+use bb_lts::{Action, ActionKind, ThreadId};
+use std::fmt;
+
+/// An atomic proposition over a single step of an execution.
+///
+/// Steps are either real actions of the LTS or the synthetic `done`
+/// self-loop appended to terminated executions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Prop {
+    /// The step is a return action of any method.
+    IsReturn,
+    /// The step is a call action of any method.
+    IsCall,
+    /// The step is internal (τ).
+    IsTau,
+    /// The step is performed by the given thread (never true of `done`).
+    ByThread(ThreadId),
+    /// The step is a call or return of the given method.
+    OfMethod(Box<str>),
+    /// The step is the synthetic `done` marker of a terminated execution.
+    Done,
+}
+
+impl Prop {
+    /// Evaluates the proposition on a step; `None` encodes the synthetic
+    /// `done` step.
+    pub fn eval(&self, step: Option<&Action>) -> bool {
+        match (self, step) {
+            (Prop::Done, None) => true,
+            (_, None) => false,
+            (Prop::Done, Some(_)) => false,
+            (Prop::IsReturn, Some(a)) => a.kind == ActionKind::Ret,
+            (Prop::IsCall, Some(a)) => a.kind == ActionKind::Call,
+            (Prop::IsTau, Some(a)) => a.kind == ActionKind::Tau,
+            (Prop::ByThread(t), Some(a)) => a.thread == *t,
+            (Prop::OfMethod(m), Some(a)) => a.method.as_deref() == Some(&**m),
+        }
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prop::IsReturn => write!(f, "ret"),
+            Prop::IsCall => write!(f, "call"),
+            Prop::IsTau => write!(f, "tau"),
+            Prop::ByThread(t) => write!(f, "by({t})"),
+            Prop::OfMethod(m) => write!(f, "of({m})"),
+            Prop::Done => write!(f, "done"),
+        }
+    }
+}
+
+/// A next-free LTL formula over [`Prop`] literals.
+///
+/// Build formulas with the constructor methods:
+///
+/// ```
+/// use bb_ltl::{Ltl, Prop};
+/// // □◇(ret ∨ done): some operation always eventually completes.
+/// let f = Ltl::globally(Ltl::eventually(Ltl::or(
+///     Ltl::prop(Prop::IsReturn),
+///     Ltl::prop(Prop::Done),
+/// )));
+/// assert_eq!(f.to_string(), "G(F((ret ∨ done)))");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ltl {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// A positive literal.
+    Prop(Prop),
+    /// A negated literal (formulas are kept in negation normal form).
+    NotProp(Prop),
+    /// Conjunction.
+    And(Box<Ltl>, Box<Ltl>),
+    /// Disjunction.
+    Or(Box<Ltl>, Box<Ltl>),
+    /// Strong until `φ U ψ`.
+    Until(Box<Ltl>, Box<Ltl>),
+    /// Release `φ R ψ` (dual of until).
+    Release(Box<Ltl>, Box<Ltl>),
+}
+
+impl Ltl {
+    /// Atomic proposition.
+    pub fn prop(p: Prop) -> Ltl {
+        Ltl::Prop(p)
+    }
+
+    /// Negation; pushed inward so formulas stay in negation normal form.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Ltl) -> Ltl {
+        match f {
+            Ltl::True => Ltl::False,
+            Ltl::False => Ltl::True,
+            Ltl::Prop(p) => Ltl::NotProp(p),
+            Ltl::NotProp(p) => Ltl::Prop(p),
+            Ltl::And(a, b) => Ltl::Or(Box::new(Ltl::not(*a)), Box::new(Ltl::not(*b))),
+            Ltl::Or(a, b) => Ltl::And(Box::new(Ltl::not(*a)), Box::new(Ltl::not(*b))),
+            Ltl::Until(a, b) => Ltl::Release(Box::new(Ltl::not(*a)), Box::new(Ltl::not(*b))),
+            Ltl::Release(a, b) => Ltl::Until(Box::new(Ltl::not(*a)), Box::new(Ltl::not(*b))),
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Strong until `a U b`.
+    pub fn until(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::Until(Box::new(a), Box::new(b))
+    }
+
+    /// Release `a R b`.
+    pub fn release(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::Release(Box::new(a), Box::new(b))
+    }
+
+    /// Eventually `◇f ≡ true U f`.
+    pub fn eventually(f: Ltl) -> Ltl {
+        Ltl::until(Ltl::True, f)
+    }
+
+    /// Globally `□f ≡ false R f`.
+    pub fn globally(f: Ltl) -> Ltl {
+        Ltl::release(Ltl::False, f)
+    }
+
+    /// Implication `a → b ≡ ¬a ∨ b`.
+    pub fn implies(a: Ltl, b: Ltl) -> Ltl {
+        Ltl::or(Ltl::not(a), b)
+    }
+}
+
+impl fmt::Display for Ltl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ltl::True => write!(f, "true"),
+            Ltl::False => write!(f, "false"),
+            Ltl::Prop(p) => write!(f, "{p}"),
+            Ltl::NotProp(p) => write!(f, "¬{p}"),
+            Ltl::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Ltl::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Ltl::Until(a, b) => {
+                if **a == Ltl::True {
+                    write!(f, "F({b})")
+                } else {
+                    write!(f, "({a} U {b})")
+                }
+            }
+            Ltl::Release(a, b) => {
+                if **a == Ltl::False {
+                    write!(f, "G({b})")
+                } else {
+                    write!(f, "({a} R {b})")
+                }
+            }
+        }
+    }
+}
+
+/// Lock-freedom as next-free LTL: `□◇(ret ∨ done)` — along every execution,
+/// infinitely often either some method returns or the workload has
+/// terminated. A violation is an execution that eventually performs no
+/// returns at all while work is still pending, i.e. a divergence.
+pub fn lock_freedom() -> Ltl {
+    Ltl::globally(Ltl::eventually(Ltl::or(
+        Ltl::prop(Prop::IsReturn),
+        Ltl::prop(Prop::Done),
+    )))
+}
+
+/// Per-method completion: `□(call(m) → ◇(ret(m) ∨ done))`. Note that without
+/// a fairness assumption this property fails for most lock-free (but not
+/// wait-free) algorithms — a thread may starve; see Section V-B.
+pub fn method_completion(method: &str) -> Ltl {
+    Ltl::globally(Ltl::implies(
+        Ltl::and(
+            Ltl::prop(Prop::IsCall),
+            Ltl::prop(Prop::OfMethod(method.into())),
+        ),
+        Ltl::eventually(Ltl::or(
+            Ltl::and(
+                Ltl::prop(Prop::IsReturn),
+                Ltl::prop(Prop::OfMethod(method.into())),
+            ),
+            Ltl::prop(Prop::Done),
+        )),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nnf_negation() {
+        let f = Ltl::globally(Ltl::prop(Prop::IsReturn));
+        let n = Ltl::not(f);
+        // ¬□p = ◇¬p = true U ¬p.
+        assert_eq!(
+            n,
+            Ltl::until(Ltl::not(Ltl::False), Ltl::NotProp(Prop::IsReturn))
+        );
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let f = Ltl::until(Ltl::prop(Prop::IsCall), Ltl::prop(Prop::IsReturn));
+        assert_eq!(Ltl::not(Ltl::not(f.clone())), f);
+    }
+
+    #[test]
+    fn prop_eval() {
+        let call = Action::call(ThreadId(1), "push", Some(1));
+        let ret = Action::ret(ThreadId(2), "pop", None);
+        let tau = Action::tau(ThreadId(1));
+        assert!(Prop::IsCall.eval(Some(&call)));
+        assert!(!Prop::IsCall.eval(Some(&ret)));
+        assert!(Prop::IsReturn.eval(Some(&ret)));
+        assert!(Prop::IsTau.eval(Some(&tau)));
+        assert!(Prop::ByThread(ThreadId(2)).eval(Some(&ret)));
+        assert!(!Prop::ByThread(ThreadId(1)).eval(Some(&ret)));
+        assert!(Prop::OfMethod("pop".into()).eval(Some(&ret)));
+        assert!(!Prop::OfMethod("push".into()).eval(Some(&ret)));
+        assert!(Prop::Done.eval(None));
+        assert!(!Prop::Done.eval(Some(&tau)));
+        assert!(!Prop::IsTau.eval(None));
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(lock_freedom().to_string(), "G(F((ret ∨ done)))");
+    }
+}

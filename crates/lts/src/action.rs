@@ -1,0 +1,239 @@
+//! Actions of object systems.
+//!
+//! Following Definition 2.1 of the paper, the alphabet of an object system
+//! consists of call actions `(t, call, m(n))`, return actions
+//! `(t, ret(n'), m)` and internal actions `(t, τ)`. Internal actions are
+//! unobservable: every equivalence in this workspace treats all `τ` variants
+//! as the same silent step, but we retain the thread id and an optional
+//! source tag (e.g. the program line `L28`) on `τ` actions so diagnostics can
+//! be rendered the way the paper prints them (Figures 6, 7, 9).
+
+use std::fmt;
+
+/// Identifier of a thread of the most general client.
+///
+/// Threads are numbered from 1 as in the paper (`t1`, `t2`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u8);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The kind of an [`Action`]: method invocation, method response or internal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionKind {
+    /// A call action `(t, call, m(n))`.
+    Call,
+    /// A return action `(t, ret(n'), m)`.
+    Ret,
+    /// An internal action `(t, τ)`.
+    Tau,
+}
+
+/// An action of an object system.
+///
+/// Two actions are *observationally equal* when [`Action::observation`]
+/// returns equal values; `τ` actions all observe as `None` regardless of the
+/// thread and tag carried for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Action {
+    /// Whether this is a call, return or internal action.
+    pub kind: ActionKind,
+    /// The thread performing the action.
+    pub thread: ThreadId,
+    /// Method name for call/return actions; `None` for `τ`.
+    pub method: Option<Box<str>>,
+    /// Call argument or return value, if any.
+    pub value: Option<i64>,
+    /// Free-form diagnostic tag, e.g. the source line (`"L28"`) of a `τ` step.
+    pub tag: Option<Box<str>>,
+}
+
+/// The observable content of a visible action.
+///
+/// This is what trace-based notions (histories, refinement, k-traces) and
+/// bisimulations compare; `τ` actions have no observation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Observation {
+    /// Call or return.
+    pub kind: ActionKind,
+    /// The thread performing the action.
+    pub thread: ThreadId,
+    /// Method name.
+    pub method: Box<str>,
+    /// Call argument or return value, if any.
+    pub value: Option<i64>,
+}
+
+impl Action {
+    /// Creates a call action `(t, call, m(arg))`.
+    pub fn call(thread: ThreadId, method: &str, arg: Option<i64>) -> Self {
+        Action {
+            kind: ActionKind::Call,
+            thread,
+            method: Some(method.into()),
+            value: arg,
+            tag: None,
+        }
+    }
+
+    /// Creates a return action `(t, ret(val), m)`.
+    pub fn ret(thread: ThreadId, method: &str, val: Option<i64>) -> Self {
+        Action {
+            kind: ActionKind::Ret,
+            thread,
+            method: Some(method.into()),
+            value: val,
+            tag: None,
+        }
+    }
+
+    /// Creates an internal action `(t, τ)`.
+    pub fn tau(thread: ThreadId) -> Self {
+        Action {
+            kind: ActionKind::Tau,
+            thread,
+            method: None,
+            value: None,
+            tag: None,
+        }
+    }
+
+    /// Creates an internal action `(t, τ)` tagged with a diagnostic label
+    /// such as the source line of the statement it models.
+    pub fn tau_tagged(thread: ThreadId, tag: &str) -> Self {
+        Action {
+            kind: ActionKind::Tau,
+            thread,
+            method: None,
+            value: None,
+            tag: Some(tag.into()),
+        }
+    }
+
+    /// Returns `true` if this action is visible (a call or return).
+    pub fn is_visible(&self) -> bool {
+        self.kind != ActionKind::Tau
+    }
+
+    /// Returns the observable content of this action, or `None` for `τ`.
+    pub fn observation(&self) -> Option<Observation> {
+        match self.kind {
+            ActionKind::Tau => None,
+            kind => Some(Observation {
+                kind,
+                thread: self.thread,
+                method: self
+                    .method
+                    .clone()
+                    .expect("visible action always has a method"),
+                value: self.value,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ActionKind::Call => {
+                write!(f, "{}.call.{}", self.thread, self.method.as_deref().unwrap_or("?"))?;
+                if let Some(v) = self.value {
+                    write!(f, "({v})")?;
+                }
+                Ok(())
+            }
+            ActionKind::Ret => {
+                write!(f, "{}.ret", self.thread)?;
+                if let Some(v) = self.value {
+                    write!(f, "({v})")?;
+                }
+                write!(f, ".{}", self.method.as_deref().unwrap_or("?"))
+            }
+            ActionKind::Tau => {
+                write!(f, "{}.tau", self.thread)?;
+                if let Some(tag) = &self.tag {
+                    write!(f, "[{tag}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ActionKind::Call => {
+                write!(f, "{}.call.{}", self.thread, self.method)?;
+                if let Some(v) = self.value {
+                    write!(f, "({v})")?;
+                }
+                Ok(())
+            }
+            ActionKind::Ret => {
+                write!(f, "{}.ret", self.thread)?;
+                if let Some(v) = self.value {
+                    write!(f, "({v})")?;
+                }
+                write!(f, ".{}", self.method)
+            }
+            ActionKind::Tau => unreachable!("observations are never internal"),
+        }
+    }
+}
+
+/// Index of an interned [`Action`] within an [`Lts`](crate::Lts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(pub u32);
+
+impl ActionId {
+    /// Returns the index as a `usize` for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_match_paper_notation() {
+        let c = Action::call(ThreadId(2), "Enq", Some(10));
+        assert_eq!(c.to_string(), "t2.call.Enq(10)");
+        let r = Action::ret(ThreadId(1), "Deq", Some(7));
+        assert_eq!(r.to_string(), "t1.ret(7).Deq");
+        let t = Action::tau_tagged(ThreadId(1), "L28");
+        assert_eq!(t.to_string(), "t1.tau[L28]");
+    }
+
+    #[test]
+    fn observation_ignores_tau_details() {
+        assert!(Action::tau(ThreadId(1)).observation().is_none());
+        assert!(Action::tau_tagged(ThreadId(2), "L20").observation().is_none());
+        let a = Action::call(ThreadId(1), "push", Some(1));
+        let obs = a.observation().unwrap();
+        assert_eq!(obs.kind, ActionKind::Call);
+        assert_eq!(obs.thread, ThreadId(1));
+        assert_eq!(&*obs.method, "push");
+        assert_eq!(obs.value, Some(1));
+    }
+
+    #[test]
+    fn visibility() {
+        assert!(Action::call(ThreadId(1), "m", None).is_visible());
+        assert!(Action::ret(ThreadId(1), "m", None).is_visible());
+        assert!(!Action::tau(ThreadId(1)).is_visible());
+    }
+
+    #[test]
+    fn ret_without_value_displays_method() {
+        let r = Action::ret(ThreadId(3), "unlock", None);
+        assert_eq!(r.to_string(), "t3.ret.unlock");
+    }
+}

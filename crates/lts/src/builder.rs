@@ -1,0 +1,124 @@
+//! Incremental construction of [`Lts`] values.
+
+use crate::action::{Action, ActionId};
+use crate::lts::{Lts, StateId, Transition};
+use std::collections::HashMap;
+
+/// Incremental builder for an [`Lts`].
+///
+/// Actions are interned on insertion so that identical labels share an
+/// [`ActionId`]; duplicate transitions are dropped.
+///
+/// # Example
+///
+/// ```
+/// use bb_lts::{Action, LtsBuilder, ThreadId};
+///
+/// let mut b = LtsBuilder::new();
+/// let s0 = b.add_state();
+/// let s1 = b.add_state();
+/// let a = b.intern_action(Action::tau(ThreadId(1)));
+/// b.add_transition(s0, a, s1);
+/// b.add_transition(s0, a, s1); // deduplicated
+/// let lts = b.build(s0);
+/// assert_eq!(lts.num_transitions(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LtsBuilder {
+    actions: Vec<Action>,
+    action_ids: HashMap<Action, ActionId>,
+    adjacency: Vec<Vec<Transition>>,
+}
+
+impl LtsBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh state and returns its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.adjacency.len() as u32);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` fresh states, returning the id of the first.
+    pub fn add_states(&mut self, n: usize) -> StateId {
+        let first = StateId(self.adjacency.len() as u32);
+        self.adjacency.extend((0..n).map(|_| Vec::new()));
+        first
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Interns `action`, returning its id (stable across repeated calls).
+    pub fn intern_action(&mut self, action: Action) -> ActionId {
+        if let Some(&id) = self.action_ids.get(&action) {
+            return id;
+        }
+        let id = ActionId(self.actions.len() as u32);
+        self.actions.push(action.clone());
+        self.action_ids.insert(action, id);
+        id
+    }
+
+    /// Adds the transition `src --action--> target` (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `target` were not created by this builder.
+    pub fn add_transition(&mut self, src: StateId, action: ActionId, target: StateId) {
+        assert!(target.index() < self.adjacency.len(), "target out of range");
+        let row = &mut self.adjacency[src.index()];
+        let t = Transition { action, target };
+        if !row.contains(&t) {
+            row.push(t);
+        }
+    }
+
+    /// Finishes construction with `initial` as the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range.
+    pub fn build(self, initial: StateId) -> Lts {
+        Lts::from_parts(self.actions, self.adjacency, initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadId;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut b = LtsBuilder::new();
+        let a1 = b.intern_action(Action::tau(ThreadId(1)));
+        let a2 = b.intern_action(Action::tau(ThreadId(1)));
+        let a3 = b.intern_action(Action::tau(ThreadId(2)));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn add_states_bulk() {
+        let mut b = LtsBuilder::new();
+        let first = b.add_states(5);
+        assert_eq!(first, StateId(0));
+        assert_eq!(b.num_states(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn transition_to_unknown_state_panics() {
+        let mut b = LtsBuilder::new();
+        let s = b.add_state();
+        let a = b.intern_action(Action::tau(ThreadId(1)));
+        b.add_transition(s, a, StateId(7));
+    }
+}

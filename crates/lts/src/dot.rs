@@ -1,0 +1,58 @@
+//! Graphviz DOT export for small LTSs (debugging and documentation figures).
+
+use crate::lts::Lts;
+use std::fmt::Write as _;
+
+/// Renders `lts` in Graphviz DOT syntax.
+///
+/// Internal transitions are drawn dashed; the initial state is drawn with a
+/// double circle. Intended for the small quotient systems — rendering a
+/// multi-million-state LTS is not useful.
+pub fn to_dot(lts: &Lts, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    let _ = writeln!(
+        out,
+        "  s{} [shape=doublecircle];",
+        lts.initial().index()
+    );
+    for (src, act, dst) in lts.iter_transitions() {
+        let a = lts.action(act);
+        let style = if a.is_visible() { "solid" } else { "dashed" };
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{}\", style={}];",
+            src.index(),
+            dst.index(),
+            a,
+            style
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, LtsBuilder, ThreadId};
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let call = b.intern_action(Action::call(ThreadId(1), "m", Some(3)));
+        let tau = b.intern_action(Action::tau(ThreadId(2)));
+        b.add_transition(s0, call, s1);
+        b.add_transition(s1, tau, s0);
+        let dot = to_dot(&b.build(s0), "tiny");
+        assert!(dot.contains("digraph \"tiny\""));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("t1.call.m(3)"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("s0 [shape=doublecircle]"));
+    }
+}

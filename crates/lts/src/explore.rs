@@ -1,0 +1,191 @@
+//! On-the-fly state-space exploration of an operational semantics.
+
+use crate::action::Action;
+use crate::builder::LtsBuilder;
+use crate::lts::{Lts, StateId};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// An operational semantics that can be unfolded into an [`Lts`].
+///
+/// Implementors enumerate, for every reachable state, its outgoing labeled
+/// steps. The exploration in [`explore`] interns states by hash and performs
+/// a breadth-first unfolding, so state ids are assigned in BFS order and the
+/// resulting LTS is deterministic for a deterministic `successors`
+/// enumeration order.
+pub trait Semantics {
+    /// The (hashable) global state of the system.
+    type State: Clone + Eq + Hash;
+
+    /// The initial state.
+    fn initial_state(&self) -> Self::State;
+
+    /// Appends all outgoing steps of `state` to `out`.
+    ///
+    /// Implementations must clear nothing: `out` is cleared by the caller.
+    fn successors(&self, state: &Self::State, out: &mut Vec<(Action, Self::State)>);
+}
+
+/// Limits guarding an exploration against state-space explosion.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Maximum number of distinct states to intern before aborting.
+    pub max_states: usize,
+    /// Maximum number of transitions to record before aborting.
+    pub max_transitions: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 50_000_000,
+            max_transitions: 200_000_000,
+        }
+    }
+}
+
+/// Error returned when an exploration exceeds its [`ExploreLimits`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreError {
+    /// States interned before the limit was hit.
+    pub states_seen: usize,
+    /// Transitions recorded before the limit was hit.
+    pub transitions_seen: usize,
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "state-space exploration exceeded limits after {} states and {} transitions",
+            self.states_seen, self.transitions_seen
+        )
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// Unfolds `sem` into an explicit [`Lts`] by breadth-first exploration.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the reachable state space exceeds `limits`.
+pub fn explore<S: Semantics>(sem: &S, limits: ExploreLimits) -> Result<Lts, ExploreError> {
+    let mut builder = LtsBuilder::new();
+    let mut ids: HashMap<S::State, StateId> = HashMap::new();
+
+    let init = sem.initial_state();
+    let init_id = builder.add_state();
+    ids.insert(init.clone(), init_id);
+
+    // BFS frontier; states are explored in id order so the queue is just a
+    // cursor over the id-indexed list of discovered states.
+    let mut discovered: Vec<S::State> = vec![init];
+    let mut cursor = 0usize;
+    let mut steps: Vec<(Action, S::State)> = Vec::new();
+    let mut num_transitions = 0usize;
+
+    while cursor < discovered.len() {
+        let src_id = StateId(cursor as u32);
+        let state = discovered[cursor].clone();
+        cursor += 1;
+
+        steps.clear();
+        sem.successors(&state, &mut steps);
+        for (action, next) in steps.drain(..) {
+            let dst_id = match ids.get(&next) {
+                Some(&id) => id,
+                None => {
+                    if discovered.len() >= limits.max_states {
+                        return Err(ExploreError {
+                            states_seen: discovered.len(),
+                            transitions_seen: num_transitions,
+                        });
+                    }
+                    let id = builder.add_state();
+                    ids.insert(next.clone(), id);
+                    discovered.push(next);
+                    id
+                }
+            };
+            let aid = builder.intern_action(action);
+            builder.add_transition(src_id, aid, dst_id);
+            num_transitions += 1;
+            if num_transitions > limits.max_transitions {
+                return Err(ExploreError {
+                    states_seen: discovered.len(),
+                    transitions_seen: num_transitions,
+                });
+            }
+        }
+    }
+
+    Ok(builder.build(StateId(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadId;
+
+    /// A counter from 0 to `max` with an increment loop.
+    struct Counter {
+        max: u32,
+    }
+
+    impl Semantics for Counter {
+        type State = u32;
+
+        fn initial_state(&self) -> u32 {
+            0
+        }
+
+        fn successors(&self, s: &u32, out: &mut Vec<(Action, u32)>) {
+            if *s < self.max {
+                out.push((Action::tau(ThreadId(1)), s + 1));
+            } else {
+                out.push((Action::ret(ThreadId(1), "done", Some(*s as i64)), 0));
+            }
+        }
+    }
+
+    #[test]
+    fn explores_all_reachable_states() {
+        let lts = explore(&Counter { max: 10 }, ExploreLimits::default()).unwrap();
+        assert_eq!(lts.num_states(), 11);
+        assert_eq!(lts.num_transitions(), 11); // 10 taus + 1 ret back to 0
+    }
+
+    #[test]
+    fn respects_state_limit() {
+        let err = explore(
+            &Counter { max: 1000 },
+            ExploreLimits {
+                max_states: 5,
+                max_transitions: 1000,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.states_seen, 5);
+    }
+
+    #[test]
+    fn respects_transition_limit() {
+        let err = explore(
+            &Counter { max: 1000 },
+            ExploreLimits {
+                max_states: 10_000,
+                max_transitions: 3,
+            },
+        )
+        .unwrap_err();
+        assert!(err.transitions_seen > 3 - 1);
+    }
+
+    #[test]
+    fn bfs_assigns_initial_id_zero() {
+        let lts = explore(&Counter { max: 3 }, ExploreLimits::default()).unwrap();
+        assert_eq!(lts.initial(), StateId(0));
+    }
+}

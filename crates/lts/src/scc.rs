@@ -1,0 +1,238 @@
+//! Strongly connected components (iterative Tarjan) and condensations.
+//!
+//! The divergence analyses of the workspace (Lemma 5.6/5.7, Theorem 5.9)
+//! repeatedly need the τ-SCC structure of subgraphs of an LTS, so the
+//! algorithms here work on an arbitrary successor function rather than on
+//! [`Lts`](crate::Lts) directly.
+
+use crate::lts::StateId;
+
+/// Index of a strongly connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SccId(pub u32);
+
+impl SccId {
+    /// Returns the index as a `usize` for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of an SCC decomposition.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// For each state, the SCC containing it.
+    pub scc_of: Vec<SccId>,
+    /// Number of SCCs. SCC ids are assigned in *reverse topological order*:
+    /// if there is an edge from SCC `a` to SCC `b` (with `a != b`) then
+    /// `a.0 > b.0`.
+    pub num_sccs: usize,
+    /// For each SCC, whether it contains a cycle (more than one state, or a
+    /// self-loop in the explored relation).
+    pub cyclic: Vec<bool>,
+}
+
+impl Condensation {
+    /// States of each SCC, grouped.
+    pub fn members(&self) -> Vec<Vec<StateId>> {
+        let mut groups: Vec<Vec<StateId>> = vec![Vec::new(); self.num_sccs];
+        for (i, scc) in self.scc_of.iter().enumerate() {
+            groups[scc.index()].push(StateId(i as u32));
+        }
+        groups
+    }
+
+    /// SCC ids in topological order (sources first).
+    pub fn topological_order(&self) -> impl Iterator<Item = SccId> {
+        // Tarjan emits SCCs in reverse topological order, so iterate
+        // backwards to obtain a topological order of the condensation.
+        (0..self.num_sccs as u32).rev().map(SccId)
+    }
+}
+
+/// Computes the SCCs of the directed graph over `num_states` vertices whose
+/// edges are enumerated by `succ` (called with a vertex, pushing successors).
+///
+/// Runs Tarjan's algorithm iteratively so deep τ-chains (common in
+/// fine-grained object systems) cannot overflow the call stack.
+pub fn tarjan_scc<F>(num_states: usize, mut succ: F) -> Condensation
+where
+    F: FnMut(StateId, &mut Vec<StateId>),
+{
+    const UNVISITED: u32 = u32::MAX;
+
+    let mut index = vec![UNVISITED; num_states];
+    let mut lowlink = vec![0u32; num_states];
+    let mut on_stack = vec![false; num_states];
+    let mut scc_of = vec![SccId(0); num_states];
+    let mut cyclic: Vec<bool> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_sccs = 0u32;
+
+    // Explicit DFS stack: (vertex, iterator position over its successors).
+    let mut succs_buf: Vec<StateId> = Vec::new();
+    let mut call_stack: Vec<(u32, Vec<StateId>, usize)> = Vec::new();
+
+    for root in 0..num_states as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        // Start DFS at root.
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        succs_buf.clear();
+        succ(StateId(root), &mut succs_buf);
+        call_stack.push((root, std::mem::take(&mut succs_buf), 0));
+
+        while let Some((v, vsuccs, mut pos)) = call_stack.pop() {
+            let mut descended = false;
+            while pos < vsuccs.len() {
+                let w = vsuccs[pos].0;
+                pos += 1;
+                if index[w as usize] == UNVISITED {
+                    // Descend into w.
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((v, vsuccs, pos));
+                    succs_buf.clear();
+                    succ(StateId(w), &mut succs_buf);
+                    call_stack.push((w, std::mem::take(&mut succs_buf), 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v is finished.
+            if lowlink[v as usize] == index[v as usize] {
+                let scc = SccId(num_sccs);
+                num_sccs += 1;
+                let mut size = 0usize;
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    scc_of[w as usize] = scc;
+                    size += 1;
+                    if w == v {
+                        break;
+                    }
+                }
+                // A singleton SCC is cyclic only if it has a self-loop.
+                let is_cyclic = if size > 1 {
+                    true
+                } else {
+                    succs_buf.clear();
+                    succ(StateId(v), &mut succs_buf);
+                    succs_buf.iter().any(|w| w.0 == v)
+                };
+                cyclic.push(is_cyclic);
+            }
+            // Propagate lowlink to parent.
+            if let Some((p, _, _)) = call_stack.last() {
+                let p = *p as usize;
+                lowlink[p] = lowlink[p].min(lowlink[v as usize]);
+            }
+        }
+    }
+
+    Condensation {
+        scc_of,
+        num_sccs: num_sccs as usize,
+        cyclic,
+    }
+}
+
+/// Convenience wrapper: SCCs of the subrelation of `lts` consisting of the
+/// transitions accepted by `filter`.
+pub fn condensation<F>(lts: &crate::Lts, mut filter: F) -> Condensation
+where
+    F: FnMut(StateId, crate::ActionId, StateId) -> bool,
+{
+    tarjan_scc(lts.num_states(), |s, out| {
+        for t in lts.successors(s) {
+            if filter(s, t.action, t.target) {
+                out.push(t.target);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Condensation {
+        tarjan_scc(n, |s, out| {
+            for &(a, b) in edges {
+                if a == s.0 {
+                    out.push(StateId(b));
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn single_cycle() {
+        let c = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(c.num_sccs, 1);
+        assert!(c.cyclic[0]);
+    }
+
+    #[test]
+    fn chain_has_singleton_sccs() {
+        let c = graph(3, &[(0, 1), (1, 2)]);
+        assert_eq!(c.num_sccs, 3);
+        assert!(c.cyclic.iter().all(|x| !x));
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let c = graph(2, &[(0, 0), (0, 1)]);
+        assert_eq!(c.num_sccs, 2);
+        let scc0 = c.scc_of[0];
+        assert!(c.cyclic[scc0.index()]);
+        let scc1 = c.scc_of[1];
+        assert!(!c.cyclic[scc1.index()]);
+    }
+
+    #[test]
+    fn ids_are_reverse_topological() {
+        // 0 -> 1 -> 2, so scc(0) > scc(1) > scc(2) in id order.
+        let c = graph(3, &[(0, 1), (1, 2)]);
+        assert!(c.scc_of[0] > c.scc_of[1]);
+        assert!(c.scc_of[1] > c.scc_of[2]);
+        let topo: Vec<SccId> = c.topological_order().collect();
+        assert_eq!(topo.first().copied(), Some(c.scc_of[0]));
+    }
+
+    #[test]
+    fn two_components() {
+        let c = graph(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert_eq!(c.num_sccs, 2);
+        assert_eq!(c.scc_of[0], c.scc_of[1]);
+        assert_eq!(c.scc_of[2], c.scc_of[3]);
+        assert_ne!(c.scc_of[0], c.scc_of[2]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 200_000;
+        let c = tarjan_scc(n, |s, out| {
+            if (s.0 as usize) + 1 < n {
+                out.push(StateId(s.0 + 1));
+            }
+        });
+        assert_eq!(c.num_sccs, n);
+    }
+}

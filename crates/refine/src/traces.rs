@@ -1,0 +1,100 @@
+//! Bounded trace enumeration (test and teaching aid).
+
+use bb_lts::{Lts, Observation, StateId};
+use std::collections::BTreeSet;
+
+/// Enumerates all traces of `lts` of length at most `max_len`.
+///
+/// Intended for small systems in tests and examples; the result grows
+/// exponentially with `max_len`. Traces are returned as a sorted set so
+/// equality comparisons between systems are stable.
+pub fn enumerate_traces(lts: &Lts, max_len: usize) -> BTreeSet<Vec<Observation>> {
+    let mut out = BTreeSet::new();
+    out.insert(Vec::new());
+    // DFS over (state, trace-so-far) with visited-set per trace length to
+    // tame τ-cycles: we track (state, length) pairs already expanded with
+    // the same residual budget.
+    let mut seen: BTreeSet<(StateId, usize)> = BTreeSet::new();
+    let mut stack: Vec<(StateId, Vec<Observation>)> = vec![(lts.initial(), Vec::new())];
+    while let Some((s, trace)) = stack.pop() {
+        if !seen.insert((s, trace.len())) {
+            continue;
+        }
+        for t in lts.successors(s) {
+            match lts.action(t.action).observation() {
+                None => stack.push((t.target, trace.clone())),
+                Some(obs) => {
+                    if trace.len() < max_len {
+                        let mut next = trace.clone();
+                        next.push(obs);
+                        out.insert(next.clone());
+                        stack.push((t.target, next));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a trace in the paper's history notation.
+pub fn trace_to_string(trace: &[Observation]) -> String {
+    trace
+        .iter()
+        .map(|o| o.to_string())
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_lts::{Action, LtsBuilder, ThreadId};
+
+    #[test]
+    fn traces_of_a_choice() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let x = b.intern_action(Action::call(ThreadId(1), "x", None));
+        let y = b.intern_action(Action::call(ThreadId(1), "y", None));
+        b.add_transition(s0, x, s1);
+        b.add_transition(s0, y, s2);
+        let lts = b.build(s0);
+        let traces = enumerate_traces(&lts, 3);
+        assert_eq!(traces.len(), 3); // ε, x, y
+    }
+
+    #[test]
+    fn tau_cycles_do_not_hang() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let tau = b.intern_action(Action::tau(ThreadId(1)));
+        let x = b.intern_action(Action::call(ThreadId(1), "x", None));
+        b.add_transition(s0, tau, s0);
+        b.add_transition(s0, x, s1);
+        let lts = b.build(s0);
+        let traces = enumerate_traces(&lts, 2);
+        assert_eq!(traces.len(), 2); // ε, x
+    }
+
+    #[test]
+    fn bounded_length() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let x = b.intern_action(Action::call(ThreadId(1), "x", None));
+        b.add_transition(s0, x, s0);
+        let lts = b.build(s0);
+        let traces = enumerate_traces(&lts, 4);
+        assert_eq!(traces.len(), 5); // ε, x, xx, xxx, xxxx
+    }
+
+    #[test]
+    fn render() {
+        let obs = Action::call(ThreadId(2), "Enq", Some(10)).observation().unwrap();
+        let obs2 = Action::ret(ThreadId(2), "Enq", None).observation().unwrap();
+        assert_eq!(trace_to_string(&[obs, obs2]), "t2.call.Enq(10)  t2.ret.Enq");
+    }
+}

@@ -1,0 +1,88 @@
+//! Abstract heap pointers.
+
+use std::fmt;
+
+/// An abstract pointer into a [`Heap`](crate::Heap).
+///
+/// Two sentinels exist: [`Ptr::NULL`] (the null pointer of the modeled
+/// program) and [`Ptr::DANGLING`] (a pointer whose node has been reclaimed —
+/// all dangling pointers are canonically identified because the modeled
+/// algorithms only ever compare them against live pointers or null).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ptr(pub u32);
+
+impl Ptr {
+    /// The null pointer.
+    pub const NULL: Ptr = Ptr(u32::MAX);
+    /// A pointer to reclaimed memory (canonical representative).
+    pub const DANGLING: Ptr = Ptr(u32::MAX - 1);
+
+    /// Is this the null pointer?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Ptr::NULL
+    }
+
+    /// Does this pointer possibly refer to a heap node (not null, not
+    /// dangling)?
+    #[inline]
+    pub fn is_node(self) -> bool {
+        self != Ptr::NULL && self != Ptr::DANGLING
+    }
+
+    /// Index into the heap arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pointer is null or dangling.
+    #[inline]
+    pub fn index(self) -> usize {
+        assert!(self.is_node(), "dereferenced {self:?}");
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Ptr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Ptr::NULL {
+            write!(f, "null")
+        } else if *self == Ptr::DANGLING {
+            write!(f, "dangling")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Ptr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels() {
+        assert!(Ptr::NULL.is_null());
+        assert!(!Ptr::NULL.is_node());
+        assert!(!Ptr::DANGLING.is_node());
+        assert!(!Ptr::DANGLING.is_null());
+        assert!(Ptr(0).is_node());
+    }
+
+    #[test]
+    #[should_panic(expected = "dereferenced")]
+    fn null_index_panics() {
+        let _ = Ptr::NULL.index();
+    }
+
+    #[test]
+    fn debug_forms() {
+        assert_eq!(format!("{:?}", Ptr::NULL), "null");
+        assert_eq!(format!("{:?}", Ptr::DANGLING), "dangling");
+        assert_eq!(format!("{:?}", Ptr(3)), "n3");
+    }
+}

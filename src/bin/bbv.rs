@@ -1,0 +1,306 @@
+//! `bbv` — command-line front end for the branching-bisimulation verifier.
+//!
+//! ```sh
+//! bbv list
+//! bbv verify ms-queue --threads 2 --ops 2
+//! bbv verify hm-list-buggy --threads 2 --ops 2      # shows the counterexample
+//! bbv quotient treiber --threads 2 --ops 1 --dot out.dot
+//! bbv check hw-queue --formula "G F (ret | done)"   # arbitrary next-free LTL
+//! ```
+
+use bbverify::algorithms::{
+    ccas::Ccas, coarse::CoarseLocked, dglm_queue::DglmQueue, fine_list::FineList, hm_list::HmList,
+    hsy_stack::HsyStack, hw_queue::HwQueue, lazy_list::LazyList, ms_queue::MsQueue,
+    newcas::NewCas, optimistic_list::OptimisticList, rdcss::Rdcss, specs::*, treiber::Treiber,
+    treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu, two_lock_queue::TwoLockQueue,
+};
+use bbverify::bisim::{partition, quotient, Equivalence};
+use bbverify::core::{verify_case_lts, verify_wait_freedom, VerifyConfig};
+use bbverify::lts::{to_aut, to_dot, ExploreLimits, Lts};
+use bbverify::sim::{explore_system, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+
+const ALGORITHMS: &[(&str, &str)] = &[
+    ("treiber", "Treiber lock-free stack"),
+    ("treiber-hp", "Treiber stack + hazard pointers (Michael 2004)"),
+    ("treiber-hp-fu", "Treiber stack + revised HP (Fu et al.; lock-freedom bug)"),
+    ("ms-queue", "Michael-Scott lock-free queue"),
+    ("dglm-queue", "Doherty-Groves-Luchangco-Moir queue"),
+    ("hw-queue", "Herlihy-Wing queue (lock-freedom violation)"),
+    ("ccas", "conditional CAS (Turon et al.)"),
+    ("rdcss", "restricted double-compare single-swap (Harris et al.)"),
+    ("newcas", "NewCompareAndSet register (Figs. 3/4)"),
+    ("hm-list", "Harris-Michael lock-free list (revised)"),
+    ("hm-list-buggy", "Harris-Michael list, first printing (linearizability bug)"),
+    ("hsy-stack", "Hendler-Shavit-Yerushalmi elimination stack"),
+    ("lazy-list", "Heller et al. lazy list (lock-based)"),
+    ("optimistic-list", "optimistic list (lock-based)"),
+    ("fine-list", "fine-grained hand-over-hand list (lock-based)"),
+    ("two-lock-queue", "two-lock MS queue (blocking; extension)"),
+    ("coarse-stack", "coarse-locked stack baseline (extension)"),
+    ("coarse-queue", "coarse-locked queue baseline (extension)"),
+    ("coarse-set", "coarse-locked set baseline (extension)"),
+];
+
+struct Options {
+    threads: u8,
+    ops: u32,
+    domain: Vec<i64>,
+    check_lock_freedom: bool,
+    wait_freedom: bool,
+    dot: Option<String>,
+    aut: Option<String>,
+    formula: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            threads: 2,
+            ops: 2,
+            domain: vec![1, 2],
+            check_lock_freedom: true,
+            wait_freedom: false,
+            dot: None,
+            aut: None,
+            formula: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--ops" => {
+                opts.ops = it
+                    .next()
+                    .ok_or("--ops needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--ops: {e}"))?;
+            }
+            "--domain" => {
+                let raw = it.next().ok_or("--domain needs a value, e.g. 1,2,3")?;
+                opts.domain = raw
+                    .split(',')
+                    .map(|v| v.parse().map_err(|e| format!("--domain: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if opts.domain.is_empty() {
+                    return Err("--domain must not be empty".into());
+                }
+            }
+            "--no-lock-freedom" => opts.check_lock_freedom = false,
+            "--wait-freedom" => opts.wait_freedom = true,
+            "--dot" => opts.dot = Some(it.next().ok_or("--dot needs a path")?.clone()),
+            "--aut" => opts.aut = Some(it.next().ok_or("--aut needs a path")?.clone()),
+            "--formula" => {
+                opts.formula = Some(it.next().ok_or("--formula needs an LTL formula")?.clone())
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available algorithms:");
+            for (name, desc) in ALGORITHMS {
+                println!("  {name:<18} {desc}");
+            }
+            0
+        }
+        Some("verify") => run(&args[1..], Mode::Verify),
+        Some("quotient") => run(&args[1..], Mode::Quotient),
+        Some("check") => run(&args[1..], Mode::Check),
+        _ => {
+            eprintln!("usage: bbv <list|verify|quotient|check> [algorithm] [options]");
+            eprintln!("  options: --threads N  --ops N  --domain 1,2");
+            eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
+            eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Verify,
+    Quotient,
+    Check,
+}
+
+fn run(args: &[String], mode: Mode) -> i32 {
+    let Some(name) = args.first() else {
+        eprintln!("missing algorithm name; try `bbv list`");
+        return 2;
+    };
+    let opts = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let d = &opts.domain;
+    let dsize = d.len() as i64;
+    let th = opts.threads;
+    let ops = opts.ops;
+    match name.as_str() {
+        "treiber" => dispatch(&Treiber::new(d), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
+        "treiber-hp" => dispatch(&TreiberHp::new(d, th), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
+        "treiber-hp-fu" => dispatch(&TreiberHpFu::new(d, th), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
+        "ms-queue" => dispatch(&MsQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, true),
+        "dglm-queue" => dispatch(&DglmQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, true),
+        "hw-queue" => dispatch(
+            &HwQueue::for_bound(d, th, ops),
+            &AtomicSpec::new(SeqQueue::new(d)),
+            &opts,
+            mode,
+            true,
+        ),
+        "ccas" => dispatch(&Ccas::new(dsize), &AtomicSpec::new(SeqCcas::new(dsize)), &opts, mode, true),
+        "rdcss" => dispatch(&Rdcss::new(dsize), &AtomicSpec::new(SeqRdcss::new(dsize)), &opts, mode, true),
+        "newcas" => dispatch(&NewCas::new(dsize), &AtomicSpec::new(SeqRegister::new(dsize)), &opts, mode, true),
+        "hm-list" => dispatch(&HmList::revised(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, true),
+        "hm-list-buggy" => dispatch(&HmList::buggy(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, true),
+        "hsy-stack" => dispatch(&HsyStack::new(d), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
+        "lazy-list" => dispatch(&LazyList::new(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
+        "optimistic-list" => dispatch(&OptimisticList::new(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
+        "fine-list" => dispatch(&FineList::new(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
+        "two-lock-queue" => dispatch(&TwoLockQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, false),
+        "coarse-stack" => dispatch(&CoarseLocked::new(SeqStack::new(d)), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, false),
+        "coarse-queue" => dispatch(&CoarseLocked::new(SeqQueue::new(d)), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, false),
+        "coarse-set" => dispatch(&CoarseLocked::new(SeqSet::new(d)), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
+        other => {
+            eprintln!("unknown algorithm `{other}`; try `bbv list`");
+            2
+        }
+    }
+}
+
+fn explore_or_die<A: ObjectAlgorithm>(alg: &A, bound: Bound) -> Result<Lts, i32> {
+    explore_system(alg, bound, ExploreLimits::default()).map_err(|e| {
+        eprintln!("state-space exploration failed: {e}");
+        3
+    })
+}
+
+fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
+    alg: &A,
+    spec: &AtomicSpec<S>,
+    opts: &Options,
+    mode: Mode,
+    non_blocking: bool,
+) -> i32 {
+    let bound = Bound::new(opts.threads, opts.ops);
+    let imp = match explore_or_die(alg, bound) {
+        Ok(l) => l,
+        Err(c) => return c,
+    };
+
+    if mode == Mode::Check {
+        let Some(raw) = &opts.formula else {
+            eprintln!("`check` needs --formula \"...\"; e.g. --formula \"G F (ret | done)\"");
+            return 2;
+        };
+        let formula = match bbverify::ltl::parse(raw) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("formula error {e}");
+                return 2;
+            }
+        };
+        // Model check on the divergence-preserving quotient: it is
+        // ≈div-bisimilar to the object, so all next-free LTL carries over.
+        let q = bbverify::bisim::div_quotient(&imp);
+        let result = bbverify::ltl::check(&q.lts, &formula);
+        println!("algorithm : {}", alg.name());
+        println!("formula   : {formula}");
+        println!(
+            "checked on: divergence-preserving quotient ({} of {} states)",
+            q.lts.num_states(),
+            imp.num_states()
+        );
+        println!("holds     : {}", result.holds);
+        if let Some(ce) = &result.counterexample {
+            println!("counterexample:");
+            for line in ce.to_pretty().lines() {
+                println!("  {line}");
+            }
+        }
+        return i32::from(!result.holds);
+    }
+
+    if mode == Mode::Quotient {
+        let p = partition(&imp, Equivalence::Branching);
+        let q = quotient(&imp, &p);
+        println!("algorithm : {}", alg.name());
+        println!("bound     : {}-{}", bound.threads, bound.ops_per_thread);
+        println!("|Δ|       : {}", imp.num_states());
+        println!("|Δ/≈|     : {}", q.lts.num_states());
+        println!(
+            "reduction : ×{:.1}",
+            imp.num_states() as f64 / q.lts.num_states() as f64
+        );
+        if let Some(path) = &opts.dot {
+            if let Err(e) = std::fs::write(path, to_dot(&q.lts, alg.name())) {
+                eprintln!("could not write {path}: {e}");
+                return 3;
+            }
+            println!("quotient written to {path} (Graphviz DOT)");
+        }
+        if let Some(path) = &opts.aut {
+            if let Err(e) = std::fs::write(path, to_aut(&q.lts)) {
+                eprintln!("could not write {path}: {e}");
+                return 3;
+            }
+            println!("quotient written to {path} (Aldebaran .aut, CADP-compatible)");
+        }
+        return 0;
+    }
+
+    let sp = match explore_or_die(spec, bound) {
+        Ok(l) => l,
+        Err(c) => return c,
+    };
+    let mut cfg = VerifyConfig::new(bound);
+    if !opts.check_lock_freedom || !non_blocking {
+        cfg = cfg.linearizability_only();
+    }
+    let report = verify_case_lts(alg.name(), cfg, &imp, &sp);
+    println!("{}", report.summary());
+    if let Some(v) = &report.linearizability.violation {
+        println!("non-linearizable history:");
+        println!("  {}", v.to_pretty());
+    }
+    if let Some(lf) = &report.lock_freedom {
+        if let Some(lasso) = &lf.divergence {
+            println!("lock-freedom violation (τ-loop):");
+            for line in bbverify::core::format_lasso(&imp, lasso).lines() {
+                println!("  {line}");
+            }
+        }
+    }
+    if opts.wait_freedom {
+        let wf = verify_wait_freedom(&imp, opts.threads);
+        if wf.wait_free() {
+            println!("starvation : none under the bounded client");
+        } else {
+            println!("starvation : threads {:?} can spin forever", wf.starving_threads());
+        }
+    }
+    let failed = !report.linearizable()
+        || report.lock_freedom.as_ref().is_some_and(|l| !l.lock_free);
+    i32::from(failed)
+}

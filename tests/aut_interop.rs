@@ -1,0 +1,48 @@
+//! CADP interop: exporting quotients in Aldebaran format and re-importing
+//! them must preserve every verification verdict.
+
+use bbverify::algorithms::{ms_queue::MsQueue, specs::SeqQueue};
+use bbverify::bisim::{bisimilar, partition, quotient, Equivalence};
+use bbverify::lts::{from_aut, to_aut, ExploreLimits};
+use bbverify::refine::trace_refines;
+use bbverify::sim::{explore_system, AtomicSpec, Bound};
+
+#[test]
+fn quotient_roundtrip_preserves_linearizability_verdict() {
+    let bound = Bound::new(2, 2);
+    let imp = explore_system(&MsQueue::new(&[1]), bound, ExploreLimits::default()).unwrap();
+    let spec = explore_system(
+        &AtomicSpec::new(SeqQueue::new(&[1])),
+        bound,
+        ExploreLimits::default(),
+    )
+    .unwrap();
+
+    let q_imp = quotient(&imp, &partition(&imp, Equivalence::Branching));
+    let q_spec = quotient(&spec, &partition(&spec, Equivalence::Branching));
+
+    // Round-trip both quotients through the .aut format.
+    let imp_rt = from_aut(&to_aut(&q_imp.lts)).unwrap();
+    let spec_rt = from_aut(&to_aut(&q_spec.lts)).unwrap();
+
+    assert!(bisimilar(&q_imp.lts, &imp_rt, Equivalence::BranchingDiv));
+    assert!(bisimilar(&q_spec.lts, &spec_rt, Equivalence::BranchingDiv));
+    assert_eq!(
+        trace_refines(&q_imp.lts, &q_spec.lts).holds,
+        trace_refines(&imp_rt, &spec_rt).holds
+    );
+}
+
+#[test]
+fn full_system_roundtrip_preserves_divergence() {
+    use bbverify::algorithms::hw_queue::HwQueue;
+    let lts = explore_system(
+        &HwQueue::for_bound(&[1], 2, 1),
+        Bound::new(2, 1),
+        ExploreLimits::default(),
+    )
+    .unwrap();
+    let rt = from_aut(&to_aut(&lts)).unwrap();
+    assert!(bbverify::bisim::has_tau_cycle(&rt));
+    assert!(bisimilar(&lts, &rt, Equivalence::BranchingDiv));
+}

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `bbv` command-line front end.
+
+use std::process::Command;
+
+fn bbv(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bbv"))
+        .args(args)
+        .output()
+        .expect("bbv runs")
+}
+
+#[test]
+fn list_shows_all_algorithms() {
+    let out = bbv(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "treiber",
+        "ms-queue",
+        "hw-queue",
+        "hm-list-buggy",
+        "two-lock-queue",
+        "coarse-set",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn verify_success_exits_zero() {
+    let out = bbv(&["verify", "treiber", "--threads", "2", "--ops", "1", "--domain", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lin=✓"));
+    assert!(text.contains("lock-free=✓"));
+}
+
+#[test]
+fn verify_bug_exits_nonzero_with_counterexample() {
+    let out = bbv(&[
+        "verify",
+        "hm-list-buggy",
+        "--threads",
+        "2",
+        "--ops",
+        "2",
+        "--domain",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lin=✗"));
+    assert!(text.contains("non-linearizable history"));
+}
+
+#[test]
+fn lock_freedom_violation_prints_loop() {
+    let out = bbv(&["verify", "hw-queue", "--threads", "2", "--ops", "1", "--domain", "1"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lock-free=✗"));
+    assert!(text.contains("τ-loop"));
+}
+
+#[test]
+fn quotient_writes_dot_and_aut() {
+    let dir = std::env::temp_dir();
+    let dot = dir.join("bbv_test_q.dot");
+    let aut = dir.join("bbv_test_q.aut");
+    let out = bbv(&[
+        "quotient",
+        "treiber",
+        "--threads",
+        "2",
+        "--ops",
+        "1",
+        "--domain",
+        "1",
+        "--dot",
+        dot.to_str().unwrap(),
+        "--aut",
+        aut.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("digraph"));
+    let aut_text = std::fs::read_to_string(&aut).unwrap();
+    assert!(aut_text.starts_with("des ("));
+    // The exported quotient parses back.
+    let lts = bbverify::lts::from_aut(&aut_text).unwrap();
+    assert!(lts.num_states() > 1);
+    let _ = std::fs::remove_file(dot);
+    let _ = std::fs::remove_file(aut);
+}
+
+#[test]
+fn unknown_algorithm_is_an_error() {
+    let out = bbv(&["verify", "no-such-thing"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn wait_freedom_flag_reports_starvation() {
+    let out = bbv(&[
+        "verify",
+        "hw-queue",
+        "--threads",
+        "2",
+        "--ops",
+        "1",
+        "--domain",
+        "1",
+        "--wait-freedom",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("starvation"), "{text}");
+    assert!(text.contains("spin forever"), "{text}");
+}
+
+#[test]
+fn check_subcommand_with_parsed_formula() {
+    let out = bbv(&[
+        "check",
+        "hw-queue",
+        "--threads",
+        "2",
+        "--ops",
+        "1",
+        "--domain",
+        "1",
+        "--formula",
+        "G F (ret | done)",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("holds     : false"), "{text}");
+    assert!(text.contains("counterexample"), "{text}");
+
+    let out = bbv(&[
+        "check", "treiber", "--threads", "2", "--ops", "1", "--domain", "1", "--formula",
+        "G F (ret | done)",
+    ]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn check_rejects_bad_formula() {
+    let out = bbv(&["check", "treiber", "--formula", "G G %"]);
+    assert_eq!(out.status.code(), Some(2));
+}

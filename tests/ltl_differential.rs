@@ -1,0 +1,226 @@
+//! Differential testing of the LTL engine: the GPVW translation + product
+//! emptiness check is compared against a direct semantic evaluator on
+//! ultimately periodic words.
+//!
+//! A single-path-with-loop LTS has exactly one maximal execution `u·vω`,
+//! so `check(lts, φ)` must coincide with the textbook satisfaction
+//! relation `u·vω ⊨ φ`, which we compute here by backward fixpoint
+//! iteration over the lasso.
+
+use bbverify::lts::{Action, LtsBuilder, ThreadId};
+use bbverify::ltl::{check, Ltl, Prop};
+
+/// One step of the word: which atomic propositions hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Letter {
+    is_ret: bool,
+    is_call: bool,
+    is_tau: bool,
+    thread: u8,
+}
+
+impl Letter {
+    fn to_action(self) -> Action {
+        let t = ThreadId(self.thread);
+        if self.is_ret {
+            Action::ret(t, "m", Some(0))
+        } else if self.is_call {
+            Action::call(t, "m", None)
+        } else {
+            Action::tau(t)
+        }
+    }
+
+    fn eval(&self, p: &Prop) -> bool {
+        match p {
+            Prop::IsReturn => self.is_ret,
+            Prop::IsCall => self.is_call,
+            Prop::IsTau => self.is_tau,
+            Prop::ByThread(t) => t.0 == self.thread,
+            Prop::OfMethod(m) => (self.is_ret || self.is_call) && &**m == "m",
+            Prop::Done => false, // lasso words never terminate
+        }
+    }
+}
+
+/// Direct satisfaction of `φ` on `u·vω` by backward fixpoint iteration.
+fn sat(u: &[Letter], v: &[Letter], f: &Ltl) -> bool {
+    let n = u.len() + v.len();
+    let letter = |i: usize| {
+        if i < u.len() {
+            u[i]
+        } else {
+            v[(i - u.len()) % v.len()]
+        }
+    };
+    // Collect subformulas (children before parents).
+    fn collect<'a>(f: &'a Ltl, out: &mut Vec<&'a Ltl>) {
+        match f {
+            Ltl::And(a, b) | Ltl::Or(a, b) | Ltl::Until(a, b) | Ltl::Release(a, b) => {
+                collect(a, out);
+                collect(b, out);
+            }
+            _ => {}
+        }
+        if !out.contains(&f) {
+            out.push(f);
+        }
+    }
+    let mut subs = Vec::new();
+    collect(f, &mut subs);
+
+    // truth[sub][pos] for positions 0..n, where positions >= u.len() wrap.
+    use std::collections::HashMap;
+    let mut truth: HashMap<(usize, usize), bool> = HashMap::new();
+    let index_of = |subs: &Vec<&Ltl>, g: &Ltl| subs.iter().position(|s| *s == g).unwrap();
+
+    // Solve innermost-first: children are fully evaluated before parents,
+    // and each temporal operator is iterated to its own fixpoint (Until
+    // from false = least fixpoint, Release from true = greatest fixpoint).
+    for (si, s) in subs.iter().enumerate() {
+        let is_until = matches!(s, Ltl::Until(_, _));
+        let is_release = matches!(s, Ltl::Release(_, _));
+        for pos in 0..n {
+            truth.insert((si, pos), is_release);
+        }
+        let max_iters = if is_until || is_release { n + 2 } else { 1 };
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for pos in (0..n).rev() {
+                let succ = if pos + 1 < n { pos + 1 } else { u.len() };
+                let val = match s {
+                    Ltl::True => true,
+                    Ltl::False => false,
+                    Ltl::Prop(p) => letter(pos).eval(p),
+                    Ltl::NotProp(p) => !letter(pos).eval(p),
+                    Ltl::And(a, b) => {
+                        truth[&(index_of(&subs, a), pos)] && truth[&(index_of(&subs, b), pos)]
+                    }
+                    Ltl::Or(a, b) => {
+                        truth[&(index_of(&subs, a), pos)] || truth[&(index_of(&subs, b), pos)]
+                    }
+                    Ltl::Until(a, b) => {
+                        truth[&(index_of(&subs, b), pos)]
+                            || (truth[&(index_of(&subs, a), pos)] && truth[&(si, succ)])
+                    }
+                    Ltl::Release(a, b) => {
+                        truth[&(index_of(&subs, b), pos)]
+                            && (truth[&(index_of(&subs, a), pos)] || truth[&(si, succ)])
+                    }
+                };
+                if truth.insert((si, pos), val) != Some(val) {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    truth[&(index_of(&subs, f), 0)]
+}
+
+/// Builds the lasso LTS for `u·vω`.
+fn lasso_lts(u: &[Letter], v: &[Letter]) -> bbverify::lts::Lts {
+    assert!(!v.is_empty());
+    let mut b = LtsBuilder::new();
+    let n = u.len() + v.len();
+    let states: Vec<_> = (0..n).map(|_| b.add_state()).collect();
+    for (i, l) in u.iter().chain(v.iter()).enumerate() {
+        let a = b.intern_action(l.to_action());
+        let target = if i + 1 < n { states[i + 1] } else { states[u.len()] };
+        b.add_transition(states[i], a, target);
+    }
+    b.build(states[0])
+}
+
+/// Deterministic letter generator.
+fn letters(seed: u64, len: usize) -> Vec<Letter> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let kind = x % 3;
+            Letter {
+                is_ret: kind == 0,
+                is_call: kind == 1,
+                is_tau: kind == 2,
+                thread: 1 + ((x >> 8) % 2) as u8,
+            }
+        })
+        .collect()
+}
+
+fn formulas() -> Vec<Ltl> {
+    let ret = || Ltl::prop(Prop::IsReturn);
+    let call = || Ltl::prop(Prop::IsCall);
+    let tau = || Ltl::prop(Prop::IsTau);
+    let by1 = || Ltl::prop(Prop::ByThread(ThreadId(1)));
+    vec![
+        Ltl::globally(Ltl::eventually(ret())),
+        Ltl::eventually(Ltl::globally(tau())),
+        Ltl::until(call(), ret()),
+        Ltl::release(ret(), tau()),
+        Ltl::globally(Ltl::implies(call(), Ltl::eventually(ret()))),
+        Ltl::and(Ltl::eventually(by1()), Ltl::eventually(ret())),
+        Ltl::or(Ltl::globally(Ltl::not(ret())), Ltl::eventually(call())),
+        Ltl::not(Ltl::globally(Ltl::eventually(call()))),
+        Ltl::until(Ltl::not(ret()), Ltl::and(call(), Ltl::eventually(ret()))),
+        Ltl::globally(Ltl::or(tau(), Ltl::or(call(), ret()))),
+    ]
+}
+
+#[test]
+fn buchi_pipeline_matches_direct_semantics() {
+    let mut cases = 0;
+    for seed in 0..40u64 {
+        let u = letters(seed * 31 + 1, (seed % 4) as usize);
+        let v = letters(seed * 97 + 7, 1 + (seed % 3) as usize);
+        let lts = lasso_lts(&u, &v);
+        for (fi, f) in formulas().iter().enumerate() {
+            let expected = sat(&u, &v, f);
+            let got = check(&lts, f).holds;
+            assert_eq!(
+                got, expected,
+                "seed {seed}, formula #{fi} ({f}) on u={u:?} v={v:?}"
+            );
+            cases += 1;
+        }
+    }
+    assert!(cases >= 400);
+}
+
+/// Sanity for the differential harness itself.
+#[test]
+fn direct_evaluator_base_cases() {
+    let r = Letter {
+        is_ret: true,
+        is_call: false,
+        is_tau: false,
+        thread: 1,
+    };
+    let t = Letter {
+        is_ret: false,
+        is_call: false,
+        is_tau: true,
+        thread: 1,
+    };
+    // (τ)·(ret)ω ⊨ ◇ret, ⊭ □ret.
+    assert!(sat(&[t], &[r], &Ltl::eventually(Ltl::prop(Prop::IsReturn))));
+    assert!(!sat(&[t], &[r], &Ltl::globally(Ltl::prop(Prop::IsReturn))));
+    // (ret)ω ⊨ □ret.
+    assert!(sat(&[], &[r], &Ltl::globally(Ltl::prop(Prop::IsReturn))));
+    // (τ)ω ⊨ □◇τ and ⊭ ◇ret.
+    assert!(sat(
+        &[],
+        &[t],
+        &Ltl::globally(Ltl::eventually(Ltl::prop(Prop::IsTau)))
+    ));
+    assert!(!sat(&[], &[t], &Ltl::eventually(Ltl::prop(Prop::IsReturn))));
+    // LTS side agrees on these.
+    let lts = lasso_lts(&[t], &[r]);
+    assert!(check(&lts, &Ltl::eventually(Ltl::prop(Prop::IsReturn))).holds);
+    assert!(!check(&lts, &Ltl::globally(Ltl::prop(Prop::IsReturn))).holds);
+}

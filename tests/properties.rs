@@ -1,0 +1,207 @@
+//! Property-based tests of the equivalence-checking stack on random LTSs.
+//!
+//! These validate the paper's structural theorems on arbitrary systems, not
+//! just the benchmark algorithms: quotient trace preservation (Theorem
+//! 5.2), the lattice of equivalences, idempotence of quotienting, the
+//! divergence characterizations behind Theorem 5.9, and the coincidence of
+//! the k-trace hierarchy's fixpoint with branching bisimilarity
+//! (Theorem 4.3).
+
+use bbverify::bisim::{
+    bisimilar, div_quotient, divergence_witness, has_tau_cycle, partition, quotient,
+    starvation_witness, Equivalence,
+};
+use bbverify::lts::ThreadId;
+use bbverify::ktrace::{cap, ktrace_partition, KtraceLimits};
+use bbverify::lts::{random_lts, Lts, RandomLtsConfig};
+use bbverify::ltl::{check, lock_freedom};
+use bbverify::refine::{trace_equivalent, trace_refines};
+use proptest::prelude::*;
+
+fn arb_lts() -> impl Strategy<Value = Lts> {
+    (0u64..10_000, 2usize..25, 1usize..50, 1usize..4, 0u8..90).prop_map(
+        |(seed, states, transitions, letters, tau_pct)| {
+            random_lts(
+                seed,
+                RandomLtsConfig {
+                    num_states: states,
+                    num_transitions: transitions,
+                    num_visible_letters: letters,
+                    tau_percent: tau_pct,
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 5.2 core: quotienting under ≈ preserves the trace set.
+    #[test]
+    fn quotient_preserves_traces(lts in arb_lts()) {
+        let p = partition(&lts, Equivalence::Branching);
+        let q = quotient(&lts, &p);
+        prop_assert!(trace_equivalent(&lts, &q.lts));
+    }
+
+    /// The original system and its ≈-quotient are branching bisimilar.
+    #[test]
+    fn quotient_is_branching_bisimilar(lts in arb_lts()) {
+        let p = partition(&lts, Equivalence::Branching);
+        let q = quotient(&lts, &p);
+        prop_assert!(bisimilar(&lts, &q.lts, Equivalence::Branching));
+    }
+
+    /// Quotienting is idempotent: the quotient is already minimal.
+    #[test]
+    fn quotient_is_idempotent(lts in arb_lts()) {
+        let p = partition(&lts, Equivalence::Branching);
+        let q = quotient(&lts, &p);
+        let p2 = partition(&q.lts, Equivalence::Branching);
+        prop_assert_eq!(p2.num_blocks(), q.lts.num_states());
+    }
+
+    /// Equivalence lattice: strong ⊆ ≈div ⊆ ≈ ⊆ ~w (as relations), i.e.
+    /// each partition refines the next.
+    #[test]
+    fn equivalence_lattice(lts in arb_lts()) {
+        let strong = partition(&lts, Equivalence::Strong);
+        let bdiv = partition(&lts, Equivalence::BranchingDiv);
+        let branching = partition(&lts, Equivalence::Branching);
+        let weak = partition(&lts, Equivalence::Weak);
+        prop_assert!(strong.refines(&bdiv), "strong refines ≈div");
+        prop_assert!(bdiv.refines(&branching), "≈div refines ≈");
+        prop_assert!(branching.refines(&weak), "≈ refines ~w");
+    }
+
+    /// Theorem 5.9 mechanics: Δ ≈div Δ/≈ holds iff Δ has no reachable
+    /// τ-cycle, and the divergence witness agrees.
+    #[test]
+    fn divergence_characterization(lts in arb_lts()) {
+        let p = partition(&lts, Equivalence::Branching);
+        let q = quotient(&lts, &p);
+        let div_bisim = bisimilar(&lts, &q.lts, Equivalence::BranchingDiv);
+        let cycle = has_tau_cycle(&lts);
+        prop_assert_eq!(div_bisim, !cycle);
+        prop_assert_eq!(divergence_witness(&lts).is_some(), cycle);
+    }
+
+    /// Lemma 5.7: the ≈-quotient never contains a τ-cycle.
+    #[test]
+    fn quotient_has_no_tau_cycle(lts in arb_lts()) {
+        let p = partition(&lts, Equivalence::Branching);
+        let q = quotient(&lts, &p);
+        prop_assert!(!has_tau_cycle(&q.lts));
+    }
+
+    /// A divergence witness, when present, is a genuine τ-lasso.
+    #[test]
+    fn witness_is_well_formed(lts in arb_lts()) {
+        if let Some(lasso) = divergence_witness(&lts) {
+            prop_assert!(!lasso.cycle.is_empty());
+            // Consecutive and closing.
+            let first = lasso.cycle.first().unwrap().0;
+            let last = lasso.cycle.last().unwrap().2;
+            prop_assert_eq!(first, last);
+            for w in lasso.cycle.windows(2) {
+                prop_assert_eq!(w[0].2, w[1].0);
+            }
+            // All cycle steps are internal.
+            for (_, a, _) in &lasso.cycle {
+                prop_assert!(!lts.is_visible(*a));
+            }
+            // Prefix connects initial to the knot.
+            if let Some((s, _, _)) = lasso.prefix.first() {
+                prop_assert_eq!(*s, lts.initial());
+            } else {
+                prop_assert_eq!(lasso.knot(), lts.initial());
+            }
+            for w in lasso.prefix.windows(2) {
+                prop_assert_eq!(w[0].2, w[1].0);
+            }
+        }
+    }
+
+    /// Theorem 5.3: refinement verdicts on quotients agree with direct
+    /// refinement between the original systems.
+    #[test]
+    fn quotient_refinement_agrees_with_direct(a in arb_lts(), b in arb_lts()) {
+        let pa = partition(&a, Equivalence::Branching);
+        let qa = quotient(&a, &pa);
+        let pb = partition(&b, Equivalence::Branching);
+        let qb = quotient(&b, &pb);
+        prop_assert_eq!(
+            trace_refines(&qa.lts, &qb.lts).holds,
+            trace_refines(&a, &b).holds
+        );
+    }
+
+    /// Theorem 4.3: the fixpoint of the k-trace hierarchy coincides with
+    /// branching bisimilarity.
+    #[test]
+    fn ktrace_fixpoint_is_branching(lts in arb_lts()) {
+        let limits = KtraceLimits::default();
+        if let Ok(Some(k)) = cap(&lts, 40, limits) {
+            let pk = ktrace_partition(&lts, k, limits).unwrap();
+            let pb = partition(&lts, Equivalence::Branching);
+            for a in lts.states() {
+                for b in lts.states() {
+                    prop_assert_eq!(
+                        pk[a.index()] == pk[b.index()],
+                        pb.same_block(a, b)
+                    );
+                }
+            }
+        }
+    }
+
+    /// A τ-cycle is an LTL lock-freedom violation (the converse need not
+    /// hold on arbitrary LTSs, where visible non-return cycles also starve).
+    #[test]
+    fn tau_cycle_violates_ltl_lock_freedom(lts in arb_lts()) {
+        if has_tau_cycle(&lts) {
+            let r = check(&lts, &lock_freedom());
+            prop_assert!(!r.holds);
+            prop_assert!(r.counterexample.is_some());
+        }
+    }
+
+    /// The divergence-preserving quotient is always ≈div-bisimilar to the
+    /// original system (unlike the plain quotient, which loses divergence).
+    #[test]
+    fn div_quotient_is_div_bisimilar(lts in arb_lts()) {
+        let dq = div_quotient(&lts);
+        prop_assert!(bisimilar(&lts, &dq.lts, Equivalence::BranchingDiv));
+        prop_assert_eq!(has_tau_cycle(&lts), has_tau_cycle(&dq.lts));
+    }
+
+    /// Random LTSs label every action with thread 1, so a τ-cycle exists
+    /// exactly when thread 1 has a starvation witness; and any starvation
+    /// witness is in particular a divergence.
+    #[test]
+    fn starvation_agrees_with_divergence(lts in arb_lts()) {
+        let starved = starvation_witness(&lts, ThreadId(1)).is_some();
+        prop_assert_eq!(starved, has_tau_cycle(&lts));
+        prop_assert!(starvation_witness(&lts, ThreadId(9)).is_none());
+    }
+
+    /// Trace refinement is reflexive and transitive on random triples.
+    #[test]
+    fn refinement_is_a_preorder(a in arb_lts(), b in arb_lts(), c in arb_lts()) {
+        prop_assert!(trace_refines(&a, &a).holds);
+        let ab = trace_refines(&a, &b).holds;
+        let bc = trace_refines(&b, &c).holds;
+        if ab && bc {
+            prop_assert!(trace_refines(&a, &c).holds);
+        }
+    }
+
+    /// Bisimilar systems are trace equivalent (but not vice versa).
+    #[test]
+    fn bisimilarity_implies_trace_equivalence(a in arb_lts(), b in arb_lts()) {
+        if bisimilar(&a, &b, Equivalence::Branching) {
+            prop_assert!(trace_equivalent(&a, &b));
+        }
+    }
+}

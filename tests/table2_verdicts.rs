@@ -1,0 +1,200 @@
+//! Integration test reproducing the verdict column of Table II: every case
+//! study's linearizability and lock-freedom result at a small bound.
+//!
+//! Correct algorithms verify on the paper's smallest configurations; the
+//! three bugs (HW queue, Fu-et-al. stack, buggy HM list) are caught with
+//! two or three threads, exactly as in Section VI-F.
+
+use bbverify::algorithms::{
+    ccas::Ccas, dglm_queue::DglmQueue, fine_list::FineList, hm_list::HmList, hsy_stack::HsyStack,
+    hw_queue::HwQueue, lazy_list::LazyList, ms_queue::MsQueue, newcas::NewCas,
+    optimistic_list::OptimisticList, rdcss::Rdcss, specs::*, treiber::Treiber,
+    treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu,
+};
+use bbverify::core::{verify_case, CaseReport, VerifyConfig};
+use bbverify::sim::{AtomicSpec, Bound};
+
+fn cfg(threads: u8, ops: u32) -> VerifyConfig {
+    VerifyConfig::new(Bound::new(threads, ops))
+}
+
+fn assert_good(report: &CaseReport) {
+    assert!(
+        report.linearizable(),
+        "{} must be linearizable; counterexample: {:?}",
+        report.name,
+        report.linearizability.violation.as_ref().map(|v| v.to_pretty())
+    );
+    assert!(report.lock_free(), "{} must be lock-free", report.name);
+}
+
+#[test]
+fn case01_treiber_stack() {
+    let r = verify_case(
+        &Treiber::new(&[1, 2]),
+        &AtomicSpec::new(SeqStack::new(&[1, 2])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case02_treiber_hp_michael() {
+    let r = verify_case(
+        &TreiberHp::new(&[1], 2),
+        &AtomicSpec::new(SeqStack::new(&[1])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case03_treiber_hp_fu_violates_lock_freedom() {
+    let r = verify_case(
+        &TreiberHpFu::new(&[1], 2),
+        &AtomicSpec::new(SeqStack::new(&[1])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert!(r.linearizable(), "the Fu et al. stack is still linearizable");
+    let lf = r.lock_freedom.as_ref().unwrap();
+    assert!(!lf.lock_free, "the waiting reclamation violates lock-freedom");
+    let lasso = lf.divergence.as_ref().expect("divergence witness");
+    assert!(!lasso.cycle.is_empty());
+}
+
+#[test]
+fn case04_ms_queue() {
+    let r = verify_case(
+        &MsQueue::new(&[1, 2]),
+        &AtomicSpec::new(SeqQueue::new(&[1, 2])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case05_dglm_queue() {
+    let r = verify_case(
+        &DglmQueue::new(&[1, 2]),
+        &AtomicSpec::new(SeqQueue::new(&[1, 2])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case06_ccas() {
+    let r = verify_case(&Ccas::new(2), &AtomicSpec::new(SeqCcas::new(2)), cfg(2, 2)).unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case07_rdcss() {
+    let r = verify_case(&Rdcss::new(2), &AtomicSpec::new(SeqRdcss::new(2)), cfg(2, 1)).unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case08_newcas() {
+    let r = verify_case(
+        &NewCas::new(2),
+        &AtomicSpec::new(SeqRegister::new(2)),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case09_1_hm_list_buggy_not_linearizable() {
+    let r = verify_case(
+        &HmList::buggy(&[1]),
+        &AtomicSpec::new(SeqSet::new(&[1])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert!(!r.linearizable(), "blind marking must break linearizability");
+    let v = r.linearizability.violation.as_ref().unwrap();
+    // The counterexample removes the same item twice: two remove→TRUE
+    // returns appear in the trace.
+    let pretty = v.to_pretty();
+    let removes_true = pretty.matches("ret(1).remove").count();
+    assert!(
+        removes_true >= 1,
+        "counterexample should show a bad remove: {pretty}"
+    );
+}
+
+#[test]
+fn case09_2_hm_list_revised() {
+    let r = verify_case(
+        &HmList::revised(&[1]),
+        &AtomicSpec::new(SeqSet::new(&[1])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case10_hw_queue_not_lock_free() {
+    let r = verify_case(
+        &HwQueue::for_bound(&[1], 3, 1),
+        &AtomicSpec::new(SeqQueue::new(&[1])),
+        cfg(3, 1),
+    )
+    .unwrap();
+    assert!(r.linearizable(), "HW queue is linearizable");
+    let lf = r.lock_freedom.as_ref().unwrap();
+    assert!(!lf.lock_free, "HW dequeue spins on the empty queue");
+    assert!(lf.divergence.is_some());
+}
+
+#[test]
+fn case11_hsy_stack() {
+    let r = verify_case(
+        &HsyStack::new(&[1]),
+        &AtomicSpec::new(SeqStack::new(&[1])),
+        cfg(2, 2),
+    )
+    .unwrap();
+    assert_good(&r);
+}
+
+#[test]
+fn case12_lazy_list() {
+    let r = verify_case(
+        &LazyList::new(&[1]),
+        &AtomicSpec::new(SeqSet::new(&[1])),
+        cfg(2, 2).linearizability_only(),
+    )
+    .unwrap();
+    assert!(r.linearizable());
+}
+
+#[test]
+fn case13_optimistic_list() {
+    let r = verify_case(
+        &OptimisticList::new(&[1]),
+        &AtomicSpec::new(SeqSet::new(&[1])),
+        cfg(2, 2).linearizability_only(),
+    )
+    .unwrap();
+    assert!(r.linearizable());
+}
+
+#[test]
+fn case14_fine_grained_list() {
+    let r = verify_case(
+        &FineList::new(&[1]),
+        &AtomicSpec::new(SeqSet::new(&[1])),
+        cfg(2, 2).linearizability_only(),
+    )
+    .unwrap();
+    assert!(r.linearizable());
+}
