@@ -3,44 +3,31 @@
 //! equivalences) and quotient construction on MS-queue state spaces of
 //! growing size.
 
-use bb_bench::lts_of;
-use bb_bisim::{partition, quotient, Equivalence};
 use bb_algorithms::ms_queue::MsQueue;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bb_bench::{bench_loop, lts_of};
+use bb_bisim::{partition, quotient, Equivalence};
 
-fn bench_partitions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition");
+fn main() {
+    println!("== partition ==");
     for (th, op) in [(2u8, 1u32), (2, 2), (3, 1)] {
         let lts = lts_of(&MsQueue::new(&[1]), th, op);
-        group.throughput(criterion::Throughput::Elements(lts.num_states() as u64));
         for (name, eq) in [
             ("strong", Equivalence::Strong),
             ("branching", Equivalence::Branching),
             ("branching-div", Equivalence::BranchingDiv),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("ms-{th}-{op}")),
-                &lts,
-                |b, lts| b.iter(|| partition(lts, eq)),
+            bench_loop(
+                &format!("partition/{name}/ms-{th}-{op} ({} states)", lts.num_states()),
+                20,
+                || partition(&lts, eq),
             );
         }
     }
-    group.finish();
-}
 
-fn bench_quotient(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quotient");
+    println!("== quotient ==");
     for (th, op) in [(2u8, 2u32), (3, 1)] {
         let lts = lts_of(&MsQueue::new(&[1]), th, op);
         let p = partition(&lts, Equivalence::Branching);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("ms-{th}-{op}")),
-            &(&lts, &p),
-            |b, (lts, p)| b.iter(|| quotient(lts, p)),
-        );
+        bench_loop(&format!("quotient/ms-{th}-{op}"), 20, || quotient(&lts, &p));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partitions, bench_quotient);
-criterion_main!(benches);

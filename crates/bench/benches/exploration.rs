@@ -2,38 +2,24 @@
 //! (the LNT/CADP generator role), including the canonical-heap overhead.
 
 use bb_algorithms::{hm_list::HmList, ms_queue::MsQueue, treiber::Treiber};
+use bb_bench::bench_loop;
 use bb_lts::ExploreLimits;
 use bb_sim::{explore_system, Bound};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_explore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("explore");
-    group.sample_size(10);
-
-    group.bench_function(BenchmarkId::new("treiber", "2-2"), |b| {
-        b.iter(|| {
-            explore_system(&Treiber::new(&[1]), Bound::new(2, 2), ExploreLimits::default())
-                .unwrap()
-        })
+fn main() {
+    println!("== explore ==");
+    bench_loop("explore/treiber/2-2", 10, || {
+        explore_system(&Treiber::new(&[1]), Bound::new(2, 2), ExploreLimits::default()).unwrap()
     });
-    group.bench_function(BenchmarkId::new("ms-queue", "2-2"), |b| {
-        b.iter(|| {
-            explore_system(&MsQueue::new(&[1]), Bound::new(2, 2), ExploreLimits::default())
-                .unwrap()
-        })
+    bench_loop("explore/ms-queue/2-2", 10, || {
+        explore_system(&MsQueue::new(&[1]), Bound::new(2, 2), ExploreLimits::default()).unwrap()
     });
-    group.bench_function(BenchmarkId::new("hm-list", "2-2"), |b| {
-        b.iter(|| {
-            explore_system(
-                &HmList::revised(&[1]),
-                Bound::new(2, 2),
-                ExploreLimits::default(),
-            )
-            .unwrap()
-        })
+    bench_loop("explore/hm-list/2-2", 10, || {
+        explore_system(
+            &HmList::revised(&[1]),
+            Bound::new(2, 2),
+            ExploreLimits::default(),
+        )
+        .unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_explore);
-criterion_main!(benches);

@@ -2,17 +2,14 @@
 //! branching-bisimulation quotients (Theorem 5.3) versus direct trace
 //! refinement on the original systems.
 
-use bb_algorithms::{ms_queue::MsQueue, specs::SeqQueue, treiber::Treiber, specs::SeqStack};
-use bb_bench::lts_of;
+use bb_algorithms::{ms_queue::MsQueue, specs::SeqQueue, specs::SeqStack, treiber::Treiber};
+use bb_bench::{bench_loop, lts_of};
 use bb_core::verify_linearizability;
 use bb_refine::{trace_refines, trace_refines_with, RefineOptions};
 use bb_sim::AtomicSpec;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_quotient_vs_direct(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linearizability");
-    group.sample_size(10);
-
+fn main() {
+    println!("== linearizability ==");
     let cases: Vec<(&str, bb_lts::Lts, bb_lts::Lts)> = vec![
         (
             "ms-2-2",
@@ -27,26 +24,14 @@ fn bench_quotient_vs_direct(c: &mut Criterion) {
     ];
 
     for (name, imp, spec) in &cases {
-        group.bench_with_input(
-            BenchmarkId::new("quotient-then-refine (Thm 5.3)", name),
-            &(imp, spec),
-            |b, (imp, spec)| b.iter(|| verify_linearizability(imp, spec)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("direct trace refinement", name),
-            &(imp, spec),
-            |b, (imp, spec)| b.iter(|| trace_refines(imp, spec)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("direct, no antichain (ablation)", name),
-            &(imp, spec),
-            |b, (imp, spec)| {
-                b.iter(|| trace_refines_with(imp, spec, RefineOptions { antichain: false }))
-            },
-        );
+        bench_loop(&format!("quotient-then-refine (Thm 5.3)/{name}"), 10, || {
+            verify_linearizability(imp, spec)
+        });
+        bench_loop(&format!("direct trace refinement/{name}"), 10, || {
+            trace_refines(imp, spec)
+        });
+        bench_loop(&format!("direct, no antichain (ablation)/{name}"), 10, || {
+            trace_refines_with(imp, spec, RefineOptions { antichain: false })
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_quotient_vs_direct);
-criterion_main!(benches);

@@ -2,14 +2,11 @@
 //! including the failing cases whose divergence witness must be produced.
 
 use bb_algorithms::{hw_queue::HwQueue, ms_queue::MsQueue, treiber_hp_fu::TreiberHpFu};
-use bb_bench::lts_of;
+use bb_bench::{bench_loop, lts_of};
 use bb_core::verify_lock_freedom;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_lock_freedom(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lock-freedom (Thm 5.9)");
-    group.sample_size(10);
-
+fn main() {
+    println!("== lock-freedom (Thm 5.9) ==");
     let cases: Vec<(&str, bb_lts::Lts)> = vec![
         ("ms-2-2 (lock-free)", lts_of(&MsQueue::new(&[1]), 2, 2)),
         ("ms-3-1 (lock-free)", lts_of(&MsQueue::new(&[1]), 3, 1)),
@@ -18,12 +15,6 @@ fn bench_lock_freedom(c: &mut Criterion) {
     ];
 
     for (name, lts) in &cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), lts, |b, lts| {
-            b.iter(|| verify_lock_freedom(lts))
-        });
+        bench_loop(name, 10, || verify_lock_freedom(lts));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lock_freedom);
-criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! from the paper (different front end, hardware and heap canonicalization
 //! — see DESIGN.md); the *shape* of every result is reproduced.
 
-use bb_bench::{check, lts_of, mark};
+use bb_bench::{check, lts_of, mark, try_lts_of};
 use bb_bisim::{bisimilar, partition, quotient, Equivalence};
 use bb_core::{
     verify_case_lts, verify_linearizability, verify_lock_freedom,
@@ -35,29 +35,40 @@ fn main() {
     let large = args.iter().any(|a| a == "--large");
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
-        "table1" => table1(),
-        "table2" => table2(),
-        "table3" => table3(large),
-        "table4" => table4(large),
-        "table5" => table5(),
-        "table6" => table6(large),
-        "table7" => table7(),
-        "fig10" => fig10(large),
+        "table1" => guarded("table1", table1),
+        "table2" => guarded("table2", table2),
+        "table3" => guarded("table3", || table3(large)),
+        "table4" => guarded("table4", || table4(large)),
+        "table5" => guarded("table5", table5),
+        "table6" => guarded("table6", || table6(large)),
+        "table7" => guarded("table7", table7),
+        "fig10" => guarded("fig10", || fig10(large)),
         "all" => {
-            table1();
-            table2();
-            table3(large);
-            table4(large);
-            table5();
-            table6(large);
-            table7();
-            fig10(large);
+            guarded("table1", table1);
+            guarded("table2", table2);
+            guarded("table3", || table3(large));
+            guarded("table4", || table4(large));
+            guarded("table5", table5);
+            guarded("table6", || table6(large));
+            guarded("table7", table7);
+            guarded("fig10", || fig10(large));
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
             eprintln!("usage: tables [table1..table7|fig10|all] [--large]");
-            std::process::exit(2);
+            std::process::exit(3);
         }
+    }
+}
+
+/// Runs one table with panic isolation: a fault in any table aborts only
+/// that table, so an `all` sweep still produces every other result.
+fn guarded(name: &str, f: impl FnOnce()) {
+    if let Err(fault) = bb_core::run_isolated(f) {
+        eprintln!(
+            "[{name}] aborted by internal fault (treated as inconclusive): {}",
+            fault.lines().next().unwrap_or("panic")
+        );
     }
 }
 
@@ -105,29 +116,49 @@ fn table2() {
         "Case study", "#Th-#Op", "Linearizability", "Lock-free", "|Δ|", "|Δ/≈|"
     );
 
+    // Each case runs fault-isolated: a panic or an exhausted exploration in
+    // one row prints `inconclusive` (with the partial statistics carried by
+    // the error) and the sweep continues with the remaining rows.
     macro_rules! case {
         ($name:expr, $alg:expr, $spec:expr, $th:expr, $op:expr, $lf:expr) => {{
-            let bound = Bound::new($th, $op);
-            let imp = lts_of(&$alg, $th, $op);
-            let spec = lts_of(&AtomicSpec::new($spec), $th, $op);
-            let mut cfg = VerifyConfig::new(bound);
-            if !$lf {
-                cfg = cfg.linearizability_only();
+            let cfg_col = format!("{}-{}", $th, $op);
+            let outcome = bb_core::run_isolated(|| -> Result<String, bb_lts::ExploreError> {
+                let bound = Bound::new($th, $op);
+                let imp = try_lts_of(&$alg, $th, $op)?;
+                let spec = try_lts_of(&AtomicSpec::new($spec), $th, $op)?;
+                let mut cfg = VerifyConfig::new(bound);
+                if !$lf {
+                    cfg = cfg.linearizability_only();
+                }
+                let r = verify_case_lts($name, cfg, &imp, &spec);
+                let lf_mark = match &r.lock_freedom {
+                    None => "—".to_string(),
+                    Some(l) => check(l.lock_free).to_string(),
+                };
+                Ok(format!(
+                    "{:<40} {:>6} {:>16} {:>10} {:>12} {:>10}",
+                    $name,
+                    cfg_col,
+                    check(r.linearizable()),
+                    lf_mark,
+                    r.linearizability.impl_states,
+                    r.linearizability.impl_quotient_states,
+                ))
+            });
+            match outcome {
+                Ok(Ok(line)) => println!("{line}"),
+                Ok(Err(e)) => println!(
+                    "{:<40} {:>6} inconclusive: exploration aborted, {e}",
+                    $name,
+                    format!("{}-{}", $th, $op),
+                ),
+                Err(fault) => println!(
+                    "{:<40} {:>6} inconclusive: internal fault ({})",
+                    $name,
+                    format!("{}-{}", $th, $op),
+                    fault.lines().next().unwrap_or("panic"),
+                ),
             }
-            let r = verify_case_lts($name, cfg, &imp, &spec);
-            let lf_mark = match &r.lock_freedom {
-                None => "—".to_string(),
-                Some(l) => check(l.lock_free).to_string(),
-            };
-            println!(
-                "{:<40} {:>6} {:>16} {:>10} {:>12} {:>10}",
-                $name,
-                format!("{}-{}", $th, $op),
-                check(r.linearizable()),
-                lf_mark,
-                r.linearizability.impl_states,
-                r.linearizability.impl_quotient_states,
-            );
         }};
     }
 

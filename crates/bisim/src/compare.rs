@@ -5,7 +5,10 @@
 
 use crate::diagnostics::{distinguishing_formula, Formula};
 use crate::partition::Partition;
-use crate::signatures::{partition, partition_with_history, Equivalence, RefinementHistory};
+use crate::signatures::{
+    partition, partition_governed, partition_with_history, Equivalence, RefinementHistory,
+};
+use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::{disjoint_union, Lts, StateId};
 
 /// The result of comparing two systems under a bisimulation equivalence.
@@ -70,24 +73,41 @@ impl BisimCheck {
 /// This is the check used for Theorem 5.8 (with
 /// [`Equivalence::BranchingDiv`]) and the `≈`/`~w` columns of Table VII.
 pub fn bisimilar(left: &Lts, right: &Lts, eq: Equivalence) -> bool {
+    bisimilar_governed(left, right, eq, &Watchdog::unlimited())
+        .expect("an unlimited watchdog never trips")
+}
+
+/// Budget-governed [`bisimilar`]: the underlying partition refinement is
+/// metered against `wd` (see [`partition_governed`]).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict is reached;
+/// callers must treat this as *unknown*, never as inequivalence.
+pub fn bisimilar_governed(
+    left: &Lts,
+    right: &Lts,
+    eq: Equivalence,
+    wd: &Watchdog,
+) -> Result<bool, Exhausted> {
     if eq == Equivalence::Weak {
         // Weak signatures need τ-closures, which are expensive on large
         // systems. Since ≈ refines ~w and every system is branching
         // bisimilar to its ≈-quotient, the weak verdict between the
         // originals equals the weak verdict between the (much smaller)
         // quotients.
-        let reduce = |lts: &Lts| {
-            let p = partition(lts, Equivalence::Branching);
-            crate::quotient::quotient(lts, &p).lts
+        let reduce = |lts: &Lts| -> Result<Lts, Exhausted> {
+            let p = partition_governed(lts, Equivalence::Branching, wd)?;
+            Ok(crate::quotient::quotient(lts, &p).lts)
         };
-        let (lq, rq) = (reduce(left), reduce(right));
+        let (lq, rq) = (reduce(left)?, reduce(right)?);
         let u = disjoint_union(&lq, &rq);
-        let p = partition(&u.lts, Equivalence::Weak);
-        return p.same_block(u.left_initial, u.right_initial);
+        let p = partition_governed(&u.lts, Equivalence::Weak, wd)?;
+        return Ok(p.same_block(u.left_initial, u.right_initial));
     }
     let u = disjoint_union(left, right);
-    let p = partition(&u.lts, eq);
-    p.same_block(u.left_initial, u.right_initial)
+    let p = partition_governed(&u.lts, eq, wd)?;
+    Ok(p.same_block(u.left_initial, u.right_initial))
 }
 
 /// Returns `true` iff states `a` and `b` of the same system are related

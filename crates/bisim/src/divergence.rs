@@ -8,6 +8,7 @@
 //! Figure 9 ("τ-loop (divergence)").
 
 use crate::partition::Partition;
+use bb_lts::budget::{Exhausted, Stage, Watchdog};
 use bb_lts::{tarjan_scc, ActionId, Lts, StateId};
 
 /// A lasso-shaped divergence witness: a finite path from the initial state
@@ -88,7 +89,24 @@ pub fn has_tau_cycle(lts: &Lts) -> bool {
 /// The prefix is a shortest path (over all actions) from the initial state
 /// to the τ-SCC containing the cycle.
 pub fn divergence_witness(lts: &Lts) -> Option<Lasso> {
+    divergence_witness_governed(lts, &Watchdog::unlimited())
+        .expect("an unlimited watchdog never trips")
+}
+
+/// Budget-governed [`divergence_witness`]: charges the input size and the
+/// SCC/BFS work against `wd` (stage [`Stage::Divergence`]).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before the search concludes.
+/// An aborted search says nothing about divergence either way.
+pub fn divergence_witness_governed(
+    lts: &Lts,
+    wd: &Watchdog,
+) -> Result<Option<Lasso>, Exhausted> {
     let n = lts.num_states();
+    let mut meter = wd.meter(Stage::Divergence);
+    meter.add_states(n)?;
     let cond = tarjan_scc(n, |s, out| {
         for t in lts.successors(s) {
             if !lts.is_visible(t.action) {
@@ -96,6 +114,7 @@ pub fn divergence_witness(lts: &Lts) -> Option<Lasso> {
             }
         }
     });
+    meter.add_transitions(lts.num_transitions())?;
 
     // BFS from the initial state over all transitions, looking for the first
     // state whose τ-SCC is cyclic.
@@ -114,6 +133,7 @@ pub fn divergence_witness(lts: &Lts) -> Option<Lasso> {
             break;
         };
         for t in lts.successors(s) {
+            meter.tick()?;
             if !seen[t.target.index()] {
                 seen[t.target.index()] = true;
                 parent[t.target.index()] = Some((s, t.action));
@@ -125,7 +145,9 @@ pub fn divergence_witness(lts: &Lts) -> Option<Lasso> {
             }
         }
     }
-    let entry = entry?;
+    let Some(entry) = entry else {
+        return Ok(None);
+    };
 
     // Reconstruct the prefix.
     let mut prefix = Vec::new();
@@ -143,11 +165,12 @@ pub fn divergence_witness(lts: &Lts) -> Option<Lasso> {
     let mut visited_at = std::collections::HashMap::new();
     let mut cur = entry;
     loop {
+        meter.tick()?;
         if let Some(&pos) = visited_at.get(&cur) {
             let cycle = path.split_off(pos);
             // Anything before the cycle start extends the prefix.
             prefix.extend(path);
-            return Some(Lasso { prefix, cycle });
+            return Ok(Some(Lasso { prefix, cycle }));
         }
         visited_at.insert(cur, path.len());
         let next = lts

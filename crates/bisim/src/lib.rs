@@ -53,9 +53,14 @@ mod partition;
 mod quotient;
 mod signatures;
 
-pub use compare::{bisimilar, bisimilar_states, BisimCheck};
+pub use compare::{bisimilar, bisimilar_governed, bisimilar_states, BisimCheck};
 pub use diagnostics::{distinguishing_formula, Formula};
-pub use divergence::{divergence_witness, divergent_states, has_tau_cycle, starvation_witness, Lasso};
+pub use divergence::{
+    divergence_witness, divergence_witness_governed, divergent_states, has_tau_cycle,
+    starvation_witness, Lasso,
+};
 pub use partition::{BlockId, Partition};
 pub use quotient::{div_quotient, quotient, Quotient};
-pub use signatures::{partition, partition_with_history, Equivalence, RefinementHistory};
+pub use signatures::{
+    partition, partition_governed, partition_with_history, Equivalence, RefinementHistory,
+};

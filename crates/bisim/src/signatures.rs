@@ -9,6 +9,7 @@
 //! divergence-preserving branching bisimulation).
 
 use crate::partition::{BlockId, Partition};
+use bb_lts::budget::{Exhausted, Meter, Stage, Watchdog};
 use bb_lts::{tarjan_scc, Lts, TauClosure};
 use std::collections::HashMap;
 
@@ -226,7 +227,13 @@ fn weak_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) {
     }
 }
 
-fn refine_once(ctx: &Ctx<'_>, p: &Partition, eq: Equivalence, sigs: &mut [Signature]) -> Partition {
+fn refine_once(
+    ctx: &Ctx<'_>,
+    p: &Partition,
+    eq: Equivalence,
+    sigs: &mut [Signature],
+    meter: &mut Meter,
+) -> Result<Partition, Exhausted> {
     match eq {
         Equivalence::Strong => strong_signatures(ctx, p, sigs),
         Equivalence::Branching => branching_signatures(ctx, p, false, sigs),
@@ -237,23 +244,49 @@ fn refine_once(ctx: &Ctx<'_>, p: &Partition, eq: Equivalence, sigs: &mut [Signat
     let mut ids: HashMap<(BlockId, &Signature), u32> = HashMap::new();
     let mut assignment = Vec::with_capacity(p.num_states());
     for s in ctx.lts.states() {
+        meter.tick()?;
         let key = (p.block_of(s), &sigs[s.index()]);
         let next = ids.len() as u32;
         let id = *ids.entry(key).or_insert(next);
         assignment.push(BlockId(id));
     }
     let num_blocks = ids.len();
-    Partition::new(assignment, num_blocks)
+    Ok(Partition::new(assignment, num_blocks))
 }
 
 fn run(lts: &Lts, eq: Equivalence, history: Option<&mut Vec<Partition>>) -> Partition {
+    run_governed(lts, eq, history, &Watchdog::unlimited())
+        .expect("an unlimited watchdog never trips")
+}
+
+fn run_governed(
+    lts: &Lts,
+    eq: Equivalence,
+    history: Option<&mut Vec<Partition>>,
+    wd: &Watchdog,
+) -> Result<Partition, Exhausted> {
     let n = lts.num_states();
+    let mut meter = wd.meter(Stage::Bisim);
+    // Input size counts against the state cap; each refinement round's scan
+    // counts its transition visits (work-proportional accounting).
+    meter.add_states(n)?;
     let ctx = Ctx::new(lts, eq);
     let mut p = Partition::universal(n);
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
     let mut rounds: Vec<Partition> = vec![p.clone()];
+    // Peak live signature storage accounted so far.
+    let mut mem_accounted = 0usize;
     loop {
-        let next = refine_once(&ctx, &p, eq, &mut sigs);
+        meter.add_transitions(lts.num_transitions())?;
+        let next = refine_once(&ctx, &p, eq, &mut sigs, &mut meter)?;
+        let sig_bytes: usize = sigs
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<(u32, u32)>() + 24)
+            .sum();
+        if sig_bytes > mem_accounted {
+            meter.add_memory(sig_bytes - mem_accounted)?;
+            mem_accounted = sig_bytes;
+        }
         debug_assert!(next.refines(&p), "refinement must be monotone");
         let stable = next.num_blocks() == p.num_blocks();
         p = next;
@@ -267,7 +300,7 @@ fn run(lts: &Lts, eq: Equivalence, history: Option<&mut Vec<Partition>>) -> Part
     if let Some(h) = history {
         *h = rounds;
     }
-    p
+    Ok(p)
 }
 
 /// Computes the coarsest partition of `lts` under the given equivalence.
@@ -278,6 +311,23 @@ fn run(lts: &Lts, eq: Equivalence, history: Option<&mut Vec<Partition>>) -> Part
 /// the classes of `≈div`.
 pub fn partition(lts: &Lts, eq: Equivalence) -> Partition {
     run(lts, eq, None)
+}
+
+/// Budget-governed [`partition`]: the refinement loop charges the input
+/// size against the state cap, each round's transition scan against the
+/// transition cap, and its signature storage against the memory cap, and
+/// observes the watchdog's deadline and cancellation token.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Bisim`]) when the budget trips;
+/// the partial statistics describe the work done so far.
+pub fn partition_governed(
+    lts: &Lts,
+    eq: Equivalence,
+    wd: &Watchdog,
+) -> Result<Partition, Exhausted> {
+    run_governed(lts, eq, None, wd)
 }
 
 /// Like [`partition`], additionally returning the per-round history for

@@ -37,12 +37,22 @@ mod linearizability;
 mod lockfree;
 mod progress;
 mod report;
+mod verdict;
 
-pub use linearizability::{verify_linearizability, LinReport};
+/// Resource governance primitives (re-exported from `bb-lts`): budgets,
+/// watchdogs, meters and the structured [`Exhausted`](budget::Exhausted)
+/// error every governed stage returns.
+pub use bb_lts::budget;
+
+pub use linearizability::{verify_linearizability, verify_linearizability_governed, LinReport};
 pub use lockfree::{
-    verify_lock_freedom, verify_lock_freedom_via_abstraction, AbstractionReport, LockFreeReport,
+    verify_lock_freedom, verify_lock_freedom_governed, verify_lock_freedom_via_abstraction,
+    AbstractionReport, LockFreeReport,
 };
 pub use progress::{
     verify_lock_freedom_ltl, verify_wait_freedom, LtlLockFreeReport, WaitFreeReport,
 };
 pub use report::{format_lasso, verify_case, verify_case_lts, CaseReport, VerifyConfig};
+pub use verdict::{
+    run_isolated, verify_case_governed, Attempt, GovernedConfig, GovernedReport, Rung, Verdict,
+};

@@ -1,9 +1,10 @@
 //! Linearizability checking on branching-bisimulation quotients
 //! (Theorem 5.3).
 
-use bb_bisim::{partition, quotient, Equivalence};
+use bb_bisim::{partition_governed, quotient, Equivalence};
+use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::Lts;
-use bb_refine::{trace_refines, Violation};
+use bb_refine::{trace_refines_governed, RefineOptions, Violation};
 use std::time::{Duration, Instant};
 
 /// Result of a linearizability check.
@@ -43,13 +44,30 @@ impl LinReport {
 /// (the most general clients must agree), otherwise refinement trivially
 /// fails.
 pub fn verify_linearizability(imp: &Lts, spec: &Lts) -> LinReport {
+    verify_linearizability_governed(imp, spec, &Watchdog::unlimited())
+        .expect("an unlimited watchdog never trips")
+}
+
+/// Budget-governed [`verify_linearizability`]: both quotient computations
+/// and the refinement search are metered against `wd`.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict; an aborted
+/// check must be treated as *unknown*, never as a violation.
+pub fn verify_linearizability_governed(
+    imp: &Lts,
+    spec: &Lts,
+    wd: &Watchdog,
+) -> Result<LinReport, Exhausted> {
     let start = Instant::now();
-    let p_imp = partition(imp, Equivalence::Branching);
+    let p_imp = partition_governed(imp, Equivalence::Branching, wd)?;
     let q_imp = quotient(imp, &p_imp);
-    let p_spec = partition(spec, Equivalence::Branching);
+    let p_spec = partition_governed(spec, Equivalence::Branching, wd)?;
     let q_spec = quotient(spec, &p_spec);
-    let refinement = trace_refines(&q_imp.lts, &q_spec.lts);
-    LinReport {
+    let refinement =
+        trace_refines_governed(&q_imp.lts, &q_spec.lts, RefineOptions::default(), wd)?;
+    Ok(LinReport {
         linearizable: refinement.holds,
         impl_states: imp.num_states(),
         impl_quotient_states: q_imp.lts.num_states(),
@@ -58,7 +76,7 @@ pub fn verify_linearizability(imp: &Lts, spec: &Lts) -> LinReport {
         refinement_product_states: refinement.product_states,
         violation: refinement.violation,
         time: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 //! (Theorems 5.8 and 5.9).
 
 use bb_bisim::{
-    bisimilar, divergence_witness, partition, quotient, Equivalence, Lasso,
+    bisimilar, bisimilar_governed, divergence_witness_governed, partition_governed, quotient,
+    Equivalence, Lasso,
 };
+use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::Lts;
 use std::time::{Duration, Instant};
 
@@ -49,28 +51,40 @@ pub struct LockFreeReport {
 /// # }
 /// ```
 pub fn verify_lock_freedom(imp: &Lts) -> LockFreeReport {
+    verify_lock_freedom_governed(imp, &Watchdog::unlimited())
+        .expect("an unlimited watchdog never trips")
+}
+
+/// Budget-governed [`verify_lock_freedom`]: the quotient, the `≈div` check
+/// and the divergence-witness search are all metered against `wd`.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict; an aborted
+/// check says nothing about lock-freedom.
+pub fn verify_lock_freedom_governed(imp: &Lts, wd: &Watchdog) -> Result<LockFreeReport, Exhausted> {
     let start = Instant::now();
-    let p = partition(imp, Equivalence::Branching);
+    let p = partition_governed(imp, Equivalence::Branching, wd)?;
     let q = quotient(imp, &p);
-    let div_bisim = bisimilar(imp, &q.lts, Equivalence::BranchingDiv);
+    let div_bisim = bisimilar_governed(imp, &q.lts, Equivalence::BranchingDiv, wd)?;
     let divergence = if div_bisim {
         None
     } else {
-        let w = divergence_witness(imp);
+        let w = divergence_witness_governed(imp, wd)?;
         debug_assert!(
             w.is_some(),
             "Δ ≉div Δ/≈ for a finite system implies a reachable τ-cycle"
         );
         w
     };
-    LockFreeReport {
+    Ok(LockFreeReport {
         lock_free: div_bisim,
         impl_states: imp.num_states(),
         quotient_states: q.lts.num_states(),
         div_bisimilar_to_quotient: div_bisim,
         divergence,
         time: start.elapsed(),
-    }
+    })
 }
 
 /// Result of the abstraction-based lock-freedom check (Theorem 5.8).

@@ -8,6 +8,7 @@
 
 use crate::buchi::translate;
 use crate::syntax::Ltl;
+use bb_lts::budget::{Exhausted, Stage, Watchdog};
 use bb_lts::{tarjan_scc, Action, ActionId, Lts, StateId};
 use std::collections::HashMap;
 
@@ -71,6 +72,22 @@ struct PNode {
 /// to a Büchi automaton (GPVW) and the product is searched for an accepting
 /// cycle; one is returned as a [`LassoTrace`] if found.
 pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
+    check_governed(lts, formula, &Watchdog::unlimited())
+        .expect("an unlimited watchdog never trips")
+}
+
+/// Budget-governed [`check`]: every product node counts against the state
+/// cap, every product edge against the transition cap, and product
+/// bookkeeping against the memory cap; the deadline and cancellation token
+/// are observed from the product BFS and cycle search (stage
+/// [`Stage::Ltl`]).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before the search concludes;
+/// an aborted check establishes neither satisfaction nor violation.
+pub fn check_governed(lts: &Lts, formula: &Ltl, wd: &Watchdog) -> Result<CheckResult, Exhausted> {
+    let mut meter = wd.meter(Stage::Ltl);
     let buchi = translate(&Ltl::not(formula.clone()));
 
     // --- Materialize the product by BFS ---------------------------------
@@ -129,11 +146,17 @@ pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
         out
     };
 
+    // Approximate per-node footprint: the PNode in the id map and node list
+    // plus edge/parent bookkeeping.
+    let node_bytes = 2 * std::mem::size_of::<PNode>() + 96;
+
     let mut queue = std::collections::VecDeque::new();
     for &q in &buchi.initial {
         for (pn, _step) in moves(lts.initial(), false, q) {
             let (id, fresh) = intern(pn, &mut ids, &mut nodes, &mut edges, &mut parent);
             if fresh {
+                meter.add_state()?;
+                meter.add_memory(node_bytes)?;
                 // Initial product nodes have no parent; their entering step
                 // is reconstructed separately below via `initial_step`.
                 queue.push_back(id);
@@ -156,7 +179,10 @@ pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
             for (target, step) in moves(pn.state, pn.terminated, q) {
                 let (id, fresh) = intern(target, &mut ids, &mut nodes, &mut edges, &mut parent);
                 edges[v as usize].push((id, step));
+                meter.add_transition()?;
                 if fresh {
+                    meter.add_state()?;
+                    meter.add_memory(node_bytes)?;
                     parent[id as usize] = Some((v, step));
                     queue.push_back(id);
                 }
@@ -165,6 +191,7 @@ pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
     }
 
     // --- Find a reachable accepting cycle -------------------------------
+    meter.checkpoint()?;
     let n = nodes.len();
     let cond = tarjan_scc(n, |s, out| {
         for &(t, _) in &edges[s.0 as usize] {
@@ -183,11 +210,11 @@ pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
     }
 
     let Some(seed) = witness else {
-        return CheckResult {
+        return Ok(CheckResult {
             holds: true,
             counterexample: None,
             product_states: n,
-        };
+        });
     };
 
     // Prefix: BFS parents from an initial node to `seed`.
@@ -207,6 +234,7 @@ pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
     q2.push_back(seed);
     let mut closed = false;
     'bfs: while let Some(v) = q2.pop_front() {
+        meter.tick()?;
         for &(w, step) in &edges[v as usize] {
             if cond.scc_of[w as usize] != scc {
                 continue;
@@ -240,14 +268,14 @@ pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
             .collect::<Vec<_>>()
     };
 
-    CheckResult {
+    Ok(CheckResult {
         holds: false,
         counterexample: Some(LassoTrace {
             prefix: to_actions(prefix_rev),
             cycle: to_actions(cycle_rev),
         }),
         product_states: n,
-    }
+    })
 }
 
 #[cfg(test)]

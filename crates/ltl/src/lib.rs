@@ -41,6 +41,6 @@ mod parser;
 mod syntax;
 
 pub use buchi::{translate, Buchi};
-pub use checker::{check, CheckResult, LassoTrace};
+pub use checker::{check, check_governed, CheckResult, LassoTrace};
 pub use parser::{parse, ParseLtlError};
 pub use syntax::{lock_freedom, method_completion, Ltl, Prop};

@@ -130,7 +130,9 @@ pub fn from_aut(text: &str) -> Result<Lts, ParseAutError> {
             line: no + 1,
             message: "missing comma".into(),
         })?;
-        let last_comma = inner.rfind(',').unwrap();
+        // rfind cannot miss after find succeeded, but malformed input must
+        // never panic the parser: fall back to the equal-comma error below.
+        let last_comma = inner.rfind(',').unwrap_or(first_comma);
         if first_comma == last_comma {
             return Err(ParseAutError {
                 line: no + 1,

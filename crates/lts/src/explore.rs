@@ -1,11 +1,13 @@
 //! On-the-fly state-space exploration of an operational semantics.
 
 use crate::action::Action;
+use crate::budget::{Budget, ExhaustReason, Exhausted, Stage, Watchdog};
 use crate::builder::LtsBuilder;
 use crate::lts::{Lts, StateId};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::time::Duration;
 
 /// An operational semantics that can be unfolded into an [`Lts`].
 ///
@@ -28,6 +30,9 @@ pub trait Semantics {
 }
 
 /// Limits guarding an exploration against state-space explosion.
+///
+/// This is the legacy cap-only interface; [`explore_governed`] accepts a
+/// full [`Watchdog`] (deadline, memory, cancellation) instead.
 #[derive(Debug, Clone, Copy)]
 pub struct ExploreLimits {
     /// Maximum number of distinct states to intern before aborting.
@@ -45,21 +50,64 @@ impl Default for ExploreLimits {
     }
 }
 
-/// Error returned when an exploration exceeds its [`ExploreLimits`].
+impl From<ExploreLimits> for Budget {
+    fn from(l: ExploreLimits) -> Budget {
+        Budget::unlimited()
+            .with_max_states(l.max_states)
+            .with_max_transitions(l.max_transitions)
+    }
+}
+
+/// Error returned when an exploration exceeds its [`ExploreLimits`] (or the
+/// [`Watchdog`] budget of [`explore_governed`]).
+///
+/// Carries the partial statistics of the aborted run so callers (e.g. the
+/// `tables` sweep) can report how far the exploration got.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreError {
     /// States interned before the limit was hit.
     pub states_seen: usize,
     /// Transitions recorded before the limit was hit.
     pub transitions_seen: usize,
+    /// Wall-clock time spent exploring before the abort.
+    pub elapsed: Duration,
+    /// Which resource ran out.
+    pub reason: ExhaustReason,
+}
+
+impl ExploreError {
+    /// Re-wraps as the structured [`Exhausted`] error of the budget layer.
+    pub fn into_exhausted(self) -> Exhausted {
+        Exhausted {
+            stage: Stage::Explore,
+            reason: self.reason,
+            partial: crate::budget::PartialStats {
+                states: self.states_seen,
+                transitions: self.transitions_seen,
+                memory_bytes: 0,
+                elapsed: self.elapsed,
+            },
+        }
+    }
+}
+
+impl From<Exhausted> for ExploreError {
+    fn from(e: Exhausted) -> ExploreError {
+        ExploreError {
+            states_seen: e.partial.states,
+            transitions_seen: e.partial.transitions,
+            elapsed: e.partial.elapsed,
+            reason: e.reason,
+        }
+    }
 }
 
 impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "state-space exploration exceeded limits after {} states and {} transitions",
-            self.states_seen, self.transitions_seen
+            "state-space exploration aborted ({}) after {} states and {} transitions in {:.1?}",
+            self.reason, self.states_seen, self.transitions_seen, self.elapsed
         )
     }
 }
@@ -72,19 +120,41 @@ impl std::error::Error for ExploreError {}
 ///
 /// Returns [`ExploreError`] if the reachable state space exceeds `limits`.
 pub fn explore<S: Semantics>(sem: &S, limits: ExploreLimits) -> Result<Lts, ExploreError> {
+    let wd = Watchdog::new(limits.into());
+    explore_governed(sem, &wd).map_err(ExploreError::from)
+}
+
+/// Unfolds `sem` into an explicit [`Lts`] under the budget of `wd`.
+///
+/// The exploration accounts every interned state, every recorded transition
+/// and an approximate memory estimate against the watchdog, and observes
+/// its deadline and cancellation token from the BFS loop.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
+/// trips; the partial statistics describe the aborted frontier.
+pub fn explore_governed<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exhausted> {
+    let mut meter = wd.meter(Stage::Explore);
+    // Approximate per-state footprint: the interned key in the id map plus
+    // the copy on the `discovered` list, and builder bookkeeping.
+    let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
+    let transition_bytes = std::mem::size_of::<(StateId, u32, StateId)>();
+
     let mut builder = LtsBuilder::new();
     let mut ids: HashMap<S::State, StateId> = HashMap::new();
 
     let init = sem.initial_state();
     let init_id = builder.add_state();
     ids.insert(init.clone(), init_id);
+    meter.add_state()?;
+    meter.add_memory(state_bytes)?;
 
     // BFS frontier; states are explored in id order so the queue is just a
     // cursor over the id-indexed list of discovered states.
     let mut discovered: Vec<S::State> = vec![init];
     let mut cursor = 0usize;
     let mut steps: Vec<(Action, S::State)> = Vec::new();
-    let mut num_transitions = 0usize;
 
     while cursor < discovered.len() {
         let src_id = StateId(cursor as u32);
@@ -97,12 +167,8 @@ pub fn explore<S: Semantics>(sem: &S, limits: ExploreLimits) -> Result<Lts, Expl
             let dst_id = match ids.get(&next) {
                 Some(&id) => id,
                 None => {
-                    if discovered.len() >= limits.max_states {
-                        return Err(ExploreError {
-                            states_seen: discovered.len(),
-                            transitions_seen: num_transitions,
-                        });
-                    }
+                    meter.add_state()?;
+                    meter.add_memory(state_bytes)?;
                     let id = builder.add_state();
                     ids.insert(next.clone(), id);
                     discovered.push(next);
@@ -111,13 +177,8 @@ pub fn explore<S: Semantics>(sem: &S, limits: ExploreLimits) -> Result<Lts, Expl
             };
             let aid = builder.intern_action(action);
             builder.add_transition(src_id, aid, dst_id);
-            num_transitions += 1;
-            if num_transitions > limits.max_transitions {
-                return Err(ExploreError {
-                    states_seen: discovered.len(),
-                    transitions_seen: num_transitions,
-                });
-            }
+            meter.add_transition()?;
+            meter.add_memory(transition_bytes)?;
         }
     }
 
@@ -167,7 +228,8 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert_eq!(err.states_seen, 5);
+        assert_eq!(err.states_seen, 6);
+        assert_eq!(err.reason, ExhaustReason::StateCap);
     }
 
     #[test]
@@ -181,11 +243,53 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.transitions_seen > 3 - 1);
+        assert_eq!(err.reason, ExhaustReason::TransitionCap);
     }
 
     #[test]
     fn bfs_assigns_initial_id_zero() {
         let lts = explore(&Counter { max: 3 }, ExploreLimits::default()).unwrap();
         assert_eq!(lts.initial(), StateId(0));
+    }
+
+    #[test]
+    fn governed_deadline_aborts_with_stage() {
+        let wd = Watchdog::new(
+            Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+        );
+        let err = explore_governed(&Counter { max: 100_000 }, &wd).unwrap_err();
+        assert_eq!(err.stage, Stage::Explore);
+        assert_eq!(err.reason, ExhaustReason::Deadline);
+    }
+
+    #[test]
+    fn governed_memory_cap_aborts() {
+        let wd = Watchdog::new(Budget::unlimited().with_max_memory_bytes(256));
+        let err = explore_governed(&Counter { max: 100_000 }, &wd).unwrap_err();
+        assert_eq!(err.reason, ExhaustReason::Memory);
+        assert!(err.partial.states >= 1);
+    }
+
+    #[test]
+    fn governed_cancellation_aborts() {
+        let wd = Watchdog::unlimited();
+        wd.cancel();
+        let err = explore_governed(&Counter { max: 2_000_000 }, &wd).unwrap_err();
+        assert_eq!(err.reason, ExhaustReason::Cancelled);
+    }
+
+    #[test]
+    fn error_display_names_reason_and_stats() {
+        let err = explore(
+            &Counter { max: 1000 },
+            ExploreLimits {
+                max_states: 5,
+                max_transitions: 1000,
+            },
+        )
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("state cap"), "{text}");
+        assert!(text.contains("states"), "{text}");
     }
 }

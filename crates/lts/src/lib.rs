@@ -27,6 +27,7 @@
 mod action;
 mod analysis;
 mod aut;
+pub mod budget;
 mod builder;
 mod dot;
 mod explore;
@@ -38,9 +39,12 @@ mod union;
 pub use action::{Action, ActionId, ActionKind, Observation, ThreadId};
 pub use analysis::{reachable_states, restrict_to_reachable, tau_closure_from, TauClosure};
 pub use aut::{from_aut, to_aut, ParseAutError};
+pub use budget::{
+    Budget, CancelToken, ExhaustReason, Exhausted, Meter, PartialStats, Stage, Watchdog,
+};
 pub use builder::LtsBuilder;
 pub use dot::to_dot;
-pub use explore::{explore, ExploreError, ExploreLimits, Semantics};
+pub use explore::{explore, explore_governed, ExploreError, ExploreLimits, Semantics};
 pub use lts::{Lts, StateId, Transition};
 pub use random::{random_lts, RandomLtsConfig};
 pub use scc::{condensation, tarjan_scc, Condensation, SccId};

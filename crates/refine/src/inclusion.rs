@@ -1,5 +1,6 @@
 //! Antichain-based trace inclusion between two LTSs.
 
+use bb_lts::budget::{Exhausted, Stage, Watchdog};
 use bb_lts::{tau_closure_from, ActionId, Lts, Observation, StateId};
 use std::collections::HashMap;
 
@@ -103,6 +104,27 @@ impl Default for RefineOptions {
 
 /// [`trace_refines`] with explicit [`RefineOptions`].
 pub fn trace_refines_with(imp: &Lts, spec: &Lts, options: RefineOptions) -> RefinementResult {
+    trace_refines_governed(imp, spec, options, &Watchdog::unlimited())
+        .expect("an unlimited watchdog never trips")
+}
+
+/// Budget-governed [`trace_refines_with`]: every product node counts
+/// against the state cap, every scanned implementation edge against the
+/// transition cap, and interned specification subsets against the memory
+/// cap; the deadline and cancellation token are observed from the product
+/// BFS loop (stage [`Stage::Refine`]).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before the search concludes;
+/// an aborted search proves neither refinement nor violation.
+pub fn trace_refines_governed(
+    imp: &Lts,
+    spec: &Lts,
+    options: RefineOptions,
+    wd: &Watchdog,
+) -> Result<RefinementResult, Exhausted> {
+    let mut meter = wd.meter(Stage::Refine);
     // Spec observation index: observation -> spec action ids.
     let spec_index = spec.observation_index();
     // Implementation action -> optional observation (None = τ).
@@ -111,6 +133,8 @@ pub fn trace_refines_with(imp: &Lts, spec: &Lts, options: RefineOptions) -> Refi
 
     let mut subsets = SubsetStore::default();
     let init_subset = subsets.intern(tau_closure_from(spec, &[spec.initial()]));
+    meter.add_state()?;
+    meter.add_memory(subset_bytes(&subsets.sets[init_subset as usize]))?;
 
     /// A node of the BFS forest, remembering how it was reached.
     struct Node {
@@ -132,9 +156,11 @@ pub fn trace_refines_with(imp: &Lts, spec: &Lts, options: RefineOptions) -> Refi
     while cursor < nodes.len() {
         let (s, subset_id) = (nodes[cursor].imp_state, nodes[cursor].subset);
         for t in imp.successors(s) {
+            meter.add_transition()?;
             match &imp_obs[t.action.index()] {
                 None => {
                     // τ-step: spec subset unchanged.
+                    let before = nodes.len();
                     try_push(
                         &mut nodes,
                         &mut visited,
@@ -144,6 +170,9 @@ pub fn trace_refines_with(imp: &Lts, spec: &Lts, options: RefineOptions) -> Refi
                         (cursor, None),
                         options.antichain,
                     );
+                    if nodes.len() > before {
+                        meter.add_state()?;
+                    }
                 }
                 Some(obs) => {
                     let next = spec_step(spec, &subsets.sets[subset_id as usize], &spec_index, obs);
@@ -168,18 +197,24 @@ pub fn trace_refines_with(imp: &Lts, spec: &Lts, options: RefineOptions) -> Refi
                             }
                         }
                         rev.reverse();
-                        return RefinementResult {
+                        return Ok(RefinementResult {
                             holds: false,
                             violation: Some(Violation { trace: rev }),
                             product_states: nodes.len(),
-                        };
+                        });
                     }
                     let next_id = {
+                        let stored = subsets.sets.len();
                         let mut store_next = next;
                         store_next.sort_unstable();
                         store_next.dedup();
-                        subsets.intern(store_next)
+                        let id = subsets.intern(store_next);
+                        if subsets.sets.len() > stored {
+                            meter.add_memory(subset_bytes(&subsets.sets[id as usize]))?;
+                        }
+                        id
                     };
+                    let before = nodes.len();
                     try_push(
                         &mut nodes,
                         &mut visited,
@@ -189,6 +224,9 @@ pub fn trace_refines_with(imp: &Lts, spec: &Lts, options: RefineOptions) -> Refi
                         (cursor, Some(t.action.0)),
                         options.antichain,
                     );
+                    if nodes.len() > before {
+                        meter.add_state()?;
+                    }
                 }
             }
         }
@@ -236,11 +274,17 @@ pub fn trace_refines_with(imp: &Lts, spec: &Lts, options: RefineOptions) -> Refi
         });
     }
 
-    RefinementResult {
+    Ok(RefinementResult {
         holds: true,
         violation: None,
         product_states: nodes.len(),
-    }
+    })
+}
+
+/// Approximate heap footprint of one interned specification subset: the two
+/// copies (set list and id map key) plus hash-map bookkeeping.
+fn subset_bytes(set: &[StateId]) -> usize {
+    2 * set.len() * std::mem::size_of::<StateId>() + 48
 }
 
 /// Sorted-slice subset test: is `a ⊆ b`?

@@ -1,7 +1,8 @@
 //! The most general client (Section II-B) and system-level semantics.
 
 use crate::algorithm::{MethodId, MethodSpec, ObjectAlgorithm, Outcome};
-use bb_lts::{explore, Action, ExploreError, ExploreLimits, Lts, Semantics, ThreadId};
+use bb_lts::budget::{Exhausted, Watchdog};
+use bb_lts::{explore, explore_governed, Action, ExploreError, ExploreLimits, Lts, Semantics, ThreadId};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -192,6 +193,21 @@ pub fn explore_system<A: ObjectAlgorithm>(
 ) -> Result<Lts, ExploreError> {
     let system = System::new(alg, bound);
     explore(&system, limits)
+}
+
+/// Budget-governed [`explore_system`]: the unfolding is metered against the
+/// full [`Watchdog`] budget (deadline, caps, memory, cancellation).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage `explore`) when any budget axis trips.
+pub fn explore_system_governed<A: ObjectAlgorithm>(
+    alg: &A,
+    bound: Bound,
+    wd: &Watchdog,
+) -> Result<Lts, Exhausted> {
+    let system = System::new(alg, bound);
+    explore_governed(&system, wd)
 }
 
 #[cfg(test)]

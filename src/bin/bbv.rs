@@ -3,10 +3,15 @@
 //! ```sh
 //! bbv list
 //! bbv verify ms-queue --threads 2 --ops 2
+//! bbv verify ms-queue --threads 3 --ops 3 --timeout 30s --max-states 1e6
 //! bbv verify hm-list-buggy --threads 2 --ops 2      # shows the counterexample
 //! bbv quotient treiber --threads 2 --ops 1 --dot out.dot
 //! bbv check hw-queue --formula "G F (ret | done)"   # arbitrary next-free LTL
 //! ```
+//!
+//! Exit codes: `0` every checked property was proved, `1` a property was
+//! refuted, `2` the verification was inconclusive (budget exhausted or an
+//! internal fault), `3` usage or parse error.
 
 use bbverify::algorithms::{
     ccas::Ccas, coarse::CoarseLocked, dglm_queue::DglmQueue, fine_list::FineList, hm_list::HmList,
@@ -15,9 +20,18 @@ use bbverify::algorithms::{
     treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu, two_lock_queue::TwoLockQueue,
 };
 use bbverify::bisim::{partition, quotient, Equivalence};
-use bbverify::core::{verify_case_lts, verify_wait_freedom, VerifyConfig};
-use bbverify::lts::{to_aut, to_dot, ExploreLimits, Lts};
-use bbverify::sim::{explore_system, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+use bbverify::core::{
+    run_isolated, verify_case_governed, verify_case_lts, verify_wait_freedom, GovernedConfig,
+    Verdict, VerifyConfig,
+};
+use bbverify::lts::{to_aut, to_dot, Budget, ExploreLimits, Lts, Watchdog};
+use bbverify::sim::{explore_system_governed, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+use std::time::Duration;
+
+const EXIT_PROVED: i32 = 0;
+const EXIT_REFUTED: i32 = 1;
+const EXIT_INCONCLUSIVE: i32 = 2;
+const EXIT_USAGE: i32 = 3;
 
 const ALGORITHMS: &[(&str, &str)] = &[
     ("treiber", "Treiber lock-free stack"),
@@ -50,6 +64,11 @@ struct Options {
     dot: Option<String>,
     aut: Option<String>,
     formula: Option<String>,
+    timeout: Option<Duration>,
+    max_states: Option<usize>,
+    max_transitions: Option<usize>,
+    max_memory: Option<usize>,
+    no_fallback: bool,
 }
 
 impl Default for Options {
@@ -63,8 +82,75 @@ impl Default for Options {
             dot: None,
             aut: None,
             formula: None,
+            timeout: None,
+            max_states: None,
+            max_transitions: None,
+            max_memory: None,
+            no_fallback: false,
         }
     }
+}
+
+impl Options {
+    /// Whether any budget flag was given (switches `verify` to the governed
+    /// pipeline with the fallback ladder).
+    fn budgeted(&self) -> bool {
+        self.timeout.is_some()
+            || self.max_states.is_some()
+            || self.max_transitions.is_some()
+            || self.max_memory.is_some()
+    }
+
+    fn budget(&self) -> Budget {
+        let defaults = ExploreLimits::default();
+        let mut b = Budget::unlimited()
+            .with_max_states(self.max_states.unwrap_or(defaults.max_states))
+            .with_max_transitions(self.max_transitions.unwrap_or(defaults.max_transitions));
+        if let Some(t) = self.timeout {
+            b = b.with_deadline(t);
+        }
+        if let Some(m) = self.max_memory {
+            b = b.with_max_memory_bytes(m);
+        }
+        b
+    }
+}
+
+/// Parses a duration like `30s`, `1.5s`, `500ms`, `2m`, or plain seconds.
+fn parse_duration(raw: &str) -> Result<Duration, String> {
+    let s = raw.trim();
+    let (num, scale) = if let Some(x) = s.strip_suffix("ms") {
+        (x, 1e-3)
+    } else if let Some(x) = s.strip_suffix('s') {
+        (x, 1.0)
+    } else if let Some(x) = s.strip_suffix('m') {
+        (x, 60.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a duration (try 30s, 500ms, 2m)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("`{raw}` is not a non-negative duration"));
+    }
+    Ok(Duration::from_secs_f64(v * scale))
+}
+
+/// Parses a count like `1000000`, `1_000_000`, or `1e6`.
+fn parse_count(raw: &str) -> Result<usize, String> {
+    let clean: String = raw.chars().filter(|c| *c != '_').collect();
+    if let Ok(n) = clean.parse::<usize>() {
+        return Ok(n);
+    }
+    let v: f64 = clean
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a count (try 1000000 or 1e6)"))?;
+    if !v.is_finite() || v < 0.0 || v > usize::MAX as f64 {
+        return Err(format!("`{raw}` is out of range for a count"));
+    }
+    Ok(v as usize)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -103,10 +189,41 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--formula" => {
                 opts.formula = Some(it.next().ok_or("--formula needs an LTL formula")?.clone())
             }
+            "--timeout" => {
+                opts.timeout =
+                    Some(parse_duration(it.next().ok_or("--timeout needs a duration")?)?)
+            }
+            "--max-states" => {
+                opts.max_states =
+                    Some(parse_count(it.next().ok_or("--max-states needs a count")?)?)
+            }
+            "--max-transitions" => {
+                opts.max_transitions =
+                    Some(parse_count(it.next().ok_or("--max-transitions needs a count")?)?)
+            }
+            "--max-memory" => {
+                opts.max_memory =
+                    Some(parse_count(it.next().ok_or("--max-memory needs a byte count")?)?)
+            }
+            "--no-fallback" => opts.no_fallback = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
+}
+
+fn print_usage() {
+    eprintln!("usage: bbv <list|verify|quotient|check> [algorithm] [options]");
+    eprintln!("  options: --threads N  --ops N  --domain 1,2");
+    eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
+    eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
+    eprintln!("  budget:  --timeout 30s  --max-states 1e6  --max-transitions 1e7");
+    eprintln!("           --max-memory 2e9  --no-fallback");
+    eprintln!("           with a budget, `verify` degrades gracefully: on exhaustion it");
+    eprintln!("           retries with strong-bisimulation pre-reduction, then a smaller");
+    eprintln!("           bound, and reports which rung answered");
+    eprintln!("  exit codes: 0 proved   1 refuted   2 inconclusive (budget/internal fault)");
+    eprintln!("              3 usage or parse error");
 }
 
 fn main() {
@@ -117,17 +234,31 @@ fn main() {
             for (name, desc) in ALGORITHMS {
                 println!("  {name:<18} {desc}");
             }
-            0
+            EXIT_PROVED
         }
-        Some("verify") => run(&args[1..], Mode::Verify),
-        Some("quotient") => run(&args[1..], Mode::Quotient),
-        Some("check") => run(&args[1..], Mode::Check),
+        Some("help") | Some("--help") | Some("-h") => {
+            print_usage();
+            EXIT_PROVED
+        }
+        Some(cmd @ ("verify" | "quotient" | "check")) => {
+            let mode = match cmd {
+                "verify" => Mode::Verify,
+                "quotient" => Mode::Quotient,
+                _ => Mode::Check,
+            };
+            // A panicking case (a bug in a checker, not a budget trip) is an
+            // inconclusive run, not a crash.
+            match run_isolated(|| run(&args[1..], mode)) {
+                Ok(code) => code,
+                Err(msg) => {
+                    eprintln!("internal fault (treated as inconclusive): {msg}");
+                    EXIT_INCONCLUSIVE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: bbv <list|verify|quotient|check> [algorithm] [options]");
-            eprintln!("  options: --threads N  --ops N  --domain 1,2");
-            eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
-            eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
-            2
+            print_usage();
+            EXIT_USAGE
         }
     };
     std::process::exit(code);
@@ -143,20 +274,21 @@ enum Mode {
 fn run(args: &[String], mode: Mode) -> i32 {
     let Some(name) = args.first() else {
         eprintln!("missing algorithm name; try `bbv list`");
-        return 2;
+        return EXIT_USAGE;
     };
     let opts = match parse_options(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            return 2;
+            return EXIT_USAGE;
         }
     };
     let d = &opts.domain;
     let dsize = d.len() as i64;
     let th = opts.threads;
     let ops = opts.ops;
-    match name.as_str() {
+    // Accept underscores interchangeably with dashes (`ms_queue` = `ms-queue`).
+    match name.replace('_', "-").as_str() {
         "treiber" => dispatch(&Treiber::new(d), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
         "treiber-hp" => dispatch(&TreiberHp::new(d, th), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
         "treiber-hp-fu" => dispatch(&TreiberHpFu::new(d, th), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
@@ -184,15 +316,21 @@ fn run(args: &[String], mode: Mode) -> i32 {
         "coarse-set" => dispatch(&CoarseLocked::new(SeqSet::new(d)), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
         other => {
             eprintln!("unknown algorithm `{other}`; try `bbv list`");
-            2
+            EXIT_USAGE
         }
     }
 }
 
-fn explore_or_die<A: ObjectAlgorithm>(alg: &A, bound: Bound) -> Result<Lts, i32> {
-    explore_system(alg, bound, ExploreLimits::default()).map_err(|e| {
-        eprintln!("state-space exploration failed: {e}");
-        3
+/// Explores under the option budget; exhaustion is an inconclusive outcome
+/// (exit 2), reported with the exhausted stage and its partial statistics.
+fn explore_or_inconclusive<A: ObjectAlgorithm>(
+    alg: &A,
+    bound: Bound,
+    wd: &Watchdog,
+) -> Result<Lts, i32> {
+    explore_system_governed(alg, bound, wd).map_err(|e| {
+        eprintln!("inconclusive: {e}");
+        EXIT_INCONCLUSIVE
     })
 }
 
@@ -204,7 +342,13 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     non_blocking: bool,
 ) -> i32 {
     let bound = Bound::new(opts.threads, opts.ops);
-    let imp = match explore_or_die(alg, bound) {
+
+    if mode == Mode::Verify && opts.budgeted() {
+        return verify_governed(alg, spec, opts, bound, non_blocking);
+    }
+
+    let wd = Watchdog::new(opts.budget());
+    let imp = match explore_or_inconclusive(alg, bound, &wd) {
         Ok(l) => l,
         Err(c) => return c,
     };
@@ -212,19 +356,25 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     if mode == Mode::Check {
         let Some(raw) = &opts.formula else {
             eprintln!("`check` needs --formula \"...\"; e.g. --formula \"G F (ret | done)\"");
-            return 2;
+            return EXIT_USAGE;
         };
         let formula = match bbverify::ltl::parse(raw) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("formula error {e}");
-                return 2;
+                return EXIT_USAGE;
             }
         };
         // Model check on the divergence-preserving quotient: it is
         // ≈div-bisimilar to the object, so all next-free LTL carries over.
         let q = bbverify::bisim::div_quotient(&imp);
-        let result = bbverify::ltl::check(&q.lts, &formula);
+        let result = match bbverify::ltl::check_governed(&q.lts, &formula, &wd) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("inconclusive: {e}");
+                return EXIT_INCONCLUSIVE;
+            }
+        };
         println!("algorithm : {}", alg.name());
         println!("formula   : {formula}");
         println!(
@@ -239,7 +389,7 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
                 println!("  {line}");
             }
         }
-        return i32::from(!result.holds);
+        return if result.holds { EXIT_PROVED } else { EXIT_REFUTED };
     }
 
     if mode == Mode::Quotient {
@@ -256,21 +406,21 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
         if let Some(path) = &opts.dot {
             if let Err(e) = std::fs::write(path, to_dot(&q.lts, alg.name())) {
                 eprintln!("could not write {path}: {e}");
-                return 3;
+                return EXIT_USAGE;
             }
             println!("quotient written to {path} (Graphviz DOT)");
         }
         if let Some(path) = &opts.aut {
             if let Err(e) = std::fs::write(path, to_aut(&q.lts)) {
                 eprintln!("could not write {path}: {e}");
-                return 3;
+                return EXIT_USAGE;
             }
             println!("quotient written to {path} (Aldebaran .aut, CADP-compatible)");
         }
-        return 0;
+        return EXIT_PROVED;
     }
 
-    let sp = match explore_or_die(spec, bound) {
+    let sp = match explore_or_inconclusive(spec, bound, &wd) {
         Ok(l) => l,
         Err(c) => return c,
     };
@@ -302,5 +452,50 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     }
     let failed = !report.linearizable()
         || report.lock_freedom.as_ref().is_some_and(|l| !l.lock_free);
-    i32::from(failed)
+    if failed {
+        EXIT_REFUTED
+    } else {
+        EXIT_PROVED
+    }
+}
+
+/// The budget-governed `verify` path: run the fallback ladder and map the
+/// overall verdict onto the exit code.
+fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
+    alg: &A,
+    spec: &AtomicSpec<S>,
+    opts: &Options,
+    bound: Bound,
+    non_blocking: bool,
+) -> i32 {
+    let mut config = GovernedConfig::new(bound, opts.budget());
+    if !opts.check_lock_freedom || !non_blocking {
+        config = config.linearizability_only();
+    }
+    if opts.no_fallback {
+        config = config.no_fallback();
+    }
+    let report = verify_case_governed(alg, spec, &config);
+    print!("{}", report.render());
+    if let Some(details) = &report.details {
+        println!("{}", details.summary());
+        if let Some(v) = &details.linearizability.violation {
+            println!("non-linearizable history:");
+            println!("  {}", v.to_pretty());
+        }
+        if let Some(lf) = &details.lock_freedom {
+            if let Some(lasso) = &lf.divergence {
+                println!(
+                    "lock-freedom violation: τ-loop of {} step(s) after a {}-step prefix",
+                    lasso.cycle.len(),
+                    lasso.prefix.len()
+                );
+            }
+        }
+    }
+    match report.overall() {
+        Verdict::Proved => EXIT_PROVED,
+        Verdict::Refuted => EXIT_REFUTED,
+        Verdict::Inconclusive { .. } => EXIT_INCONCLUSIVE,
+    }
 }

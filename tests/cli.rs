@@ -94,9 +94,94 @@ fn quotient_writes_dot_and_aut() {
 }
 
 #[test]
-fn unknown_algorithm_is_an_error() {
+fn unknown_algorithm_is_a_usage_error() {
     let out = bbv(&["verify", "no-such-thing"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn unknown_option_is_a_usage_error() {
+    let out = bbv(&["verify", "treiber", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = bbv(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn help_documents_exit_codes() {
+    let out = bbv(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("exit codes"), "{text}");
+    assert!(text.contains("--timeout"), "{text}");
+    assert!(text.contains("--max-states"), "{text}");
+}
+
+#[test]
+fn underscore_algorithm_names_are_accepted() {
+    let out = bbv(&["verify", "ms_queue", "--threads", "2", "--ops", "1", "--domain", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn tiny_timeout_is_inconclusive_exit_2() {
+    let started = std::time::Instant::now();
+    let out = bbv(&["verify", "ms-queue", "--threads", "3", "--ops", "3", "--timeout", "250ms"]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    // Well under 2x the deadline even with process startup slack.
+    assert!(started.elapsed() < std::time::Duration::from_secs(5));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("inconclusive"), "{text}");
+    assert!(text.contains("deadline"), "{text}");
+    // The report names the exhausted stage.
+    assert!(text.contains("explore"), "{text}");
+}
+
+#[test]
+fn state_cap_falls_back_to_reduced_bound() {
+    let out = bbv(&[
+        "verify", "ms-queue", "--threads", "2", "--ops", "2", "--domain", "1",
+        "--max-states", "2e3",
+    ]);
     assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("reduced-bound"), "{text}");
+    assert!(text.contains("reduced bound 2-1"), "{text}");
+}
+
+#[test]
+fn generous_budget_still_proves() {
+    let out = bbv(&[
+        "verify", "treiber", "--threads", "2", "--ops", "1", "--domain", "1",
+        "--timeout", "120s", "--max-states", "1e6",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("linearizability proved"), "{text}");
+    assert!(text.contains("direct"), "{text}");
+}
+
+#[test]
+fn budgeted_refutation_exits_one() {
+    let out = bbv(&[
+        "verify", "hw-queue", "--threads", "2", "--ops", "1", "--domain", "1",
+        "--timeout", "120s",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("lock-freedom refuted"), "{text}");
+}
+
+#[test]
+fn bad_budget_values_are_usage_errors() {
+    let out = bbv(&["verify", "treiber", "--timeout", "soon"]);
+    assert_eq!(out.status.code(), Some(3));
+    let out = bbv(&["verify", "treiber", "--max-states", "many"]);
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]
@@ -144,7 +229,7 @@ fn check_subcommand_with_parsed_formula() {
 }
 
 #[test]
-fn check_rejects_bad_formula() {
+fn check_rejects_bad_formula_as_usage_error() {
     let out = bbv(&["check", "treiber", "--formula", "G G %"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
 }
