@@ -7,18 +7,19 @@
 //!
 //! Subcommands: `table1` … `table7`, `fig10`, `all`. The `--large` flag
 //! extends the sweeps towards the paper's original configurations (minutes
-//! of runtime instead of seconds). Absolute state counts and times differ
+//! of runtime instead of seconds); `--jobs N` runs exploration and
+//! refinement on N worker threads (deterministic — only timings change). Absolute state counts and times differ
 //! from the paper (different front end, hardware and heap canonicalization
 //! — see DESIGN.md); the *shape* of every result is reproduced.
 
-use bb_bench::{check, lts_of, mark, try_lts_of};
-use bb_bisim::{bisimilar, partition, quotient, Equivalence};
+use bb_bench::{check, lts_of_jobs, mark, try_lts_of_jobs};
+use bb_bisim::{bisimilar_governed_jobs, partition_jobs, quotient, Equivalence};
 use bb_core::{
-    verify_case_lts, verify_linearizability, verify_lock_freedom,
-    verify_lock_freedom_via_abstraction, VerifyConfig,
+    verify_case_lts, verify_linearizability_jobs, verify_lock_freedom_jobs,
+    verify_lock_freedom_via_abstraction_jobs, VerifyConfig,
 };
 use bb_ktrace::{classify_tau_edges, KtraceLimits};
-use bb_lts::Lts;
+use bb_lts::{Jobs, Lts, Watchdog};
 use bb_sim::{AtomicSpec, Bound};
 use std::time::Instant;
 
@@ -33,32 +34,53 @@ use bb_algorithms::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let large = args.iter().any(|a| a == "--large");
+    let jobs = match parse_jobs(&args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(3);
+        }
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
-        "table1" => guarded("table1", table1),
-        "table2" => guarded("table2", table2),
-        "table3" => guarded("table3", || table3(large)),
-        "table4" => guarded("table4", || table4(large)),
-        "table5" => guarded("table5", table5),
-        "table6" => guarded("table6", || table6(large)),
-        "table7" => guarded("table7", table7),
-        "fig10" => guarded("fig10", || fig10(large)),
+        "table1" => guarded("table1", || table1(jobs)),
+        "table2" => guarded("table2", || table2(jobs)),
+        "table3" => guarded("table3", || table3(large, jobs)),
+        "table4" => guarded("table4", || table4(large, jobs)),
+        "table5" => guarded("table5", || table5(jobs)),
+        "table6" => guarded("table6", || table6(large, jobs)),
+        "table7" => guarded("table7", || table7(jobs)),
+        "fig10" => guarded("fig10", || fig10(large, jobs)),
         "all" => {
-            guarded("table1", table1);
-            guarded("table2", table2);
-            guarded("table3", || table3(large));
-            guarded("table4", || table4(large));
-            guarded("table5", table5);
-            guarded("table6", || table6(large));
-            guarded("table7", table7);
-            guarded("fig10", || fig10(large));
+            guarded("table1", || table1(jobs));
+            guarded("table2", || table2(jobs));
+            guarded("table3", || table3(large, jobs));
+            guarded("table4", || table4(large, jobs));
+            guarded("table5", || table5(jobs));
+            guarded("table6", || table6(large, jobs));
+            guarded("table7", || table7(jobs));
+            guarded("fig10", || fig10(large, jobs));
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: tables [table1..table7|fig10|all] [--large]");
+            eprintln!("usage: tables [table1..table7|fig10|all] [--large] [--jobs N]");
             std::process::exit(3);
         }
     }
+}
+
+/// Parses `--jobs N` (default: all cores). Every table is deterministic in
+/// the worker count — only the timing columns change.
+fn parse_jobs(args: &[String]) -> Result<Jobs, String> {
+    let Some(pos) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(Jobs::available());
+    };
+    let raw = args.get(pos + 1).ok_or("--jobs needs a thread count")?;
+    let n: usize = raw.parse().map_err(|e| format!("--jobs: {e}"))?;
+    if n == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    Ok(Jobs::new(n))
 }
 
 /// Runs one table with panic isolation: a fault in any table aborts only
@@ -74,7 +96,7 @@ fn guarded(name: &str, f: impl FnOnce()) {
 
 // ------------------------------------------------------------------ Table I
 
-fn table1() {
+fn table1(jobs: Jobs) {
     println!("\n=== TABLE I — k-trace equivalence in various concurrent algorithms ===");
     println!("(paper: non-fixed-LP algorithms exhibit ≡₁∧≢₂ τ-edges)\n");
     println!(
@@ -98,18 +120,18 @@ fn table1() {
         }
     };
 
-    row("HW queue", "3-1", true, &lts_of(&HwQueue::for_bound(&[1, 2], 3, 1), 3, 1));
-    row("MS queue", "3-2", true, &lts_of(&MsQueue::new(&[1]), 3, 2));
-    row("DGLM queue", "3-2", true, &lts_of(&DglmQueue::new(&[1]), 3, 2));
-    row("Treiber stack", "2-2", false, &lts_of(&Treiber::new(&[1]), 2, 2));
-    row("NewCompareAndSet", "2-2", false, &lts_of(&NewCas::new(2), 2, 2));
-    row("CCAS", "2-3", true, &lts_of(&Ccas::new(2), 2, 3));
-    row("RDCSS", "2-3", true, &lts_of(&Rdcss::new(2), 2, 3));
+    row("HW queue", "3-1", true, &lts_of_jobs(&HwQueue::for_bound(&[1, 2], 3, 1), 3, 1, jobs));
+    row("MS queue", "3-2", true, &lts_of_jobs(&MsQueue::new(&[1]), 3, 2, jobs));
+    row("DGLM queue", "3-2", true, &lts_of_jobs(&DglmQueue::new(&[1]), 3, 2, jobs));
+    row("Treiber stack", "2-2", false, &lts_of_jobs(&Treiber::new(&[1]), 2, 2, jobs));
+    row("NewCompareAndSet", "2-2", false, &lts_of_jobs(&NewCas::new(2), 2, 2, jobs));
+    row("CCAS", "2-3", true, &lts_of_jobs(&Ccas::new(2), 2, 3, jobs));
+    row("RDCSS", "2-3", true, &lts_of_jobs(&Rdcss::new(2), 2, 3, jobs));
 }
 
 // ----------------------------------------------------------------- Table II
 
-fn table2() {
+fn table2(jobs: Jobs) {
     println!("\n=== TABLE II — verified algorithms using branching bisimulation ===\n");
     println!(
         "{:<40} {:>6} {:>16} {:>10} {:>12} {:>10}",
@@ -124,9 +146,9 @@ fn table2() {
             let cfg_col = format!("{}-{}", $th, $op);
             let outcome = bb_core::run_isolated(|| -> Result<String, bb_lts::ExploreError> {
                 let bound = Bound::new($th, $op);
-                let imp = try_lts_of(&$alg, $th, $op)?;
-                let spec = try_lts_of(&AtomicSpec::new($spec), $th, $op)?;
-                let mut cfg = VerifyConfig::new(bound);
+                let imp = try_lts_of_jobs(&$alg, $th, $op, jobs)?;
+                let spec = try_lts_of_jobs(&AtomicSpec::new($spec), $th, $op, jobs)?;
+                let mut cfg = VerifyConfig::new(bound).with_jobs(jobs);
                 if !$lf {
                     cfg = cfg.linearizability_only();
                 }
@@ -184,7 +206,7 @@ fn table2() {
 
 // ---------------------------------------------------------------- Table III
 
-fn table3(large: bool) {
+fn table3(large: bool, jobs: Jobs) {
     println!("\n=== TABLE III — automatically checking lock-freedom of the MS queue (Thm 5.9) ===\n");
     println!(
         "{:>7} {:>12} {:>10} {:>22} {:>10}",
@@ -195,9 +217,9 @@ fn table3(large: bool) {
         configs.extend([(2, 4), (2, 5), (3, 2)]);
     }
     for (th, op) in configs {
-        let imp = lts_of(&MsQueue::new(&[1, 2]), th, op);
+        let imp = lts_of_jobs(&MsQueue::new(&[1, 2]), th, op, jobs);
         let t0 = Instant::now();
-        let r = verify_lock_freedom(&imp);
+        let r = verify_lock_freedom_jobs(&imp, jobs);
         println!(
             "{:>7} {:>12} {:>10} {:>22} {:>9.2?}",
             format!("{th}-{op}"),
@@ -211,7 +233,7 @@ fn table3(large: bool) {
 
 // ----------------------------------------------------------------- Table IV
 
-fn table4(large: bool) {
+fn table4(large: bool, jobs: Jobs) {
     println!("\n=== TABLE IV — automatically checking lock-freedom of the HM list (Thm 5.9) ===\n");
     println!(
         "{:>7} {:>12} {:>10} {:>22} {:>10}",
@@ -222,9 +244,9 @@ fn table4(large: bool) {
         configs.extend([(2, 3), (2, 4)]);
     }
     for (th, op) in configs {
-        let imp = lts_of(&HmList::revised(&[1, 2]), th, op);
+        let imp = lts_of_jobs(&HmList::revised(&[1, 2]), th, op, jobs);
         let t0 = Instant::now();
-        let r = verify_lock_freedom(&imp);
+        let r = verify_lock_freedom_jobs(&imp, jobs);
         println!(
             "{:>7} {:>12} {:>10} {:>22} {:>9.2?}",
             format!("{th}-{op}"),
@@ -238,16 +260,16 @@ fn table4(large: bool) {
 
 // ------------------------------------------------------------------ Table V
 
-fn table5() {
+fn table5(jobs: Jobs) {
     println!("\n=== TABLE V — checking lock-freedom of the HW queue ===\n");
     println!(
         "{:>7} {:>12} {:>10} {:>22} {:>10}",
         "#Th-#Op", "|Δ_HW|", "|Δ_HW/≈|", "lock-free (Thm 5.9)", "time"
     );
     let (th, op) = (3u8, 1u32);
-    let imp = lts_of(&HwQueue::for_bound(&[1], th, op), th, op);
+    let imp = lts_of_jobs(&HwQueue::for_bound(&[1], th, op), th, op, jobs);
     let t0 = Instant::now();
-    let r = verify_lock_freedom(&imp);
+    let r = verify_lock_freedom_jobs(&imp, jobs);
     println!(
         "{:>7} {:>12} {:>10} {:>22} {:>9.2?}",
         format!("{th}-{op}"),
@@ -266,7 +288,7 @@ fn table5() {
 
 // ----------------------------------------------------------------- Table VI
 
-fn table6(large: bool) {
+fn table6(large: bool, jobs: Jobs) {
     println!("\n=== TABLE VI — verifying linearizability and lock-freedom of concurrent queues ===\n");
     println!(
         "{:>7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}  {:>21} {:>21}",
@@ -279,32 +301,32 @@ fn table6(large: bool) {
     }
     for (th, op) in configs {
         let dom: &[i64] = &[1, 2];
-        let ms = lts_of(&MsQueue::new(dom), th, op);
-        let dglm = lts_of(&DglmQueue::new(dom), th, op);
-        let spec = lts_of(&AtomicSpec::new(SeqQueue::new(dom)), th, op);
-        let abs = lts_of(&AbsQueue::new(dom), th, op);
+        let ms = lts_of_jobs(&MsQueue::new(dom), th, op, jobs);
+        let dglm = lts_of_jobs(&DglmQueue::new(dom), th, op, jobs);
+        let spec = lts_of_jobs(&AtomicSpec::new(SeqQueue::new(dom)), th, op, jobs);
+        let abs = lts_of_jobs(&AbsQueue::new(dom), th, op, jobs);
 
         let spec_q = {
-            let p = partition(&spec, Equivalence::Branching);
+            let p = partition_jobs(&spec, Equivalence::Branching, jobs);
             quotient(&spec, &p).lts.num_states()
         };
         let ms_q = {
-            let p = partition(&ms, Equivalence::Branching);
+            let p = partition_jobs(&ms, Equivalence::Branching, jobs);
             quotient(&ms, &p).lts.num_states()
         };
 
         let t0 = Instant::now();
-        let lf_ms = verify_lock_freedom_via_abstraction(&ms, &abs);
+        let lf_ms = verify_lock_freedom_via_abstraction_jobs(&ms, &abs, jobs);
         let t_lf_ms = t0.elapsed();
         let t0 = Instant::now();
-        let lf_dglm = verify_lock_freedom_via_abstraction(&dglm, &abs);
+        let lf_dglm = verify_lock_freedom_via_abstraction_jobs(&dglm, &abs, jobs);
         let t_lf_dglm = t0.elapsed();
 
         let t0 = Instant::now();
-        let lin_ms = verify_linearizability(&ms, &spec);
+        let lin_ms = verify_linearizability_jobs(&ms, &spec, jobs);
         let t_lin_ms = t0.elapsed();
         let t0 = Instant::now();
-        let lin_dglm = verify_linearizability(&dglm, &spec);
+        let lin_dglm = verify_linearizability_jobs(&dglm, &spec, jobs);
         let t_lin_dglm = t0.elapsed();
 
         let lf_ok = lf_ms.concrete_lock_free == Some(true)
@@ -333,7 +355,7 @@ fn table6(large: bool) {
 
 // ---------------------------------------------------------------- Table VII
 
-fn table7() {
+fn table7(jobs: Jobs) {
     println!("\n=== TABLE VII — checking Δ ≈ Θsp and Δ ~w Θsp for various algorithms ===\n");
     println!(
         "{:>7} {:<12} {:>10} {:>8} {:>9} {:>9} {:>5} {:>5}",
@@ -342,18 +364,21 @@ fn table7() {
 
     macro_rules! row {
         ($name:expr, $alg:expr, $spec:expr, $th:expr, $op:expr) => {{
-            let imp = lts_of(&$alg, $th, $op);
-            let spec = lts_of(&AtomicSpec::new($spec), $th, $op);
+            let imp = lts_of_jobs(&$alg, $th, $op, jobs);
+            let spec = lts_of_jobs(&AtomicSpec::new($spec), $th, $op, jobs);
             let dq = {
-                let p = partition(&imp, Equivalence::Branching);
+                let p = partition_jobs(&imp, Equivalence::Branching, jobs);
                 quotient(&imp, &p).lts.num_states()
             };
             let sq = {
-                let p = partition(&spec, Equivalence::Branching);
+                let p = partition_jobs(&spec, Equivalence::Branching, jobs);
                 quotient(&spec, &p).lts.num_states()
             };
-            let w = bisimilar(&imp, &spec, Equivalence::Weak);
-            let b = bisimilar(&imp, &spec, Equivalence::Branching);
+            let wd = Watchdog::unlimited();
+            let w = bisimilar_governed_jobs(&imp, &spec, Equivalence::Weak, &wd, jobs)
+                .expect("an unlimited watchdog never trips");
+            let b = bisimilar_governed_jobs(&imp, &spec, Equivalence::Branching, &wd, jobs)
+                .expect("an unlimited watchdog never trips");
             println!(
                 "{:>7} {:<12} {:>10} {:>8} {:>9} {:>9} {:>5} {:>5}",
                 format!("{}-{}", $th, $op),
@@ -385,7 +410,7 @@ fn table7() {
 
 // ------------------------------------------------------------------ Fig. 10
 
-fn fig10(large: bool) {
+fn fig10(large: bool, jobs: Jobs) {
     println!("\n=== FIG. 10 — state-space reduction using ≈-quotienting ===");
     println!("(2 threads, increasing #operations; log-log data series)\n");
     println!(
@@ -396,13 +421,14 @@ fn fig10(large: bool) {
     macro_rules! series {
         ($name:expr, $alg:expr, $max:expr) => {{
             for op in 1..=$max {
-                let lts = match bb_sim::explore_system(
+                let lts = match bb_sim::explore_system_jobs(
                     &$alg,
                     Bound::new(2, op),
                     bb_lts::ExploreLimits {
                         max_states: 20_000_000,
                         max_transitions: 80_000_000,
                     },
+                    jobs,
                 ) {
                     Ok(l) => l,
                     Err(e) => {
@@ -410,7 +436,7 @@ fn fig10(large: bool) {
                         break;
                     }
                 };
-                let p = partition(&lts, Equivalence::Branching);
+                let p = partition_jobs(&lts, Equivalence::Branching, jobs);
                 let q = quotient(&lts, &p);
                 println!(
                     "{:<28} {:>4} {:>12} {:>10} {:>10.1}",

@@ -4,8 +4,8 @@
 //! Criterion benches both build their systems through these helpers so the
 //! measured workloads stay consistent.
 
-use bb_lts::{ExploreError, ExploreLimits, Lts};
-use bb_sim::{explore_system, Bound, ObjectAlgorithm};
+use bb_lts::{ExploreError, ExploreLimits, Jobs, Lts};
+use bb_sim::{explore_system_jobs, Bound, ObjectAlgorithm};
 
 /// Fault-injection hook for testing the sweep's panic isolation: when the
 /// `BB_SABOTAGE` environment variable is a non-empty substring of the case
@@ -21,16 +21,32 @@ pub fn try_lts_of<A: ObjectAlgorithm>(
     threads: u8,
     ops: u32,
 ) -> Result<Lts, ExploreError> {
+    try_lts_of_jobs(alg, threads, ops, Jobs::serial())
+}
+
+/// [`try_lts_of`] with `jobs` exploration workers; the resulting LTS is
+/// bit-identical at any worker count.
+pub fn try_lts_of_jobs<A: ObjectAlgorithm>(
+    alg: &A,
+    threads: u8,
+    ops: u32,
+    jobs: Jobs,
+) -> Result<Lts, ExploreError> {
     if sabotaged(alg.name()) {
         panic!("BB_SABOTAGE: injected fault in case `{}`", alg.name());
     }
-    explore_system(alg, Bound::new(threads, ops), ExploreLimits::default())
+    explore_system_jobs(alg, Bound::new(threads, ops), ExploreLimits::default(), jobs)
 }
 
 /// Explores `alg` at `threads`-`ops` with default limits, panicking on
 /// explosion (bench workloads are sized to fit).
 pub fn lts_of<A: ObjectAlgorithm>(alg: &A, threads: u8, ops: u32) -> Lts {
-    try_lts_of(alg, threads, ops)
+    lts_of_jobs(alg, threads, ops, Jobs::serial())
+}
+
+/// [`lts_of`] with `jobs` exploration workers.
+pub fn lts_of_jobs<A: ObjectAlgorithm>(alg: &A, threads: u8, ops: u32, jobs: Jobs) -> Lts {
+    try_lts_of_jobs(alg, threads, ops, jobs)
         .unwrap_or_else(|e| panic!("exploration of {} exceeded limits: {e}", alg.name()))
 }
 

@@ -6,10 +6,10 @@
 use crate::diagnostics::{distinguishing_formula, Formula};
 use crate::partition::Partition;
 use crate::signatures::{
-    partition, partition_governed, partition_with_history, Equivalence, RefinementHistory,
+    partition, partition_governed_jobs, partition_with_history, Equivalence, RefinementHistory,
 };
 use bb_lts::budget::{Exhausted, Watchdog};
-use bb_lts::{disjoint_union, Lts, StateId};
+use bb_lts::{disjoint_union, Jobs, Lts, StateId};
 
 /// The result of comparing two systems under a bisimulation equivalence.
 ///
@@ -90,6 +90,24 @@ pub fn bisimilar_governed(
     eq: Equivalence,
     wd: &Watchdog,
 ) -> Result<bool, Exhausted> {
+    bisimilar_governed_jobs(left, right, eq, wd, Jobs::serial())
+}
+
+/// [`bisimilar_governed`] with `jobs` worker threads for the signature
+/// passes (see [`partition_governed_jobs`]); the verdict is identical at
+/// any worker count.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict is reached;
+/// callers must treat this as *unknown*, never as inequivalence.
+pub fn bisimilar_governed_jobs(
+    left: &Lts,
+    right: &Lts,
+    eq: Equivalence,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<bool, Exhausted> {
     if eq == Equivalence::Weak {
         // Weak signatures need τ-closures, which are expensive on large
         // systems. Since ≈ refines ~w and every system is branching
@@ -97,16 +115,16 @@ pub fn bisimilar_governed(
         // originals equals the weak verdict between the (much smaller)
         // quotients.
         let reduce = |lts: &Lts| -> Result<Lts, Exhausted> {
-            let p = partition_governed(lts, Equivalence::Branching, wd)?;
+            let p = partition_governed_jobs(lts, Equivalence::Branching, wd, jobs)?;
             Ok(crate::quotient::quotient(lts, &p).lts)
         };
         let (lq, rq) = (reduce(left)?, reduce(right)?);
         let u = disjoint_union(&lq, &rq);
-        let p = partition_governed(&u.lts, Equivalence::Weak, wd)?;
+        let p = partition_governed_jobs(&u.lts, Equivalence::Weak, wd, jobs)?;
         return Ok(p.same_block(u.left_initial, u.right_initial));
     }
     let u = disjoint_union(left, right);
-    let p = partition_governed(&u.lts, eq, wd)?;
+    let p = partition_governed_jobs(&u.lts, eq, wd, jobs)?;
     Ok(p.same_block(u.left_initial, u.right_initial))
 }
 

@@ -14,9 +14,7 @@
 //! readable.
 
 use crate::partition::Partition;
-use crate::signatures::{
-    signatures_at, Equivalence, RefinementHistory, DIV_LETTER, TAU_LETTER,
-};
+use crate::signatures::{Ctx, Equivalence, RefinementHistory, DIV_LETTER, TAU_LETTER};
 use bb_lts::{Lts, StateId};
 use std::fmt;
 
@@ -87,13 +85,19 @@ pub fn distinguishing_formula(
         "states are equivalent; nothing distinguishes them"
     );
     let (_, names) = crate::signatures::letter_table(lts);
-    dist(lts, history, eq, &names, left, right, MAX_DEPTH)
+    // One context for the whole explanation: the letter table — and for
+    // weak bisimulation the full forward τ-closure — is built once here
+    // instead of once per replayed round, so formula construction is linear
+    // in the number of replays rather than quadratic in practice.
+    let ctx = Ctx::new(lts, eq);
+    dist(lts, &ctx, history, &names, left, right, MAX_DEPTH)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dist(
     lts: &Lts,
+    ctx: &Ctx<'_>,
     history: &RefinementHistory,
-    eq: Equivalence,
     names: &[String],
     left: StateId,
     right: StateId,
@@ -110,7 +114,7 @@ fn dist(
         .expect("states must be separated at some round");
     debug_assert!(k >= 1, "round 0 is the universal partition");
     let p = &history.rounds[k - 1];
-    let sigs = signatures_at(lts, p, eq);
+    let sigs = ctx.signatures_of(p);
     let sl = &sigs[left.index()];
     let sr = &sigs[right.index()];
 
@@ -121,7 +125,7 @@ fn dist(
         Formula::Can {
             letter: letter_name(names, letter),
             then: Box::new(target_subformula(
-                lts, history, eq, names, p, sr, letter, blk, depth,
+                lts, ctx, history, names, p, sr, letter, blk, depth,
             )),
         }
     } else if let Some(&(letter, blk)) = sr.iter().find(|e| !sl.contains(e)) {
@@ -131,7 +135,7 @@ fn dist(
         Formula::Not(Box::new(Formula::Can {
             letter: letter_name(names, letter),
             then: Box::new(target_subformula(
-                lts, history, eq, names, p, sl, letter, blk, depth,
+                lts, ctx, history, names, p, sl, letter, blk, depth,
             )),
         }))
     } else {
@@ -141,7 +145,7 @@ fn dist(
         let truncated = RefinementHistory {
             rounds: history.rounds[..k].to_vec(),
         };
-        dist(lts, &truncated, eq, names, left, right, depth - 1)
+        dist(lts, ctx, &truncated, names, left, right, depth - 1)
     }
 }
 
@@ -164,8 +168,8 @@ fn letter_name(names: &[String], letter: u32) -> String {
 #[allow(clippy::too_many_arguments)]
 fn target_subformula(
     lts: &Lts,
+    ctx: &Ctx<'_>,
     history: &RefinementHistory,
-    eq: Equivalence,
     names: &[String],
     p: &Partition,
     other_sig: &[(u32, u32)],
@@ -188,7 +192,7 @@ fn target_subformula(
     let Some(other) = lts.states().find(|s| p.block_of(*s).0 == other_blk) else {
         return Formula::True;
     };
-    dist(lts, history, eq, names, target, other, depth - 1)
+    dist(lts, ctx, history, names, target, other, depth - 1)
 }
 
 #[cfg(test)]

@@ -53,7 +53,9 @@ mod partition;
 mod quotient;
 mod signatures;
 
-pub use compare::{bisimilar, bisimilar_governed, bisimilar_states, BisimCheck};
+pub use compare::{
+    bisimilar, bisimilar_governed, bisimilar_governed_jobs, bisimilar_states, BisimCheck,
+};
 pub use diagnostics::{distinguishing_formula, Formula};
 pub use divergence::{
     divergence_witness, divergence_witness_governed, divergent_states, has_tau_cycle,
@@ -62,5 +64,6 @@ pub use divergence::{
 pub use partition::{BlockId, Partition};
 pub use quotient::{div_quotient, quotient, Quotient};
 pub use signatures::{
-    partition, partition_governed, partition_with_history, Equivalence, RefinementHistory,
+    partition, partition_governed, partition_governed_jobs, partition_jobs,
+    partition_with_history, Equivalence, RefinementHistory,
 };

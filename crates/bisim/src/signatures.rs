@@ -10,8 +10,14 @@
 
 use crate::partition::{BlockId, Partition};
 use bb_lts::budget::{Exhausted, Meter, Stage, Watchdog};
-use bb_lts::{tarjan_scc, Lts, TauClosure};
+use bb_lts::{tarjan_scc, Jobs, Lts, StateId, TauClosure};
 use std::collections::HashMap;
+
+/// Minimum states per worker before a signature pass is fanned out.
+const SIG_MIN_CHUNK: usize = 256;
+/// Minimum SCCs per worker before a branching topological layer is fanned
+/// out (per-SCC work is heavier than per-state work).
+const SCC_MIN_CHUNK: usize = 64;
 
 /// The equivalence relation to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,8 +51,15 @@ pub(crate) const DIV_LETTER: u32 = u32::MAX;
 pub(crate) const TAU_LETTER: u32 = 0;
 
 /// Per-LTS context shared by all refinement rounds.
-struct Ctx<'a> {
+///
+/// Hoisting this across rounds (and across the diagnostic replays of
+/// [`signatures_at`]) means the letter table — and for [`Equivalence::Weak`]
+/// the full forward τ-closure — is built once per LTS, not once per round.
+pub(crate) struct Ctx<'a> {
     lts: &'a Lts,
+    eq: Equivalence,
+    /// Worker threads for the sharded signature passes.
+    jobs: Jobs,
     /// Maps `ActionId` to a letter id: `TAU_LETTER` for every internal
     /// action, a unique id `>= 1` per distinct observation otherwise.
     letters: Vec<u32>,
@@ -55,7 +68,11 @@ struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
-    fn new(lts: &'a Lts, eq: Equivalence) -> Self {
+    pub(crate) fn new(lts: &'a Lts, eq: Equivalence) -> Self {
+        Ctx::with_jobs(lts, eq, Jobs::serial())
+    }
+
+    fn with_jobs(lts: &'a Lts, eq: Equivalence, jobs: Jobs) -> Self {
         let (letters, _) = letter_table(lts);
         let closure = match eq {
             Equivalence::Weak => Some(TauClosure::compute(lts)),
@@ -63,6 +80,8 @@ impl<'a> Ctx<'a> {
         };
         Ctx {
             lts,
+            eq,
+            jobs,
             letters,
             closure,
         }
@@ -72,6 +91,60 @@ impl<'a> Ctx<'a> {
     fn is_tau(&self, a: bb_lts::ActionId) -> bool {
         self.letters[a.index()] == TAU_LETTER
     }
+
+    /// Computes the signatures of all states w.r.t. `p` into `sigs`,
+    /// returning the total number of `(letter, block)` pairs written (the
+    /// incremental input to the memory accounting).
+    ///
+    /// The strong/weak passes shard by state range and the branching pass
+    /// shards by condensed-SCC topological layer; every shard writes a
+    /// disjoint region and the result is identical to the sequential pass
+    /// at any worker count.
+    fn compute(&self, p: &Partition, sigs: &mut [Signature]) -> usize {
+        match self.eq {
+            Equivalence::Strong => strong_signatures(self, p, sigs),
+            Equivalence::Branching => branching_signatures(self, p, false, sigs),
+            Equivalence::BranchingDiv => branching_signatures(self, p, true, sigs),
+            Equivalence::Weak => weak_signatures(self, p, sigs),
+        }
+    }
+
+    /// [`Ctx::compute`] into a fresh signature vector (diagnostics replay).
+    pub(crate) fn signatures_of(&self, p: &Partition) -> Vec<Signature> {
+        let mut sigs = vec![Vec::new(); self.lts.num_states()];
+        self.compute(p, &mut sigs);
+        sigs
+    }
+}
+
+/// Runs `f(base_state_index, shard)` over `jobs`-sized disjoint shards of
+/// `sigs` on scoped threads, returning the summed pair counts. Shards are
+/// contiguous state ranges, so each invocation writes exactly the states it
+/// owns; with one worker the call degenerates to `f(0, sigs)` inline.
+fn shard_states<F>(jobs: Jobs, sigs: &mut [Signature], f: F) -> usize
+where
+    F: Fn(usize, &mut [Signature]) -> usize + Sync,
+{
+    let n = sigs.len();
+    let workers = jobs.for_items(n, SIG_MIN_CHUNK);
+    if workers == 1 {
+        return f(0, sigs);
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sigs
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, shard)| {
+                let f = &f;
+                scope.spawn(move || f(i * chunk, shard))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .sum()
+    })
 }
 
 /// A signature: sorted, deduplicated `(letter, target block)` pairs.
@@ -100,31 +173,21 @@ pub(crate) fn letter_table(lts: &Lts) -> (Vec<u32>, Vec<String>) {
     (letters, names)
 }
 
-/// Computes the signatures of all states w.r.t. a given (not necessarily
-/// stable) partition. Used by the distinguishing-formula diagnostics to
-/// replay a refinement round.
-pub(crate) fn signatures_at(lts: &Lts, p: &Partition, eq: Equivalence) -> Vec<Signature> {
-    let ctx = Ctx::new(lts, eq);
-    let mut sigs = vec![Vec::new(); lts.num_states()];
-    match eq {
-        Equivalence::Strong => strong_signatures(&ctx, p, &mut sigs),
-        Equivalence::Branching => branching_signatures(&ctx, p, false, &mut sigs),
-        Equivalence::BranchingDiv => branching_signatures(&ctx, p, true, &mut sigs),
-        Equivalence::Weak => weak_signatures(&ctx, p, &mut sigs),
-    }
-    sigs
-}
-
-fn strong_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) {
-    for s in ctx.lts.states() {
-        let sig = &mut sigs[s.index()];
-        sig.clear();
-        for t in ctx.lts.successors(s) {
-            sig.push((ctx.letters[t.action.index()], p.block_of(t.target).0));
+fn strong_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) -> usize {
+    shard_states(ctx.jobs, sigs, |base, shard| {
+        let mut pairs = 0;
+        for (off, sig) in shard.iter_mut().enumerate() {
+            let s = StateId((base + off) as u32);
+            sig.clear();
+            for t in ctx.lts.successors(s) {
+                sig.push((ctx.letters[t.action.index()], p.block_of(t.target).0));
+            }
+            sig.sort_unstable();
+            sig.dedup();
+            pairs += sig.len();
         }
-        sig.sort_unstable();
-        sig.dedup();
-    }
+        pairs
+    })
 }
 
 /// Branching (and divergence-sensitive branching) signatures.
@@ -142,11 +205,13 @@ fn branching_signatures(
     p: &Partition,
     divergence: bool,
     sigs: &mut [Signature],
-) {
+) -> usize {
     let lts = ctx.lts;
     let n = lts.num_states();
 
-    // Condense the inert-τ graph w.r.t. the current partition.
+    // Condense the inert-τ graph w.r.t. the current partition (sequential:
+    // Tarjan is a single DFS and also fixes the reverse-topological order
+    // the propagation below relies on).
     let cond = tarjan_scc(n, |s, out| {
         for t in lts.successors(s) {
             if ctx.is_tau(t.action) && p.same_block(s, t.target) {
@@ -159,8 +224,9 @@ fn branching_signatures(
     let mut scc_sig: Vec<Signature> = vec![Vec::new(); cond.num_sccs];
     let mut scc_div: Vec<bool> = vec![false; cond.num_sccs];
 
-    // Tarjan ids are reverse-topological: successors of SCC k have ids < k.
-    for k in 0..cond.num_sccs {
+    // Computes the signature and divergence flag of SCC `k`, reading only
+    // SCCs with smaller ids (its inert successors).
+    let scc_signature = |k: usize, scc_sig: &[Signature], scc_div: &[bool]| {
         let mut acc: Signature = Vec::new();
         let mut div = cond.cyclic[k];
         for &s in &members[k] {
@@ -185,62 +251,147 @@ fn branching_signatures(
         }
         acc.sort_unstable();
         acc.dedup();
-        // The DIV marker must survive even though inert successors without it
-        // were merged in: recompute div flag storage.
-        scc_div[k] = div;
-        scc_sig[k] = acc;
+        (acc, div)
+    };
+
+    // Tarjan ids are reverse-topological: successors of SCC k have ids < k,
+    // so ascending order is a valid propagation order. For the parallel
+    // pass, SCCs are grouped into topological layers (layer = 1 + max layer
+    // of any inert successor SCC); within a layer SCCs only depend on
+    // earlier layers, so a layer can be computed by workers in any order —
+    // each writes its own slot, keyed by SCC id, hence deterministically.
+    if ctx.jobs.for_items(cond.num_sccs, SCC_MIN_CHUNK) == 1 {
+        for k in 0..cond.num_sccs {
+            let (sig, div) = scc_signature(k, &scc_sig, &scc_div);
+            scc_sig[k] = sig;
+            scc_div[k] = div;
+        }
+    } else {
+        let mut layer = vec![0u32; cond.num_sccs];
+        let mut num_layers = 0u32;
+        for k in 0..cond.num_sccs {
+            let mut l = 0u32;
+            for &s in &members[k] {
+                let bs = p.block_of(s);
+                for t in lts.successors(s) {
+                    if ctx.is_tau(t.action) && p.block_of(t.target) == bs {
+                        let succ_scc = cond.scc_of[t.target.index()].index();
+                        if succ_scc != k {
+                            l = l.max(layer[succ_scc] + 1);
+                        }
+                    }
+                }
+            }
+            layer[k] = l;
+            num_layers = num_layers.max(l + 1);
+        }
+        let mut layers: Vec<Vec<usize>> = vec![Vec::new(); num_layers as usize];
+        for k in 0..cond.num_sccs {
+            layers[layer[k] as usize].push(k);
+        }
+        for ks in &layers {
+            let workers = ctx.jobs.for_items(ks.len(), SCC_MIN_CHUNK);
+            if workers == 1 {
+                for &k in ks {
+                    let (sig, div) = scc_signature(k, &scc_sig, &scc_div);
+                    scc_sig[k] = sig;
+                    scc_div[k] = div;
+                }
+                continue;
+            }
+            let chunk = ks.len().div_ceil(workers);
+            let computed: Vec<Vec<(usize, Signature, bool)>> = std::thread::scope(|scope| {
+                let scc_sig = &scc_sig;
+                let scc_div = &scc_div;
+                let scc_signature = &scc_signature;
+                let handles: Vec<_> = ks
+                    .chunks(chunk)
+                    .map(|piece| {
+                        scope.spawn(move || {
+                            piece
+                                .iter()
+                                .map(|&k| {
+                                    let (sig, div) = scc_signature(k, scc_sig, scc_div);
+                                    (k, sig, div)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            });
+            for (k, sig, div) in computed.into_iter().flatten() {
+                scc_sig[k] = sig;
+                scc_div[k] = div;
+            }
+        }
     }
 
-    for s in lts.states() {
-        let scc = cond.scc_of[s.index()];
-        sigs[s.index()].clone_from(&scc_sig[scc.index()]);
-    }
+    // Per-state copy, sharded by state range.
+    let scc_sig = &scc_sig;
+    let cond = &cond;
+    shard_states(ctx.jobs, sigs, |base, shard| {
+        let mut pairs = 0;
+        for (off, sig) in shard.iter_mut().enumerate() {
+            let scc = cond.scc_of[base + off];
+            sig.clone_from(&scc_sig[scc.index()]);
+            pairs += sig.len();
+        }
+        pairs
+    })
 }
 
 /// Weak signatures:
 /// `sig(s) = { (a, [s']) | s ⇒ →a ⇒ s' } ∪ { (τ, [s']) | s ⇒ s', [s'] ≠ [s] }`.
-fn weak_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) {
+fn weak_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) -> usize {
     let lts = ctx.lts;
     let closure = ctx
         .closure
         .as_ref()
         .expect("weak signatures require the τ-closure");
-    for s in lts.states() {
-        let sig = &mut sigs[s.index()];
-        sig.clear();
-        let bs = p.block_of(s);
-        for &w in closure.of(s) {
-            if p.block_of(w) != bs {
-                sig.push((TAU_LETTER, p.block_of(w).0));
-            }
-            for t in lts.successors(w) {
-                if !ctx.is_tau(t.action) {
-                    let letter = ctx.letters[t.action.index()];
-                    for &v in closure.of(t.target) {
-                        sig.push((letter, p.block_of(v).0));
+    shard_states(ctx.jobs, sigs, |base, shard| {
+        let mut pairs = 0;
+        for (off, sig) in shard.iter_mut().enumerate() {
+            let s = StateId((base + off) as u32);
+            sig.clear();
+            let bs = p.block_of(s);
+            for &w in closure.of(s) {
+                if p.block_of(w) != bs {
+                    sig.push((TAU_LETTER, p.block_of(w).0));
+                }
+                for t in lts.successors(w) {
+                    if !ctx.is_tau(t.action) {
+                        let letter = ctx.letters[t.action.index()];
+                        for &v in closure.of(t.target) {
+                            sig.push((letter, p.block_of(v).0));
+                        }
                     }
                 }
             }
+            sig.sort_unstable();
+            sig.dedup();
+            pairs += sig.len();
         }
-        sig.sort_unstable();
-        sig.dedup();
-    }
+        pairs
+    })
 }
 
+/// One refinement round: recomputes signatures (possibly in parallel), then
+/// splits blocks sequentially. Returns the refined partition and the total
+/// signature pair count of the round (for incremental memory accounting).
 fn refine_once(
     ctx: &Ctx<'_>,
     p: &Partition,
-    eq: Equivalence,
     sigs: &mut [Signature],
     meter: &mut Meter,
-) -> Result<Partition, Exhausted> {
-    match eq {
-        Equivalence::Strong => strong_signatures(ctx, p, sigs),
-        Equivalence::Branching => branching_signatures(ctx, p, false, sigs),
-        Equivalence::BranchingDiv => branching_signatures(ctx, p, true, sigs),
-        Equivalence::Weak => weak_signatures(ctx, p, sigs),
-    }
+) -> Result<(Partition, usize), Exhausted> {
+    let pairs = ctx.compute(p, sigs);
     // Split key = (previous block, signature) so refinement is monotone.
+    // The split stays sequential at any worker count: block ids are handed
+    // out in state order, which the deterministic signatures make stable.
     let mut ids: HashMap<(BlockId, &Signature), u32> = HashMap::new();
     let mut assignment = Vec::with_capacity(p.num_states());
     for s in ctx.lts.states() {
@@ -251,7 +402,7 @@ fn refine_once(
         assignment.push(BlockId(id));
     }
     let num_blocks = ids.len();
-    Ok(Partition::new(assignment, num_blocks))
+    Ok((Partition::new(assignment, num_blocks), pairs))
 }
 
 fn run(lts: &Lts, eq: Equivalence, history: Option<&mut Vec<Partition>>) -> Partition {
@@ -265,12 +416,22 @@ fn run_governed(
     history: Option<&mut Vec<Partition>>,
     wd: &Watchdog,
 ) -> Result<Partition, Exhausted> {
+    run_governed_jobs(lts, eq, history, wd, Jobs::serial())
+}
+
+fn run_governed_jobs(
+    lts: &Lts,
+    eq: Equivalence,
+    history: Option<&mut Vec<Partition>>,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<Partition, Exhausted> {
     let n = lts.num_states();
     let mut meter = wd.meter(Stage::Bisim);
     // Input size counts against the state cap; each refinement round's scan
     // counts its transition visits (work-proportional accounting).
     meter.add_states(n)?;
-    let ctx = Ctx::new(lts, eq);
+    let ctx = Ctx::with_jobs(lts, eq, jobs);
     let mut p = Partition::universal(n);
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
     let mut rounds: Vec<Partition> = vec![p.clone()];
@@ -278,11 +439,12 @@ fn run_governed(
     let mut mem_accounted = 0usize;
     loop {
         meter.add_transitions(lts.num_transitions())?;
-        let next = refine_once(&ctx, &p, eq, &mut sigs, &mut meter)?;
-        let sig_bytes: usize = sigs
-            .iter()
-            .map(|s| s.len() * std::mem::size_of::<(u32, u32)>() + 24)
-            .sum();
+        let (next, pairs) = refine_once(&ctx, &p, &mut sigs, &mut meter)?;
+        // Incremental byte count from the pair total the signature writers
+        // already tracked — no extra O(n) rescan per round. The formula
+        // matches the old per-signature scan: `len * 8` payload plus 24
+        // bytes of `Vec` header per state.
+        let sig_bytes = pairs * std::mem::size_of::<(u32, u32)>() + 24 * n;
         if sig_bytes > mem_accounted {
             meter.add_memory(sig_bytes - mem_accounted)?;
             mem_accounted = sig_bytes;
@@ -328,6 +490,30 @@ pub fn partition_governed(
     wd: &Watchdog,
 ) -> Result<Partition, Exhausted> {
     run_governed(lts, eq, None, wd)
+}
+
+/// [`partition`] with `jobs` worker threads for the per-round signature
+/// passes (the split/assignment step stays sequential). The computed
+/// partition — block ids included — is identical to the sequential run at
+/// any worker count; `Jobs::serial()` is exactly today's code path.
+pub fn partition_jobs(lts: &Lts, eq: Equivalence, jobs: Jobs) -> Partition {
+    run_governed_jobs(lts, eq, None, &Watchdog::unlimited(), jobs)
+        .expect("an unlimited watchdog never trips")
+}
+
+/// [`partition_governed`] with `jobs` worker threads (see [`partition_jobs`]
+/// for the determinism contract).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Bisim`]) when the budget trips.
+pub fn partition_governed_jobs(
+    lts: &Lts,
+    eq: Equivalence,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<Partition, Exhausted> {
+    run_governed_jobs(lts, eq, None, wd, jobs)
 }
 
 /// Like [`partition`], additionally returning the per-round history for

@@ -1,9 +1,9 @@
 //! Linearizability checking on branching-bisimulation quotients
 //! (Theorem 5.3).
 
-use bb_bisim::{partition_governed, quotient, Equivalence};
+use bb_bisim::{partition_governed_jobs, quotient, Equivalence};
 use bb_lts::budget::{Exhausted, Watchdog};
-use bb_lts::Lts;
+use bb_lts::{Jobs, Lts};
 use bb_refine::{trace_refines_governed, RefineOptions, Violation};
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,13 @@ pub fn verify_linearizability(imp: &Lts, spec: &Lts) -> LinReport {
         .expect("an unlimited watchdog never trips")
 }
 
+/// [`verify_linearizability`] with `jobs` worker threads for the quotient
+/// computations; the report is identical at any worker count.
+pub fn verify_linearizability_jobs(imp: &Lts, spec: &Lts, jobs: Jobs) -> LinReport {
+    verify_linearizability_governed_jobs(imp, spec, &Watchdog::unlimited(), jobs)
+        .expect("an unlimited watchdog never trips")
+}
+
 /// Budget-governed [`verify_linearizability`]: both quotient computations
 /// and the refinement search are metered against `wd`.
 ///
@@ -60,10 +67,26 @@ pub fn verify_linearizability_governed(
     spec: &Lts,
     wd: &Watchdog,
 ) -> Result<LinReport, Exhausted> {
+    verify_linearizability_governed_jobs(imp, spec, wd, Jobs::serial())
+}
+
+/// [`verify_linearizability_governed`] with `jobs` worker threads for the
+/// quotient computations; the report is identical at any worker count.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict; an aborted
+/// check must be treated as *unknown*, never as a violation.
+pub fn verify_linearizability_governed_jobs(
+    imp: &Lts,
+    spec: &Lts,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<LinReport, Exhausted> {
     let start = Instant::now();
-    let p_imp = partition_governed(imp, Equivalence::Branching, wd)?;
+    let p_imp = partition_governed_jobs(imp, Equivalence::Branching, wd, jobs)?;
     let q_imp = quotient(imp, &p_imp);
-    let p_spec = partition_governed(spec, Equivalence::Branching, wd)?;
+    let p_spec = partition_governed_jobs(spec, Equivalence::Branching, wd, jobs)?;
     let q_spec = quotient(spec, &p_spec);
     let refinement =
         trace_refines_governed(&q_imp.lts, &q_spec.lts, RefineOptions::default(), wd)?;

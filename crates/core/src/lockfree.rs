@@ -2,11 +2,11 @@
 //! (Theorems 5.8 and 5.9).
 
 use bb_bisim::{
-    bisimilar, bisimilar_governed, divergence_witness_governed, partition_governed, quotient,
+    bisimilar_governed_jobs, divergence_witness_governed, partition_governed_jobs, quotient,
     Equivalence, Lasso,
 };
 use bb_lts::budget::{Exhausted, Watchdog};
-use bb_lts::Lts;
+use bb_lts::{Jobs, Lts};
 use std::time::{Duration, Instant};
 
 /// Result of the automatic lock-freedom check (Theorem 5.9).
@@ -55,6 +55,13 @@ pub fn verify_lock_freedom(imp: &Lts) -> LockFreeReport {
         .expect("an unlimited watchdog never trips")
 }
 
+/// [`verify_lock_freedom`] with `jobs` worker threads for the partition
+/// refinements; the report is identical at any worker count.
+pub fn verify_lock_freedom_jobs(imp: &Lts, jobs: Jobs) -> LockFreeReport {
+    verify_lock_freedom_governed_jobs(imp, &Watchdog::unlimited(), jobs)
+        .expect("an unlimited watchdog never trips")
+}
+
 /// Budget-governed [`verify_lock_freedom`]: the quotient, the `≈div` check
 /// and the divergence-witness search are all metered against `wd`.
 ///
@@ -63,10 +70,25 @@ pub fn verify_lock_freedom(imp: &Lts) -> LockFreeReport {
 /// Returns [`Exhausted`] when the budget trips before a verdict; an aborted
 /// check says nothing about lock-freedom.
 pub fn verify_lock_freedom_governed(imp: &Lts, wd: &Watchdog) -> Result<LockFreeReport, Exhausted> {
+    verify_lock_freedom_governed_jobs(imp, wd, Jobs::serial())
+}
+
+/// [`verify_lock_freedom_governed`] with `jobs` worker threads for the
+/// partition refinements; the report is identical at any worker count.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict; an aborted
+/// check says nothing about lock-freedom.
+pub fn verify_lock_freedom_governed_jobs(
+    imp: &Lts,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<LockFreeReport, Exhausted> {
     let start = Instant::now();
-    let p = partition_governed(imp, Equivalence::Branching, wd)?;
+    let p = partition_governed_jobs(imp, Equivalence::Branching, wd, jobs)?;
     let q = quotient(imp, &p);
-    let div_bisim = bisimilar_governed(imp, &q.lts, Equivalence::BranchingDiv, wd)?;
+    let div_bisim = bisimilar_governed_jobs(imp, &q.lts, Equivalence::BranchingDiv, wd, jobs)?;
     let divergence = if div_bisim {
         None
     } else {
@@ -111,9 +133,22 @@ pub struct AbstractionReport {
 /// `abs` is; lock-freedom of the (much smaller) abstract program is decided
 /// by Theorem 5.9.
 pub fn verify_lock_freedom_via_abstraction(imp: &Lts, abs: &Lts) -> AbstractionReport {
+    verify_lock_freedom_via_abstraction_jobs(imp, abs, Jobs::serial())
+}
+
+/// [`verify_lock_freedom_via_abstraction`] with `jobs` worker threads for
+/// the `≈div` check; the report is identical at any worker count.
+pub fn verify_lock_freedom_via_abstraction_jobs(
+    imp: &Lts,
+    abs: &Lts,
+    jobs: Jobs,
+) -> AbstractionReport {
     let start = Instant::now();
-    let div_bisimilar = bisimilar(imp, abs, Equivalence::BranchingDiv);
-    let abs_report = verify_lock_freedom(abs);
+    let wd = Watchdog::unlimited();
+    let div_bisimilar = bisimilar_governed_jobs(imp, abs, Equivalence::BranchingDiv, &wd, jobs)
+        .expect("an unlimited watchdog never trips");
+    let abs_report = verify_lock_freedom_governed_jobs(abs, &wd, jobs)
+        .expect("an unlimited watchdog never trips");
     AbstractionReport {
         div_bisimilar,
         abstract_lock_free: abs_report.lock_free,

@@ -1,10 +1,10 @@
 //! One-call verification pipeline for an algorithm/specification pair.
 
-use crate::linearizability::{verify_linearizability, LinReport};
+use crate::linearizability::{verify_linearizability_jobs, LinReport};
 use bb_bisim::Lasso;
-use crate::lockfree::{verify_lock_freedom, LockFreeReport};
-use bb_lts::{ExploreError, ExploreLimits, Lts};
-use bb_sim::{explore_system, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+use crate::lockfree::{verify_lock_freedom_jobs, LockFreeReport};
+use bb_lts::{ExploreError, ExploreLimits, Jobs, Lts};
+use bb_sim::{explore_system_jobs, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
 
 /// Configuration of [`verify_case`].
 #[derive(Debug, Clone, Copy)]
@@ -16,22 +16,32 @@ pub struct VerifyConfig {
     /// Whether to run the lock-freedom check (skipped for the lock-based
     /// fine-grained lists of Table II, which are not lock-free by design).
     pub check_lock_freedom: bool,
+    /// Worker threads for the parallel exploration and refinement passes.
+    /// Deterministic: the report is identical at any count.
+    pub jobs: Jobs,
 }
 
 impl VerifyConfig {
     /// Default configuration for `bound`: explore with default limits and
-    /// check both properties.
+    /// check both properties on the sequential engine.
     pub fn new(bound: Bound) -> Self {
         VerifyConfig {
             bound,
             limits: ExploreLimits::default(),
             check_lock_freedom: true,
+            jobs: Jobs::serial(),
         }
     }
 
     /// Skip the lock-freedom check (for lock-based algorithms).
     pub fn linearizability_only(mut self) -> Self {
         self.check_lock_freedom = false;
+        self
+    }
+
+    /// Use `jobs` worker threads for exploration and refinement.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
         self
     }
 }
@@ -96,8 +106,8 @@ where
     A: ObjectAlgorithm,
     S: SequentialSpec,
 {
-    let imp = explore_system(alg, config.bound, config.limits)?;
-    let sp = explore_system(spec, config.bound, config.limits)?;
+    let imp = explore_system_jobs(alg, config.bound, config.limits, config.jobs)?;
+    let sp = explore_system_jobs(spec, config.bound, config.limits, config.jobs)?;
     Ok(verify_case_lts(alg.name(), config, &imp, &sp))
 }
 
@@ -108,10 +118,10 @@ pub fn verify_case_lts(
     imp: &Lts,
     spec: &Lts,
 ) -> CaseReport {
-    let linearizability = verify_linearizability(imp, spec);
+    let linearizability = verify_linearizability_jobs(imp, spec, config.jobs);
     let lock_freedom = config
         .check_lock_freedom
-        .then(|| verify_lock_freedom(imp));
+        .then(|| verify_lock_freedom_jobs(imp, config.jobs));
     CaseReport {
         name,
         bound: config.bound,

@@ -22,12 +22,12 @@
 //! ladder — a blown deadline fails the remaining rungs fast — while
 //! state/transition/memory caps are per stage and reset on every rung.
 
-use crate::linearizability::verify_linearizability_governed;
-use crate::lockfree::verify_lock_freedom_governed;
+use crate::linearizability::verify_linearizability_governed_jobs;
+use crate::lockfree::verify_lock_freedom_governed_jobs;
 use crate::report::CaseReport;
 use bb_lts::budget::{Budget, Exhausted, Watchdog};
-use bb_lts::Lts;
-use bb_sim::{explore_system_governed, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+use bb_lts::{Jobs, Lts};
+use bb_sim::{explore_system_governed_jobs, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -125,17 +125,21 @@ pub struct GovernedConfig {
     /// Whether to walk the fallback ladder after a budget exhaustion
     /// (disable for a single direct attempt).
     pub fallback: bool,
+    /// Worker threads for the parallel exploration and refinement passes.
+    /// Deterministic: verdicts and reports are identical at any count.
+    pub jobs: Jobs,
 }
 
 impl GovernedConfig {
     /// Default configuration: check both properties under `budget` with the
-    /// fallback ladder enabled.
+    /// fallback ladder enabled, on the sequential engine.
     pub fn new(bound: Bound, budget: Budget) -> Self {
         GovernedConfig {
             bound,
             budget,
             check_lock_freedom: true,
             fallback: true,
+            jobs: Jobs::serial(),
         }
     }
 
@@ -148,6 +152,12 @@ impl GovernedConfig {
     /// Disable the fallback ladder.
     pub fn no_fallback(mut self) -> Self {
         self.fallback = false;
+        self
+    }
+
+    /// Use `jobs` worker threads for exploration and refinement.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
         self
     }
 }
@@ -253,6 +263,7 @@ fn reduced_bound(b: Bound) -> Option<Bound> {
 }
 
 /// One fully-governed pipeline run over pre-explored LTSs.
+#[allow(clippy::too_many_arguments)]
 fn pipeline_lts(
     name: &'static str,
     bound: Bound,
@@ -260,10 +271,11 @@ fn pipeline_lts(
     imp: &Lts,
     spec: &Lts,
     wd: &Watchdog,
+    jobs: Jobs,
 ) -> Result<CaseReport, Exhausted> {
-    let linearizability = verify_linearizability_governed(imp, spec, wd)?;
+    let linearizability = verify_linearizability_governed_jobs(imp, spec, wd, jobs)?;
     let lock_freedom = if check_lock_freedom {
-        Some(verify_lock_freedom_governed(imp, wd)?)
+        Some(verify_lock_freedom_governed_jobs(imp, wd, jobs)?)
     } else {
         None
     };
@@ -276,8 +288,8 @@ fn pipeline_lts(
 }
 
 /// Strong-bisimulation pre-reduction: replace `lts` by its strong quotient.
-fn strong_reduce(lts: &Lts, wd: &Watchdog) -> Result<Lts, Exhausted> {
-    let p = bb_bisim::partition_governed(lts, bb_bisim::Equivalence::Strong, wd)?;
+fn strong_reduce(lts: &Lts, wd: &Watchdog, jobs: Jobs) -> Result<Lts, Exhausted> {
+    let p = bb_bisim::partition_governed_jobs(lts, bb_bisim::Equivalence::Strong, wd, jobs)?;
     Ok(bb_bisim::quotient(lts, &p).lts)
 }
 
@@ -308,8 +320,8 @@ where
                     return Ok((imp.clone(), sp.clone()));
                 }
             }
-            let imp = explore_system_governed(alg, bound, wd)?;
-            let sp = explore_system_governed(spec, bound, wd)?;
+            let imp = explore_system_governed_jobs(alg, bound, wd, config.jobs)?;
+            let sp = explore_system_governed_jobs(spec, bound, wd, config.jobs)?;
             *cache = Some((bound, imp.clone(), sp.clone()));
             Ok((imp, sp))
         };
@@ -340,6 +352,7 @@ where
             &imp,
             &sp,
             &wd,
+            config.jobs,
         )
     });
     match direct {
@@ -369,8 +382,8 @@ where
         // reduction runs on the explored systems.
         if cache.as_ref().is_some_and(|(b, _, _)| *b == config.bound) {
             let strong = explore_pair(config.bound, &mut cache, &wd).and_then(|(imp, sp)| {
-                let imp_r = strong_reduce(&imp, &wd)?;
-                let sp_r = strong_reduce(&sp, &wd)?;
+                let imp_r = strong_reduce(&imp, &wd, config.jobs)?;
+                let sp_r = strong_reduce(&sp, &wd, config.jobs)?;
                 pipeline_lts(
                     alg.name(),
                     config.bound,
@@ -378,6 +391,7 @@ where
                     &imp_r,
                     &sp_r,
                     &wd,
+                    config.jobs,
                 )
             });
             match strong {
@@ -420,6 +434,7 @@ where
                     &imp,
                     &sp,
                     &wd,
+                    config.jobs,
                 )
             });
             match reduced {

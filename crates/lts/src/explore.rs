@@ -1,12 +1,14 @@
 //! On-the-fly state-space exploration of an operational semantics.
 
 use crate::action::Action;
-use crate::budget::{Budget, ExhaustReason, Exhausted, Stage, Watchdog};
+use crate::budget::{Budget, ExhaustReason, Exhausted, Meter, Stage, Watchdog};
 use crate::builder::LtsBuilder;
+use crate::jobs::Jobs;
 use crate::lts::{Lts, StateId};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 /// An operational semantics that can be unfolded into an [`Lts`].
@@ -16,9 +18,13 @@ use std::time::Duration;
 /// a breadth-first unfolding, so state ids are assigned in BFS order and the
 /// resulting LTS is deterministic for a deterministic `successors`
 /// enumeration order.
-pub trait Semantics {
+///
+/// The `Sync`/`Send` bounds let [`explore_governed_jobs`] fan the frontier
+/// out to scoped worker threads; states are plain data in every semantics of
+/// this workspace, so the bounds are vacuous in practice.
+pub trait Semantics: Sync {
     /// The (hashable) global state of the system.
-    type State: Clone + Eq + Hash;
+    type State: Clone + Eq + Hash + Send + Sync;
 
     /// The initial state.
     fn initial_state(&self) -> Self::State;
@@ -124,6 +130,20 @@ pub fn explore<S: Semantics>(sem: &S, limits: ExploreLimits) -> Result<Lts, Expl
     explore_governed(sem, &wd).map_err(ExploreError::from)
 }
 
+/// [`explore`] with `jobs` worker threads (see [`explore_governed_jobs`]).
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the reachable state space exceeds `limits`.
+pub fn explore_jobs<S: Semantics>(
+    sem: &S,
+    limits: ExploreLimits,
+    jobs: Jobs,
+) -> Result<Lts, ExploreError> {
+    let wd = Watchdog::new(limits.into());
+    explore_governed_jobs(sem, &wd, jobs).map_err(ExploreError::from)
+}
+
 /// Unfolds `sem` into an explicit [`Lts`] under the budget of `wd`.
 ///
 /// The exploration accounts every interned state, every recorded transition
@@ -158,11 +178,13 @@ pub fn explore_governed<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exh
 
     while cursor < discovered.len() {
         let src_id = StateId(cursor as u32);
-        let state = discovered[cursor].clone();
+        // Clone-free expansion: the shared borrow of `discovered[cursor]`
+        // ends with the `successors` call, before any state discovered in
+        // this expansion is pushed onto `discovered` below.
+        steps.clear();
+        sem.successors(&discovered[cursor], &mut steps);
         cursor += 1;
 
-        steps.clear();
-        sem.successors(&state, &mut steps);
         for (action, next) in steps.drain(..) {
             let dst_id = match ids.get(&next) {
                 Some(&id) => id,
@@ -183,6 +205,167 @@ pub fn explore_governed<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exh
     }
 
     Ok(builder.build(StateId(0)))
+}
+
+/// Minimum frontier states per worker before a level is fanned out; smaller
+/// levels are expanded inline, so the serial prefix of a BFS never pays
+/// thread spawn/join costs.
+const PAR_MIN_CHUNK: usize = 16;
+
+/// How many frontier states a worker expands between watchdog checks.
+const WORKER_CHECK_INTERVAL: usize = 32;
+
+/// [`explore_governed`] with `jobs` worker threads: a *level-synchronous*
+/// parallel BFS built on [`std::thread::scope`].
+///
+/// Each BFS level (the states discovered by the previous level, a contiguous
+/// id range) is split into per-worker chunks; workers expand their chunk
+/// into thread-local successor buffers, and a single deterministic merge
+/// then interns new states and records transitions **ordered by source id,
+/// then successor enumeration order** — exactly the order of the sequential
+/// loop. State ids, transition order, interned action ids and hence the
+/// `.aut` export are therefore bit-identical to [`explore_governed`] at any
+/// worker count; `Jobs::serial()` takes the sequential code path itself.
+///
+/// Budget integration: the merge charges the shared [`Meter`] in the same
+/// order as the sequential run (identical partial statistics on a cap trip),
+/// and workers poll the watchdog's cancellation token and deadline every
+/// [`WORKER_CHECK_INTERVAL`] expansions so an abort interrupts the fan-out
+/// promptly instead of completing the level.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
+/// trips; the partial statistics describe the aborted frontier.
+pub fn explore_governed_jobs<S: Semantics>(
+    sem: &S,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<Lts, Exhausted> {
+    if jobs.is_serial() {
+        return explore_governed(sem, wd);
+    }
+    let mut meter = wd.meter(Stage::Explore);
+    let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
+    let transition_bytes = std::mem::size_of::<(StateId, u32, StateId)>();
+
+    let mut builder = LtsBuilder::new();
+    let mut ids: HashMap<S::State, StateId> = HashMap::new();
+
+    let init = sem.initial_state();
+    let init_id = builder.add_state();
+    ids.insert(init.clone(), init_id);
+    meter.add_state()?;
+    meter.add_memory(state_bytes)?;
+
+    let mut discovered: Vec<S::State> = vec![init];
+    let mut level_start = 0usize;
+
+    while level_start < discovered.len() {
+        let level_end = discovered.len();
+        let expansions =
+            expand_level(sem, wd, &discovered[level_start..level_end], jobs, &mut meter)?;
+
+        // Deterministic merge. Chunks are contiguous id ranges and are
+        // concatenated in chunk order, so iterating the level's expansions
+        // in offset order replays the sequential visit order exactly.
+        for (offset, steps) in expansions.into_iter().enumerate() {
+            let src_id = StateId((level_start + offset) as u32);
+            for (action, next) in steps {
+                let dst_id = match ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        meter.add_state()?;
+                        meter.add_memory(state_bytes)?;
+                        let id = builder.add_state();
+                        ids.insert(next.clone(), id);
+                        discovered.push(next);
+                        id
+                    }
+                };
+                let aid = builder.intern_action(action);
+                builder.add_transition(src_id, aid, dst_id);
+                meter.add_transition()?;
+                meter.add_memory(transition_bytes)?;
+            }
+        }
+        level_start = level_end;
+    }
+
+    Ok(builder.build(StateId(0)))
+}
+
+/// The successor buffer of one expanded state.
+type Steps<S> = Vec<(Action, <S as Semantics>::State)>;
+
+/// Expands one BFS level, in parallel when the frontier is large enough.
+///
+/// Returns one successor buffer per frontier state, in frontier order.
+fn expand_level<S: Semantics>(
+    sem: &S,
+    wd: &Watchdog,
+    frontier: &[S::State],
+    jobs: Jobs,
+    meter: &mut Meter,
+) -> Result<Vec<Steps<S>>, Exhausted> {
+    let workers = jobs.for_items(frontier.len(), PAR_MIN_CHUNK);
+    if workers == 1 {
+        let mut out = Vec::with_capacity(frontier.len());
+        for (i, state) in frontier.iter().enumerate() {
+            if i % WORKER_CHECK_INTERVAL == 0 {
+                meter.checkpoint()?;
+            }
+            let mut steps = Vec::new();
+            sem.successors(state, &mut steps);
+            out.push(steps);
+        }
+        return Ok(out);
+    }
+
+    let aborted = AtomicBool::new(false);
+    let chunk = frontier.len().div_ceil(workers);
+    let per_chunk: Vec<Vec<Steps<S>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = frontier
+            .chunks(chunk)
+            .map(|piece| {
+                let aborted = &aborted;
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(piece.len());
+                    for (i, state) in piece.iter().enumerate() {
+                        // Cooperative abort: cancellation and the deadline
+                        // are observed mid-fan-out, from every worker, and
+                        // propagate to the sibling workers via the flag.
+                        if i % WORKER_CHECK_INTERVAL == 0
+                            && (aborted.load(Ordering::Relaxed)
+                                || wd.budget().cancel.is_cancelled()
+                                || wd.deadline_passed())
+                        {
+                            aborted.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        let mut steps = Vec::new();
+                        sem.successors(state, &mut steps);
+                        out.push(steps);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+
+    if aborted.load(Ordering::Relaxed) {
+        // A worker observed cancellation or a blown deadline. Both are
+        // monotone, so the checkpoint reproduces the structured error with
+        // the stats merged so far; the fallback can only trigger if the
+        // deadline axis somehow cleared, and still reports an abort.
+        meter.checkpoint()?;
+        return Err(meter.exhausted(ExhaustReason::Cancelled));
+    }
+    Ok(per_chunk.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -207,6 +390,37 @@ mod tests {
                 out.push((Action::tau(ThreadId(1)), s + 1));
             } else {
                 out.push((Action::ret(ThreadId(1), "done", Some(*s as i64)), 0));
+            }
+        }
+    }
+
+    /// A branching tree semantics with wide levels, to exercise the
+    /// parallel frontier split (the counter has single-state levels).
+    struct Tree {
+        depth: u32,
+        fanout: u32,
+    }
+
+    impl Semantics for Tree {
+        type State = (u32, u32); // (level, index within level)
+
+        fn initial_state(&self) -> (u32, u32) {
+            (0, 0)
+        }
+
+        fn successors(&self, s: &(u32, u32), out: &mut Vec<(Action, (u32, u32))>) {
+            let (level, idx) = *s;
+            if level >= self.depth {
+                return;
+            }
+            for k in 0..self.fanout {
+                // Converge siblings so levels stay bounded but wide, and
+                // duplicates are discovered from multiple sources.
+                let child = (idx * self.fanout + k) % (self.fanout * self.fanout);
+                out.push((
+                    Action::call(ThreadId(1), "step", Some(k as i64)),
+                    (level + 1, child),
+                ));
             }
         }
     }
@@ -242,8 +456,14 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(err.transitions_seen > 3 - 1);
+        // The abort must have actually *exceeded* the cap of 3 (the meter
+        // errors on the first transition past the cap), and the partial
+        // stats must be consistent with a transition-cap abort: on the
+        // counter chain every recorded transition discovers one state.
         assert_eq!(err.reason, ExhaustReason::TransitionCap);
+        assert!(err.transitions_seen > 3, "cap of 3 must be exceeded");
+        assert_eq!(err.transitions_seen, 4);
+        assert_eq!(err.states_seen, 5);
     }
 
     #[test]
@@ -291,5 +511,75 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("state cap"), "{text}");
         assert!(text.contains("states"), "{text}");
+    }
+
+    /// The determinism contract of the tentpole: identical LTS (states,
+    /// transitions, action interning, `.aut` bytes) at every worker count.
+    #[test]
+    fn parallel_explore_is_bit_identical_to_sequential() {
+        let sem = Tree {
+            depth: 12,
+            fanout: 9,
+        };
+        let wd = Watchdog::unlimited();
+        let seq = explore_governed(&sem, &wd).unwrap();
+        for jobs in [1, 2, 4] {
+            let par = explore_governed_jobs(&sem, &Watchdog::unlimited(), Jobs::new(jobs)).unwrap();
+            assert_eq!(par.num_states(), seq.num_states(), "jobs={jobs}");
+            assert_eq!(par.num_transitions(), seq.num_transitions(), "jobs={jobs}");
+            assert_eq!(
+                crate::aut::to_aut(&par),
+                crate::aut::to_aut(&seq),
+                "jobs={jobs}: .aut export must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_cap_trips_with_identical_partial_stats() {
+        let sem = Tree {
+            depth: 40,
+            fanout: 8,
+        };
+        let budget = Budget::unlimited().with_max_transitions(500);
+        let seq = explore_governed(&sem, &Watchdog::new(budget.clone())).unwrap_err();
+        let par =
+            explore_governed_jobs(&sem, &Watchdog::new(budget), Jobs::new(4)).unwrap_err();
+        assert_eq!(par.reason, seq.reason);
+        assert_eq!(par.partial.states, seq.partial.states);
+        assert_eq!(par.partial.transitions, seq.partial.transitions);
+    }
+
+    #[test]
+    fn parallel_cancellation_aborts_mid_fanout() {
+        let wd = Watchdog::unlimited();
+        wd.cancel();
+        let err = explore_governed_jobs(
+            &Tree {
+                depth: 64,
+                fanout: 64,
+            },
+            &wd,
+            Jobs::new(4),
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, Stage::Explore);
+        assert_eq!(err.reason, ExhaustReason::Cancelled);
+        assert!(err.partial.states >= 1, "the initial state was interned");
+    }
+
+    #[test]
+    fn parallel_deadline_aborts_mid_fanout() {
+        let wd = Watchdog::new(Budget::unlimited().with_deadline(Duration::ZERO));
+        let err = explore_governed_jobs(
+            &Tree {
+                depth: 64,
+                fanout: 64,
+            },
+            &wd,
+            Jobs::new(2),
+        )
+        .unwrap_err();
+        assert_eq!(err.reason, ExhaustReason::Deadline);
     }
 }

@@ -31,6 +31,7 @@ pub mod budget;
 mod builder;
 mod dot;
 mod explore;
+mod jobs;
 mod lts;
 mod random;
 mod scc;
@@ -44,7 +45,11 @@ pub use budget::{
 };
 pub use builder::LtsBuilder;
 pub use dot::to_dot;
-pub use explore::{explore, explore_governed, ExploreError, ExploreLimits, Semantics};
+pub use explore::{
+    explore, explore_governed, explore_governed_jobs, explore_jobs, ExploreError, ExploreLimits,
+    Semantics,
+};
+pub use jobs::Jobs;
 pub use lts::{Lts, StateId, Transition};
 pub use random::{random_lts, RandomLtsConfig};
 pub use scc::{condensation, tarjan_scc, Condensation, SccId};

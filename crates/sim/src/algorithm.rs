@@ -69,12 +69,16 @@ pub enum Outcome<Shared, Frame> {
 /// granularity of the paper's LNT models. Blocking primitives (a lock held
 /// by another thread) are modeled by producing *no* outcome: the thread
 /// simply has no transition until the lock is released.
-pub trait ObjectAlgorithm {
+///
+/// The `Sync`/`Send` bounds let the most general client run on the parallel
+/// exploration engine ([`bb_lts::explore_governed_jobs`]); algorithm states
+/// are plain data everywhere, so the bounds cost implementors nothing.
+pub trait ObjectAlgorithm: Sync {
     /// The shared portion of the object state (heap, top/head pointers,
     /// hazard-pointer slots, locks…).
-    type Shared: Clone + Eq + Hash + Debug;
+    type Shared: Clone + Eq + Hash + Debug + Send + Sync;
     /// The per-invocation local state: program counter plus registers.
-    type Frame: Clone + Eq + Hash + Debug;
+    type Frame: Clone + Eq + Hash + Debug + Send + Sync;
 
     /// Human-readable algorithm name (used in reports and benches).
     fn name(&self) -> &'static str;

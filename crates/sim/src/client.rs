@@ -2,7 +2,10 @@
 
 use crate::algorithm::{MethodId, MethodSpec, ObjectAlgorithm, Outcome};
 use bb_lts::budget::{Exhausted, Watchdog};
-use bb_lts::{explore, explore_governed, Action, ExploreError, ExploreLimits, Lts, Semantics, ThreadId};
+use bb_lts::{
+    explore, explore_governed, explore_governed_jobs, explore_jobs, Action, ExploreError,
+    ExploreLimits, Jobs, Lts, Semantics, ThreadId,
+};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -208,6 +211,40 @@ pub fn explore_system_governed<A: ObjectAlgorithm>(
 ) -> Result<Lts, Exhausted> {
     let system = System::new(alg, bound);
     explore_governed(&system, wd)
+}
+
+/// [`explore_system`] on the parallel exploration engine: the frontier of
+/// the most general client is fanned out to `jobs` workers with a
+/// deterministic merge, so the resulting LTS is bit-identical to the
+/// sequential unfolding at any worker count.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the state space exceeds `limits`.
+pub fn explore_system_jobs<A: ObjectAlgorithm>(
+    alg: &A,
+    bound: Bound,
+    limits: ExploreLimits,
+    jobs: Jobs,
+) -> Result<Lts, ExploreError> {
+    let system = System::new(alg, bound);
+    explore_jobs(&system, limits, jobs)
+}
+
+/// [`explore_system_governed`] on the parallel exploration engine (see
+/// [`explore_system_jobs`] for the determinism contract).
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage `explore`) when any budget axis trips.
+pub fn explore_system_governed_jobs<A: ObjectAlgorithm>(
+    alg: &A,
+    bound: Bound,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<Lts, Exhausted> {
+    let system = System::new(alg, bound);
+    explore_governed_jobs(&system, wd, jobs)
 }
 
 #[cfg(test)]

@@ -29,7 +29,10 @@ mod ptr;
 mod spec;
 
 pub use algorithm::{MethodId, MethodSpec, ObjectAlgorithm, Outcome};
-pub use client::{explore_system, explore_system_governed, Bound, SysState, System, ThreadStatus};
+pub use client::{
+    explore_system, explore_system_governed, explore_system_governed_jobs, explore_system_jobs,
+    Bound, SysState, System, ThreadStatus,
+};
 pub use heap::{Heap, HeapNode, Renaming};
 pub use ptr::Ptr;
 pub use spec::{AtomicSpec, SequentialSpec};

@@ -12,7 +12,7 @@ use std::hash::Hash;
 ///
 /// The specification is deterministic: applying a method to a state yields
 /// exactly one successor state and return value.
-pub trait SequentialSpec: Clone + Eq + Hash + Debug {
+pub trait SequentialSpec: Clone + Eq + Hash + Debug + Send + Sync {
     /// Name used in reports.
     fn name(&self) -> &'static str;
     /// The object's methods (must match the concrete implementation's

@@ -19,13 +19,16 @@ use bbverify::algorithms::{
     newcas::NewCas, optimistic_list::OptimisticList, rdcss::Rdcss, specs::*, treiber::Treiber,
     treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu, two_lock_queue::TwoLockQueue,
 };
-use bbverify::bisim::{partition, quotient, Equivalence};
+use bbverify::bisim::{quotient, Equivalence};
 use bbverify::core::{
     run_isolated, verify_case_governed, verify_case_lts, verify_wait_freedom, GovernedConfig,
     Verdict, VerifyConfig,
 };
-use bbverify::lts::{to_aut, to_dot, Budget, ExploreLimits, Lts, Watchdog};
-use bbverify::sim::{explore_system_governed, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+use bbverify::bisim::partition_jobs;
+use bbverify::lts::{to_aut, to_dot, Budget, ExploreLimits, Jobs, Lts, Watchdog};
+use bbverify::sim::{
+    explore_system_governed_jobs, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec,
+};
 use std::time::Duration;
 
 const EXIT_PROVED: i32 = 0;
@@ -69,6 +72,7 @@ struct Options {
     max_transitions: Option<usize>,
     max_memory: Option<usize>,
     no_fallback: bool,
+    jobs: Jobs,
 }
 
 impl Default for Options {
@@ -87,6 +91,7 @@ impl Default for Options {
             max_transitions: None,
             max_memory: None,
             no_fallback: false,
+            jobs: Jobs::available(),
         }
     }
 }
@@ -206,6 +211,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     Some(parse_count(it.next().ok_or("--max-memory needs a byte count")?)?)
             }
             "--no-fallback" => opts.no_fallback = true,
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--jobs needs a thread count")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                opts.jobs = Jobs::new(n);
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -217,6 +233,7 @@ fn print_usage() {
     eprintln!("  options: --threads N  --ops N  --domain 1,2");
     eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
     eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
+    eprintln!("           --jobs N   (worker threads; default = all cores, output identical)");
     eprintln!("  budget:  --timeout 30s  --max-states 1e6  --max-transitions 1e7");
     eprintln!("           --max-memory 2e9  --no-fallback");
     eprintln!("           with a budget, `verify` degrades gracefully: on exhaustion it");
@@ -327,8 +344,9 @@ fn explore_or_inconclusive<A: ObjectAlgorithm>(
     alg: &A,
     bound: Bound,
     wd: &Watchdog,
+    jobs: Jobs,
 ) -> Result<Lts, i32> {
-    explore_system_governed(alg, bound, wd).map_err(|e| {
+    explore_system_governed_jobs(alg, bound, wd, jobs).map_err(|e| {
         eprintln!("inconclusive: {e}");
         EXIT_INCONCLUSIVE
     })
@@ -348,7 +366,7 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     }
 
     let wd = Watchdog::new(opts.budget());
-    let imp = match explore_or_inconclusive(alg, bound, &wd) {
+    let imp = match explore_or_inconclusive(alg, bound, &wd, opts.jobs) {
         Ok(l) => l,
         Err(c) => return c,
     };
@@ -393,7 +411,7 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     }
 
     if mode == Mode::Quotient {
-        let p = partition(&imp, Equivalence::Branching);
+        let p = partition_jobs(&imp, Equivalence::Branching, opts.jobs);
         let q = quotient(&imp, &p);
         println!("algorithm : {}", alg.name());
         println!("bound     : {}-{}", bound.threads, bound.ops_per_thread);
@@ -420,11 +438,11 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
         return EXIT_PROVED;
     }
 
-    let sp = match explore_or_inconclusive(spec, bound, &wd) {
+    let sp = match explore_or_inconclusive(spec, bound, &wd, opts.jobs) {
         Ok(l) => l,
         Err(c) => return c,
     };
-    let mut cfg = VerifyConfig::new(bound);
+    let mut cfg = VerifyConfig::new(bound).with_jobs(opts.jobs);
     if !opts.check_lock_freedom || !non_blocking {
         cfg = cfg.linearizability_only();
     }
@@ -468,7 +486,7 @@ fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
     bound: Bound,
     non_blocking: bool,
 ) -> i32 {
-    let mut config = GovernedConfig::new(bound, opts.budget());
+    let mut config = GovernedConfig::new(bound, opts.budget()).with_jobs(opts.jobs);
     if !opts.check_lock_freedom || !non_blocking {
         config = config.linearizability_only();
     }
