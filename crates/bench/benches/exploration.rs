@@ -11,7 +11,7 @@
 use bb_algorithms::{hm_list::HmList, ms_queue::MsQueue, treiber::Treiber};
 use bb_bench::bench_loop;
 use bb_lts::{ExploreLimits, Jobs};
-use bb_sim::{explore_system, explore_system_jobs, Bound};
+use bb_sim::{explore_system, explore_system_with, Bound};
 
 fn main() {
     println!("== explore ==");
@@ -34,11 +34,10 @@ fn main() {
     // produces is the same before timing it.
     let seq = explore_system(&MsQueue::new(&[1]), Bound::new(2, 2), ExploreLimits::default())
         .unwrap();
-    let par = explore_system_jobs(
+    let par = explore_system_with(
         &MsQueue::new(&[1]),
         Bound::new(2, 2),
-        ExploreLimits::default(),
-        Jobs::available(),
+        &bb_lts::ExploreOptions::limits(ExploreLimits::default()).with_jobs(Jobs::available()),
     )
     .unwrap();
     assert_eq!(seq.num_states(), par.num_states(), "parallel explore must be deterministic");
@@ -49,11 +48,10 @@ fn main() {
     );
     println!("== explore, all cores (identical output asserted) ==");
     bench_loop("explore-par/ms-queue/2-2", 10, || {
-        explore_system_jobs(
+        explore_system_with(
             &MsQueue::new(&[1]),
             Bound::new(2, 2),
-            ExploreLimits::default(),
-            Jobs::available(),
+            &bb_lts::ExploreOptions::limits(ExploreLimits::default()).with_jobs(Jobs::available()),
         )
         .unwrap()
     });

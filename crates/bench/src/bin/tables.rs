@@ -5,7 +5,10 @@
 //! cargo run --release -p bb-bench --bin tables -- table3 --large
 //! ```
 //!
-//! Subcommands: `table1` … `table7`, `fig10`, `all`. The `--large` flag
+//! Subcommands: `table1` … `table7`, `fig10`, `all`, plus two reduction
+//! sweeps: `reduce` (reduction-factor table, `--reduce none` vs `full`) and
+//! `verdicts` (machine-diffable verdict lines; run once per `--reduce` mode
+//! and diff — CI does exactly that). The `--large` flag
 //! extends the sweeps towards the paper's original configurations (minutes
 //! of runtime instead of seconds); `--jobs N` runs exploration and
 //! refinement on N worker threads (deterministic — only timings change). Absolute state counts and times differ
@@ -19,16 +22,18 @@ use bb_core::{
     verify_lock_freedom_via_abstraction_jobs, VerifyConfig,
 };
 use bb_ktrace::{classify_tau_edges, KtraceLimits};
-use bb_lts::{Jobs, Lts, Watchdog};
+use bb_lts::{ExploreOptions, Jobs, Lts, Watchdog};
+use bb_reduce::scratch::ScratchPad;
+use bb_reduce::{explore_reduced, ReduceMode};
 use bb_sim::{AtomicSpec, Bound};
 use std::time::Instant;
 
 use bb_algorithms::abstracts::AbsQueue;
 use bb_algorithms::{
-    ccas::Ccas, dglm_queue::DglmQueue, fine_list::FineList, hm_list::HmList, hsy_stack::HsyStack,
-    hw_queue::HwQueue, lazy_list::LazyList, ms_queue::MsQueue, newcas::NewCas,
-    optimistic_list::OptimisticList, rdcss::Rdcss, specs::*, treiber::Treiber,
-    treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu,
+    ccas::Ccas, coarse::CoarseLocked, dglm_queue::DglmQueue, fine_list::FineList, hm_list::HmList,
+    hsy_stack::HsyStack, hw_queue::HwQueue, lazy_list::LazyList, ms_queue::MsQueue,
+    newcas::NewCas, optimistic_list::OptimisticList, rdcss::Rdcss, specs::*, treiber::Treiber,
+    treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu, two_lock_queue::TwoLockQueue,
 };
 
 fn main() {
@@ -41,8 +46,17 @@ fn main() {
             std::process::exit(3);
         }
     };
+    let reduce = match parse_reduce(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(3);
+        }
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
+        "reduce" => guarded("reduce", || reduce_table(large, jobs)),
+        "verdicts" => guarded("verdicts", || verdicts(reduce, jobs)),
         "table1" => guarded("table1", || table1(jobs)),
         "table2" => guarded("table2", || table2(jobs)),
         "table3" => guarded("table3", || table3(large, jobs)),
@@ -63,10 +77,23 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: tables [table1..table7|fig10|all] [--large] [--jobs N]");
+            eprintln!(
+                "usage: tables [table1..table7|fig10|reduce|verdicts|all] \
+                 [--large] [--jobs N] [--reduce none|sym|por|full]"
+            );
             std::process::exit(3);
         }
     }
+}
+
+/// Parses `--reduce MODE` (default: no reduction).
+fn parse_reduce(args: &[String]) -> Result<ReduceMode, String> {
+    let Some(pos) = args.iter().position(|a| a == "--reduce") else {
+        return Ok(ReduceMode::None);
+    };
+    args.get(pos + 1)
+        .ok_or("--reduce needs a mode: none, sym, por, full")?
+        .parse()
 }
 
 /// Parses `--jobs N` (default: all cores). Every table is deterministic in
@@ -421,14 +448,14 @@ fn fig10(large: bool, jobs: Jobs) {
     macro_rules! series {
         ($name:expr, $alg:expr, $max:expr) => {{
             for op in 1..=$max {
-                let lts = match bb_sim::explore_system_jobs(
+                let lts = match bb_sim::explore_system_with(
                     &$alg,
                     Bound::new(2, op),
-                    bb_lts::ExploreLimits {
+                    &bb_lts::ExploreOptions::limits(bb_lts::ExploreLimits {
                         max_states: 20_000_000,
                         max_transitions: 80_000_000,
-                    },
-                    jobs,
+                    })
+                    .with_jobs(jobs),
                 ) {
                     Ok(l) => l,
                     Err(e) => {
@@ -465,4 +492,139 @@ fn fig10(large: bool, jobs: Jobs) {
     series!("HM lock-free list", HmList::revised(&[1]), shallow);
     println!("\n(The reduction factor grows with the number of operations — the");
     println!(" trend of Fig. 10; the paper reports 2–3 orders of magnitude at 2-10.)");
+}
+
+// ---------------------------------------------------- on-the-fly reduction
+
+fn reduce_table(large: bool, jobs: Jobs) {
+    println!("\n=== On-the-fly reduction — `--reduce none` vs `--reduce full` ===");
+    println!("(ample-set POR + thread-symmetry; both `≈div`-preserving, so every");
+    println!(" verdict is unchanged — `tables verdicts` cross-checks that)\n");
+    println!(
+        "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "Object", "#Th-#Op", "|Δ| st", "|Δ| tr", "red st", "red tr", "st ×", "tr ×", "time"
+    );
+
+    macro_rules! row {
+        ($name:expr, $alg:expr, $th:expr, $op:expr) => {{
+            let opts = ExploreOptions::limits(bb_lts::ExploreLimits {
+                max_states: 20_000_000,
+                max_transitions: 80_000_000,
+            })
+            .with_jobs(jobs);
+            let outcome = (|| -> Result<_, bb_lts::budget::Exhausted> {
+                let full = bb_sim::explore_system_with(&$alg, Bound::new($th, $op), &opts)?;
+                let t0 = Instant::now();
+                let (red, _) = explore_reduced(&$alg, Bound::new($th, $op), ReduceMode::Full, &opts)?;
+                Ok((full, red, t0.elapsed()))
+            })();
+            match outcome {
+                Ok((full, red, dt)) => println!(
+                    "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>8.2} {:>8.2} {:>9.2?}",
+                    $name,
+                    format!("{}-{}", $th, $op),
+                    full.num_states(),
+                    full.num_transitions(),
+                    red.num_states(),
+                    red.num_transitions(),
+                    full.num_states() as f64 / red.num_states().max(1) as f64,
+                    full.num_transitions() as f64 / red.num_transitions().max(1) as f64,
+                    dt,
+                ),
+                Err(e) => println!("{:<28} {:>7} (aborted: {e})", $name, format!("{}-{}", $th, $op)),
+            }
+        }};
+    }
+
+    row!("Treiber stack", Treiber::new(&[1]), 2, 2);
+    row!("Treiber stack", Treiber::new(&[1]), 3, 2);
+    row!("MS lock-free queue", MsQueue::new(&[1]), 2, 2);
+    row!("MS lock-free queue", MsQueue::new(&[1]), 2, 3);
+    row!("Coarse-locked set", CoarseLocked::new(SeqSet::new(&[1])), 2, 2);
+    row!("Coarse-locked set", CoarseLocked::new(SeqSet::new(&[1])), 3, 2);
+    row!("Scratch pad (per-thread slots)", ScratchPad::new(&[1, 2], 4), 4, 2);
+    row!("Scratch pad (per-thread slots)", ScratchPad::new(&[1, 2], 5), 5, 2);
+    if large {
+        row!("Treiber stack", Treiber::new(&[1]), 3, 3);
+        row!("MS lock-free queue", MsQueue::new(&[1]), 3, 2);
+        row!("Coarse-locked set", CoarseLocked::new(SeqSet::new(&[1])), 3, 3);
+        row!("Scratch pad (per-thread slots)", ScratchPad::new(&[1, 2], 6), 6, 1);
+    }
+    println!("\n(POR prunes interleavings of private/owned τ-steps — it mostly removes");
+    println!(" transitions and defers call branching; symmetry merges states that only");
+    println!(" differ by a permutation of per-thread data, which is where the state-");
+    println!(" count factor comes from on objects with per-thread slots.)");
+}
+
+/// Machine-diffable verdict lines: no state counts, no timings — only what
+/// must stay invariant under any sound reduction. CI runs this twice
+/// (`--reduce none` / `--reduce full`) and diffs the output byte-for-byte.
+fn verdicts(reduce: ReduceMode, jobs: Jobs) {
+    macro_rules! case {
+        ($name:expr, $alg:expr, $spec:expr, $th:expr, $op:expr, $lf:expr) => {{
+            let bound = Bound::new($th, $op);
+            let opts = ExploreOptions::limits(bb_lts::ExploreLimits::default()).with_jobs(jobs);
+            let outcome = bb_core::run_isolated(|| -> Result<String, bb_lts::budget::Exhausted> {
+                let (imp, spec) = if reduce == ReduceMode::None {
+                    (
+                        bb_sim::explore_system_with(&$alg, bound, &opts)?,
+                        bb_sim::explore_system_with(&AtomicSpec::new($spec), bound, &opts)?,
+                    )
+                } else {
+                    (
+                        explore_reduced(&$alg, bound, reduce, &opts)?.0,
+                        explore_reduced(&AtomicSpec::new($spec), bound, reduce, &opts)?.0,
+                    )
+                };
+                let mut cfg = VerifyConfig::new(bound).with_jobs(jobs);
+                if !$lf {
+                    cfg = cfg.linearizability_only();
+                }
+                let r = verify_case_lts($name, cfg, &imp, &spec);
+                let lf_mark = match &r.lock_freedom {
+                    None => "—".to_string(),
+                    Some(l) => check(l.lock_free).to_string(),
+                };
+                Ok(format!(
+                    "{:<24} {}-{} lin={} lock-free={}",
+                    $name,
+                    $th,
+                    $op,
+                    check(r.linearizable()),
+                    lf_mark,
+                ))
+            });
+            match outcome {
+                Ok(Ok(line)) => println!("{line}"),
+                Ok(Err(e)) => println!("{:<24} {}-{} inconclusive: {e}", $name, $th, $op),
+                Err(fault) => println!(
+                    "{:<24} {}-{} internal fault: {}",
+                    $name,
+                    $th,
+                    $op,
+                    fault.lines().next().unwrap_or("panic")
+                ),
+            }
+        }};
+    }
+
+    case!("treiber", Treiber::new(&[1, 2]), SeqStack::new(&[1, 2]), 2, 2, true);
+    case!("treiber-hp", TreiberHp::new(&[1], 2), SeqStack::new(&[1]), 2, 2, true);
+    case!("treiber-hp-fu", TreiberHpFu::new(&[1], 2), SeqStack::new(&[1]), 2, 2, true);
+    case!("ms-queue", MsQueue::new(&[1, 2]), SeqQueue::new(&[1, 2]), 2, 2, true);
+    case!("dglm-queue", DglmQueue::new(&[1, 2]), SeqQueue::new(&[1, 2]), 2, 2, true);
+    case!("hw-queue", HwQueue::for_bound(&[1], 3, 1), SeqQueue::new(&[1]), 3, 1, true);
+    case!("ccas", Ccas::new(2), SeqCcas::new(2), 2, 2, true);
+    case!("rdcss", Rdcss::new(2), SeqRdcss::new(2), 2, 1, true);
+    case!("newcas", NewCas::new(2), SeqRegister::new(2), 2, 2, true);
+    case!("hm-list", HmList::revised(&[1]), SeqSet::new(&[1]), 2, 2, true);
+    case!("hm-list-buggy", HmList::buggy(&[1]), SeqSet::new(&[1]), 2, 2, true);
+    case!("hsy-stack", HsyStack::new(&[1]), SeqStack::new(&[1]), 2, 2, true);
+    case!("lazy-list", LazyList::new(&[1]), SeqSet::new(&[1]), 2, 2, false);
+    case!("optimistic-list", OptimisticList::new(&[1]), SeqSet::new(&[1]), 2, 2, false);
+    case!("fine-list", FineList::new(&[1]), SeqSet::new(&[1]), 2, 2, false);
+    case!("two-lock-queue", TwoLockQueue::new(&[1]), SeqQueue::new(&[1]), 2, 2, false);
+    case!("coarse-stack", CoarseLocked::new(SeqStack::new(&[1])), SeqStack::new(&[1]), 2, 2, false);
+    case!("coarse-queue", CoarseLocked::new(SeqQueue::new(&[1])), SeqQueue::new(&[1]), 2, 2, false);
+    case!("coarse-set", CoarseLocked::new(SeqSet::new(&[1])), SeqSet::new(&[1]), 2, 2, false);
 }

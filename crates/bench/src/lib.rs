@@ -4,8 +4,8 @@
 //! Criterion benches both build their systems through these helpers so the
 //! measured workloads stay consistent.
 
-use bb_lts::{ExploreError, ExploreLimits, Jobs, Lts};
-use bb_sim::{explore_system_jobs, Bound, ObjectAlgorithm};
+use bb_lts::{ExploreError, ExploreLimits, ExploreOptions, Jobs, Lts};
+use bb_sim::{explore_system_with, Bound, ObjectAlgorithm};
 
 /// Fault-injection hook for testing the sweep's panic isolation: when the
 /// `BB_SABOTAGE` environment variable is a non-empty substring of the case
@@ -35,7 +35,8 @@ pub fn try_lts_of_jobs<A: ObjectAlgorithm>(
     if sabotaged(alg.name()) {
         panic!("BB_SABOTAGE: injected fault in case `{}`", alg.name());
     }
-    explore_system_jobs(alg, Bound::new(threads, ops), ExploreLimits::default(), jobs)
+    let opts = ExploreOptions::limits(ExploreLimits::default()).with_jobs(jobs);
+    explore_system_with(alg, Bound::new(threads, ops), &opts).map_err(ExploreError::from)
 }
 
 /// Explores `alg` at `threads`-`ops` with default limits, panicking on

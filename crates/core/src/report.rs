@@ -4,7 +4,8 @@ use crate::linearizability::{verify_linearizability_jobs, LinReport};
 use bb_bisim::Lasso;
 use crate::lockfree::{verify_lock_freedom_jobs, LockFreeReport};
 use bb_lts::{ExploreError, ExploreLimits, Jobs, Lts};
-use bb_sim::{explore_system_jobs, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+use bb_lts::ExploreOptions;
+use bb_sim::{explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
 
 /// Configuration of [`verify_case`].
 #[derive(Debug, Clone, Copy)]
@@ -106,8 +107,9 @@ where
     A: ObjectAlgorithm,
     S: SequentialSpec,
 {
-    let imp = explore_system_jobs(alg, config.bound, config.limits, config.jobs)?;
-    let sp = explore_system_jobs(spec, config.bound, config.limits, config.jobs)?;
+    let opts = ExploreOptions::limits(config.limits).with_jobs(config.jobs);
+    let imp = explore_system_with(alg, config.bound, &opts).map_err(ExploreError::from)?;
+    let sp = explore_system_with(spec, config.bound, &opts).map_err(ExploreError::from)?;
     Ok(verify_case_lts(alg.name(), config, &imp, &sp))
 }
 

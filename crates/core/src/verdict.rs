@@ -27,7 +27,8 @@ use crate::lockfree::verify_lock_freedom_governed_jobs;
 use crate::report::CaseReport;
 use bb_lts::budget::{Budget, Exhausted, Watchdog};
 use bb_lts::{Jobs, Lts};
-use bb_sim::{explore_system_governed_jobs, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
+use bb_lts::ExploreOptions;
+use bb_sim::{explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -293,6 +294,11 @@ fn strong_reduce(lts: &Lts, wd: &Watchdog, jobs: Jobs) -> Result<Lts, Exhausted>
     Ok(bb_bisim::quotient(lts, &p).lts)
 }
 
+/// An explorer producing the (implementation, specification) LTS pair for
+/// a bound under a watchdog's budget — the plug point of
+/// [`verify_case_governed_with`].
+pub type PairExplorer<'a> = dyn Fn(Bound, &Watchdog) -> Result<(Lts, Lts), Exhausted> + 'a;
+
 /// Verifies `alg` against `spec` under a resource budget, degrading
 /// gracefully through the fallback ladder instead of running away or
 /// panicking. See the module docs for the ladder and its soundness
@@ -306,6 +312,27 @@ where
     A: ObjectAlgorithm,
     S: SequentialSpec,
 {
+    let explorer = |bound: Bound, wd: &Watchdog| {
+        let opts = ExploreOptions::governed(wd).with_jobs(config.jobs);
+        let imp = explore_system_with(alg, bound, &opts)?;
+        let sp = explore_system_with(spec, bound, &opts)?;
+        Ok((imp, sp))
+    };
+    verify_case_governed_with(alg.name(), config, &explorer)
+}
+
+/// The fallback ladder of [`verify_case_governed`] over an arbitrary
+/// explorer: `explorer(bound, wd)` must produce the (implementation,
+/// specification) LTS pair for `bound` under the watchdog's budget.
+///
+/// This is the plug point for alternative state-space constructions —
+/// `bb-reduce` passes an explorer that builds the partial-order/symmetry
+/// reduced systems, reusing the rungs and verdict scoping unchanged.
+pub fn verify_case_governed_with(
+    name: &'static str,
+    config: &GovernedConfig,
+    explorer: &PairExplorer<'_>,
+) -> GovernedReport {
     let start = Instant::now();
     let wd = Watchdog::new(config.budget.clone());
     let mut attempts: Vec<Attempt> = Vec::new();
@@ -320,8 +347,7 @@ where
                     return Ok((imp.clone(), sp.clone()));
                 }
             }
-            let imp = explore_system_governed_jobs(alg, bound, wd, config.jobs)?;
-            let sp = explore_system_governed_jobs(spec, bound, wd, config.jobs)?;
+            let (imp, sp) = explorer(bound, wd)?;
             *cache = Some((bound, imp.clone(), sp.clone()));
             Ok((imp, sp))
         };
@@ -332,7 +358,7 @@ where
                       lin_verdict: Verdict,
                       lf_verdict: Option<Verdict>| {
         GovernedReport {
-            name: alg.name(),
+            name,
             requested_bound: config.bound,
             linearizability: lin_verdict,
             lock_freedom: lf_verdict,
@@ -346,7 +372,7 @@ where
     // --- Rung 1: direct --------------------------------------------------
     let direct = explore_pair(config.bound, &mut cache, &wd).and_then(|(imp, sp)| {
         pipeline_lts(
-            alg.name(),
+            name,
             config.bound,
             config.check_lock_freedom,
             &imp,
@@ -385,7 +411,7 @@ where
                 let imp_r = strong_reduce(&imp, &wd, config.jobs)?;
                 let sp_r = strong_reduce(&sp, &wd, config.jobs)?;
                 pipeline_lts(
-                    alg.name(),
+                    name,
                     config.bound,
                     config.check_lock_freedom,
                     &imp_r,
@@ -428,7 +454,7 @@ where
         if let Some(small) = reduced_bound(config.bound) {
             let reduced = explore_pair(small, &mut cache, &wd).and_then(|(imp, sp)| {
                 pipeline_lts(
-                    alg.name(),
+                    name,
                     small,
                     config.check_lock_freedom,
                     &imp,
@@ -487,7 +513,7 @@ where
         .unwrap_or_else(|| "budget exhausted".to_string());
     let inconclusive = Verdict::Inconclusive { reason };
     GovernedReport {
-        name: alg.name(),
+        name,
         requested_bound: config.bound,
         linearizability: inconclusive.clone(),
         lock_freedom: config.check_lock_freedom.then(|| inconclusive.clone()),

@@ -66,15 +66,29 @@ impl std::fmt::Display for ParseAutError {
 
 impl std::error::Error for ParseAutError {}
 
+/// Hard cap on state indices accepted from an Aldebaran file. State
+/// storage is preallocated from the header, so an absurd count (a corrupt
+/// header, or a 64-bit index wrapped through a smaller tool) must be
+/// rejected up front instead of exhausting memory.
+const MAX_AUT_STATES: usize = 1 << 28;
+
 /// Parses an Aldebaran file.
 ///
 /// Labels produced by [`to_aut`] are recovered exactly; labels from other
 /// tools are imported as visible call actions of a pseudo-thread `t0`
 /// named by the raw label (internal actions `i`/`tau` map to `τ`).
 ///
+/// The parser is liberal in what it accepts from foreign tools: CRLF and
+/// stray whitespace around lines and fields are ignored, states referenced
+/// beyond the header count grow the state set, and repeated transition
+/// lines collapse to one transition (the builder is idempotent). It is
+/// strict about structure: malformed headers or transition lines and
+/// out-of-range indices are errors, never panics.
+///
 /// # Errors
 ///
-/// Returns [`ParseAutError`] on malformed headers or transition lines.
+/// Returns [`ParseAutError`] on malformed headers or transition lines, and
+/// on state indices above the cap of 2²⁸ states.
 pub fn from_aut(text: &str) -> Result<Lts, ParseAutError> {
     let mut lines = text.lines().enumerate();
     let (header_no, header) = lines
@@ -102,10 +116,17 @@ pub fn from_aut(text: &str) -> Result<Lts, ParseAutError> {
         });
     }
     let parse_num = |s: &str, line: usize| {
-        usize::from_str(s).map_err(|e| ParseAutError {
+        let n = usize::from_str(s).map_err(|e| ParseAutError {
             line,
             message: format!("bad number `{s}`: {e}"),
-        })
+        })?;
+        if n > MAX_AUT_STATES {
+            return Err(ParseAutError {
+                line,
+                message: format!("state index {n} exceeds the cap of {MAX_AUT_STATES}"),
+            });
+        }
+        Ok(n)
     };
     let initial = parse_num(parts[0], header_no + 1)?;
     let num_states = parse_num(parts[2], header_no + 1)?;
@@ -283,6 +304,32 @@ mod tests {
         let text = "des (0, 1, 1)\n\n(0, \"a\", 5)\n";
         let lts = from_aut(text).unwrap();
         assert_eq!(lts.num_states(), 6);
+    }
+
+    #[test]
+    fn tolerates_crlf_and_stray_whitespace() {
+        let text = "  des ( 0 , 2 , 2 )\r\n\r\n ( 0 , \"a\" , 1 ) \r\n(1, \"i\", 0)\r\n";
+        let lts = from_aut(text).unwrap();
+        assert_eq!(lts.num_states(), 2);
+        assert_eq!(lts.num_transitions(), 2);
+    }
+
+    #[test]
+    fn duplicate_transition_lines_collapse() {
+        let text = "des (0, 3, 2)\n(0, \"a\", 1)\n(0, \"a\", 1)\n(0, \"a\", 1)\n";
+        let lts = from_aut(text).unwrap();
+        assert_eq!(lts.num_transitions(), 1);
+    }
+
+    #[test]
+    fn rejects_implausibly_large_indices() {
+        // A corrupt header must not preallocate terabytes of state storage,
+        // and a transition must not index past the cap either.
+        assert!(from_aut("des (0, 1, 99999999999999)\n").is_err());
+        assert!(from_aut("des (99999999999999, 1, 2)\n").is_err());
+        let err = from_aut("des (0, 1, 2)\n(0, \"a\", 99999999999999)\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("cap"), "{}", err.message);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::time::Duration;
 /// resulting LTS is deterministic for a deterministic `successors`
 /// enumeration order.
 ///
-/// The `Sync`/`Send` bounds let [`explore_governed_jobs`] fan the frontier
+/// The `Sync`/`Send` bounds let the parallel engine fan the frontier
 /// out to scoped worker threads; states are plain data in every semantics of
 /// this workspace, so the bounds are vacuous in practice.
 pub trait Semantics: Sync {
@@ -120,41 +120,175 @@ impl fmt::Display for ExploreError {
 
 impl std::error::Error for ExploreError {}
 
-/// Unfolds `sem` into an explicit [`Lts`] by breadth-first exploration.
-///
-/// # Errors
-///
-/// Returns [`ExploreError`] if the reachable state space exceeds `limits`.
-pub fn explore<S: Semantics>(sem: &S, limits: ExploreLimits) -> Result<Lts, ExploreError> {
-    let wd = Watchdog::new(limits.into());
-    explore_governed(sem, &wd).map_err(ExploreError::from)
+/// How an exploration is budgeted: legacy caps, or a full watchdog.
+#[derive(Debug, Clone, Copy)]
+enum BudgetRef<'wd> {
+    /// Cap-only budget; a fresh [`Watchdog`] is built per exploration.
+    Limits(ExploreLimits),
+    /// Shared watchdog (deadline, memory, cancellation) owned by the caller.
+    Governed(&'wd Watchdog),
 }
 
-/// [`explore`] with `jobs` worker threads (see [`explore_governed_jobs`]).
+/// All the knobs of an exploration, replacing the former four-way
+/// `explore` / `_jobs` / `_governed` / `_governed_jobs` entry points.
 ///
-/// # Errors
+/// Compose with the builder methods and run with [`explore_with`]:
 ///
-/// Returns [`ExploreError`] if the reachable state space exceeds `limits`.
-pub fn explore_jobs<S: Semantics>(
-    sem: &S,
-    limits: ExploreLimits,
+/// ```
+/// use bb_lts::{explore_with, ExploreLimits, ExploreOptions, Jobs};
+/// # use bb_lts::{Action, Semantics, ThreadId};
+/// # struct Two;
+/// # impl Semantics for Two {
+/// #     type State = bool;
+/// #     fn initial_state(&self) -> bool { false }
+/// #     fn successors(&self, s: &bool, out: &mut Vec<(Action, bool)>) {
+/// #         if !s { out.push((Action::tau(ThreadId(1)), true)); }
+/// #     }
+/// # }
+/// let opts = ExploreOptions::limits(ExploreLimits::default()).with_jobs(Jobs::new(2));
+/// let lts = explore_with(&Two, &opts)?;
+/// assert_eq!(lts.num_states(), 2);
+/// # Ok::<(), bb_lts::budget::Exhausted>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions<'wd> {
+    budget: BudgetRef<'wd>,
     jobs: Jobs,
-) -> Result<Lts, ExploreError> {
-    let wd = Watchdog::new(limits.into());
-    explore_governed_jobs(sem, &wd, jobs).map_err(ExploreError::from)
 }
 
-/// Unfolds `sem` into an explicit [`Lts`] under the budget of `wd`.
+impl Default for ExploreOptions<'_> {
+    fn default() -> Self {
+        ExploreOptions::limits(ExploreLimits::default())
+    }
+}
+
+impl<'wd> ExploreOptions<'wd> {
+    /// Default limits on the sequential engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap-only budget: abort past `limits.max_states`/`max_transitions`.
+    pub fn limits(limits: ExploreLimits) -> Self {
+        ExploreOptions {
+            budget: BudgetRef::Limits(limits),
+            jobs: Jobs::serial(),
+        }
+    }
+
+    /// Full governance: meter against `wd` (deadline, caps, memory,
+    /// cancellation). The watchdog is shared, so one budget can span
+    /// several explorations.
+    pub fn governed(wd: &'wd Watchdog) -> Self {
+        ExploreOptions {
+            budget: BudgetRef::Governed(wd),
+            jobs: Jobs::serial(),
+        }
+    }
+
+    /// Fan the BFS frontier out to `jobs` worker threads. The resulting
+    /// LTS is bit-identical at any worker count.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> Jobs {
+        self.jobs
+    }
+}
+
+/// Unfolds `sem` into an explicit [`Lts`] by breadth-first exploration,
+/// configured by `opts` — the single entry point behind every convenience
+/// wrapper in this module and in `bb-sim`.
 ///
 /// The exploration accounts every interned state, every recorded transition
-/// and an approximate memory estimate against the watchdog, and observes
-/// its deadline and cancellation token from the BFS loop.
+/// and an approximate memory estimate against the budget, and observes the
+/// deadline and cancellation token from the BFS loop. With `jobs > 1` each
+/// BFS level is fanned out level-synchronously and merged deterministically,
+/// so state ids, transition order and the `.aut` export are bit-identical
+/// to the sequential run at any worker count.
 ///
 /// # Errors
 ///
 /// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
 /// trips; the partial statistics describe the aborted frontier.
+pub fn explore_with<S: Semantics>(
+    sem: &S,
+    opts: &ExploreOptions<'_>,
+) -> Result<Lts, Exhausted> {
+    match opts.budget {
+        BudgetRef::Limits(limits) => {
+            let wd = Watchdog::new(limits.into());
+            explore_impl(sem, &wd, opts.jobs)
+        }
+        BudgetRef::Governed(wd) => explore_impl(sem, wd, opts.jobs),
+    }
+}
+
+fn explore_impl<S: Semantics>(sem: &S, wd: &Watchdog, jobs: Jobs) -> Result<Lts, Exhausted> {
+    if jobs.is_serial() {
+        explore_serial(sem, wd)
+    } else {
+        explore_parallel(sem, wd, jobs)
+    }
+}
+
+/// Unfolds `sem` into an explicit [`Lts`] by breadth-first exploration.
+///
+/// Shorthand for [`explore_with`] with cap-only limits on the sequential
+/// engine (the common case in tests and examples).
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the reachable state space exceeds `limits`.
+pub fn explore<S: Semantics>(sem: &S, limits: ExploreLimits) -> Result<Lts, ExploreError> {
+    explore_with(sem, &ExploreOptions::limits(limits)).map_err(ExploreError::from)
+}
+
+/// [`explore`] with `jobs` worker threads.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the reachable state space exceeds `limits`.
+#[deprecated(note = "use `explore_with(sem, &ExploreOptions::limits(l).with_jobs(jobs))`")]
+pub fn explore_jobs<S: Semantics>(
+    sem: &S,
+    limits: ExploreLimits,
+    jobs: Jobs,
+) -> Result<Lts, ExploreError> {
+    explore_with(sem, &ExploreOptions::limits(limits).with_jobs(jobs))
+        .map_err(ExploreError::from)
+}
+
+/// Unfolds `sem` into an explicit [`Lts`] under the budget of `wd`.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
+/// trips; the partial statistics describe the aborted frontier.
+#[deprecated(note = "use `explore_with(sem, &ExploreOptions::governed(wd))`")]
 pub fn explore_governed<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exhausted> {
+    explore_with(sem, &ExploreOptions::governed(wd))
+}
+
+/// [`explore_governed`] with `jobs` worker threads.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
+/// trips; the partial statistics describe the aborted frontier.
+#[deprecated(note = "use `explore_with(sem, &ExploreOptions::governed(wd).with_jobs(jobs))`")]
+pub fn explore_governed_jobs<S: Semantics>(
+    sem: &S,
+    wd: &Watchdog,
+    jobs: Jobs,
+) -> Result<Lts, Exhausted> {
+    explore_with(sem, &ExploreOptions::governed(wd).with_jobs(jobs))
+}
+
+fn explore_serial<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exhausted> {
     let mut meter = wd.meter(Stage::Explore);
     // Approximate per-state footprint: the interned key in the id map plus
     // the copy on the `discovered` list, and builder bookkeeping.
@@ -215,7 +349,7 @@ const PAR_MIN_CHUNK: usize = 16;
 /// How many frontier states a worker expands between watchdog checks.
 const WORKER_CHECK_INTERVAL: usize = 32;
 
-/// [`explore_governed`] with `jobs` worker threads: a *level-synchronous*
+/// The parallel engine behind [`explore_with`]: a *level-synchronous*
 /// parallel BFS built on [`std::thread::scope`].
 ///
 /// Each BFS level (the states discovered by the previous level, a contiguous
@@ -237,14 +371,12 @@ const WORKER_CHECK_INTERVAL: usize = 32;
 ///
 /// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
 /// trips; the partial statistics describe the aborted frontier.
-pub fn explore_governed_jobs<S: Semantics>(
+fn explore_parallel<S: Semantics>(
     sem: &S,
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<Lts, Exhausted> {
-    if jobs.is_serial() {
-        return explore_governed(sem, wd);
-    }
+    debug_assert!(!jobs.is_serial());
     let mut meter = wd.meter(Stage::Explore);
     let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
     let transition_bytes = std::mem::size_of::<(StateId, u32, StateId)>();
@@ -373,6 +505,14 @@ mod tests {
     use super::*;
     use crate::ThreadId;
 
+    fn gov<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exhausted> {
+        explore_with(sem, &ExploreOptions::governed(wd))
+    }
+
+    fn gov_jobs<S: Semantics>(sem: &S, wd: &Watchdog, jobs: Jobs) -> Result<Lts, Exhausted> {
+        explore_with(sem, &ExploreOptions::governed(wd).with_jobs(jobs))
+    }
+
     /// A counter from 0 to `max` with an increment loop.
     struct Counter {
         max: u32,
@@ -477,7 +617,7 @@ mod tests {
         let wd = Watchdog::new(
             Budget::unlimited().with_deadline(std::time::Duration::ZERO),
         );
-        let err = explore_governed(&Counter { max: 100_000 }, &wd).unwrap_err();
+        let err = gov(&Counter { max: 100_000 }, &wd).unwrap_err();
         assert_eq!(err.stage, Stage::Explore);
         assert_eq!(err.reason, ExhaustReason::Deadline);
     }
@@ -485,7 +625,7 @@ mod tests {
     #[test]
     fn governed_memory_cap_aborts() {
         let wd = Watchdog::new(Budget::unlimited().with_max_memory_bytes(256));
-        let err = explore_governed(&Counter { max: 100_000 }, &wd).unwrap_err();
+        let err = gov(&Counter { max: 100_000 }, &wd).unwrap_err();
         assert_eq!(err.reason, ExhaustReason::Memory);
         assert!(err.partial.states >= 1);
     }
@@ -494,7 +634,7 @@ mod tests {
     fn governed_cancellation_aborts() {
         let wd = Watchdog::unlimited();
         wd.cancel();
-        let err = explore_governed(&Counter { max: 2_000_000 }, &wd).unwrap_err();
+        let err = gov(&Counter { max: 2_000_000 }, &wd).unwrap_err();
         assert_eq!(err.reason, ExhaustReason::Cancelled);
     }
 
@@ -522,9 +662,9 @@ mod tests {
             fanout: 9,
         };
         let wd = Watchdog::unlimited();
-        let seq = explore_governed(&sem, &wd).unwrap();
+        let seq = gov(&sem, &wd).unwrap();
         for jobs in [1, 2, 4] {
-            let par = explore_governed_jobs(&sem, &Watchdog::unlimited(), Jobs::new(jobs)).unwrap();
+            let par = gov_jobs(&sem, &Watchdog::unlimited(), Jobs::new(jobs)).unwrap();
             assert_eq!(par.num_states(), seq.num_states(), "jobs={jobs}");
             assert_eq!(par.num_transitions(), seq.num_transitions(), "jobs={jobs}");
             assert_eq!(
@@ -542,9 +682,9 @@ mod tests {
             fanout: 8,
         };
         let budget = Budget::unlimited().with_max_transitions(500);
-        let seq = explore_governed(&sem, &Watchdog::new(budget.clone())).unwrap_err();
+        let seq = gov(&sem, &Watchdog::new(budget.clone())).unwrap_err();
         let par =
-            explore_governed_jobs(&sem, &Watchdog::new(budget), Jobs::new(4)).unwrap_err();
+            gov_jobs(&sem, &Watchdog::new(budget), Jobs::new(4)).unwrap_err();
         assert_eq!(par.reason, seq.reason);
         assert_eq!(par.partial.states, seq.partial.states);
         assert_eq!(par.partial.transitions, seq.partial.transitions);
@@ -554,7 +694,7 @@ mod tests {
     fn parallel_cancellation_aborts_mid_fanout() {
         let wd = Watchdog::unlimited();
         wd.cancel();
-        let err = explore_governed_jobs(
+        let err = gov_jobs(
             &Tree {
                 depth: 64,
                 fanout: 64,
@@ -571,7 +711,7 @@ mod tests {
     #[test]
     fn parallel_deadline_aborts_mid_fanout() {
         let wd = Watchdog::new(Budget::unlimited().with_deadline(Duration::ZERO));
-        let err = explore_governed_jobs(
+        let err = gov_jobs(
             &Tree {
                 depth: 64,
                 fanout: 64,

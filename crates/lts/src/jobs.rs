@@ -4,7 +4,7 @@
 //! [`std::thread::scope`], and every parallel code path is *deterministic* —
 //! state ids, transition order and computed partitions are bit-identical to
 //! the sequential run at any worker count (see the level-synchronous merge
-//! in [`explore_governed_jobs`](crate::explore_governed_jobs) and the
+//! in [`explore_with`](crate::explore_with) on a parallel [`ExploreOptions`](crate::ExploreOptions) and the
 //! sharded signature computation in `bb-bisim`). [`Jobs`] only chooses how
 //! the same work is divided, never what is computed.
 

@@ -45,10 +45,9 @@ pub use budget::{
 };
 pub use builder::LtsBuilder;
 pub use dot::to_dot;
-pub use explore::{
-    explore, explore_governed, explore_governed_jobs, explore_jobs, ExploreError, ExploreLimits,
-    Semantics,
-};
+#[allow(deprecated)]
+pub use explore::{explore_governed, explore_governed_jobs, explore_jobs};
+pub use explore::{explore, explore_with, ExploreError, ExploreLimits, ExploreOptions, Semantics};
 pub use jobs::Jobs;
 pub use lts::{Lts, StateId, Transition};
 pub use random::{random_lts, RandomLtsConfig};

@@ -1,0 +1,86 @@
+//! Reduction mode selection (`--reduce {none,sym,por,full}`).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which reduction layers to apply during exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceMode {
+    /// No reduction: the reduced system is the plain most general client.
+    #[default]
+    None,
+    /// Thread-symmetry canonicalization only.
+    Sym,
+    /// Ample-set partial-order reduction only.
+    Por,
+    /// Both layers.
+    Full,
+}
+
+impl ReduceMode {
+    /// Whether thread-symmetry canonicalization is on.
+    pub fn sym(self) -> bool {
+        matches!(self, ReduceMode::Sym | ReduceMode::Full)
+    }
+
+    /// Whether ample-set partial-order reduction is on.
+    pub fn por(self) -> bool {
+        matches!(self, ReduceMode::Por | ReduceMode::Full)
+    }
+
+    /// Every mode, in increasing strength.
+    pub const ALL: [ReduceMode; 4] = [
+        ReduceMode::None,
+        ReduceMode::Sym,
+        ReduceMode::Por,
+        ReduceMode::Full,
+    ];
+}
+
+impl fmt::Display for ReduceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReduceMode::None => "none",
+            ReduceMode::Sym => "sym",
+            ReduceMode::Por => "por",
+            ReduceMode::Full => "full",
+        })
+    }
+}
+
+impl FromStr for ReduceMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(ReduceMode::None),
+            "sym" => Ok(ReduceMode::Sym),
+            "por" => Ok(ReduceMode::Por),
+            "full" => Ok(ReduceMode::Full),
+            other => Err(format!(
+                "unknown reduction mode `{other}` (expected none|sym|por|full)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for m in ReduceMode::ALL {
+            assert_eq!(m.to_string().parse::<ReduceMode>().unwrap(), m);
+        }
+        assert!("por2".parse::<ReduceMode>().is_err());
+    }
+
+    #[test]
+    fn layer_flags() {
+        assert!(!ReduceMode::None.sym() && !ReduceMode::None.por());
+        assert!(ReduceMode::Sym.sym() && !ReduceMode::Sym.por());
+        assert!(!ReduceMode::Por.sym() && ReduceMode::Por.por());
+        assert!(ReduceMode::Full.sym() && ReduceMode::Full.por());
+    }
+}

@@ -3,8 +3,8 @@
 use crate::algorithm::{MethodId, MethodSpec, ObjectAlgorithm, Outcome};
 use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::{
-    explore, explore_governed, explore_governed_jobs, explore_jobs, Action, ExploreError,
-    ExploreLimits, Jobs, Lts, Semantics, ThreadId,
+    explore, explore_with, Action, ExploreError, ExploreLimits, ExploreOptions, Jobs, Lts,
+    Semantics, ThreadId,
 };
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -82,7 +82,20 @@ impl<'a, A: ObjectAlgorithm> System<'a, A> {
         }
     }
 
-    fn canonicalize(&self, st: &mut SysState<A::Shared, A::Frame>) {
+    /// The wrapped algorithm.
+    pub fn algorithm(&self) -> &'a A {
+        self.alg
+    }
+
+    /// The client bound.
+    pub fn bound(&self) -> Bound {
+        self.bound
+    }
+
+    /// Canonicalizes a system state in place (heap GC + pointer renaming
+    /// across the shared state and every live frame). Exposed so reduction
+    /// layers can re-canonicalize after transforming a state.
+    pub fn canonicalize_state(&self, st: &mut SysState<A::Shared, A::Frame>) {
         let SysState { shared, threads } = st;
         let mut frames: Vec<&mut A::Frame> = threads
             .iter_mut()
@@ -92,6 +105,80 @@ impl<'a, A: ObjectAlgorithm> System<'a, A> {
             })
             .collect();
         self.alg.canonicalize(shared, &mut frames);
+    }
+
+    fn canonicalize(&self, st: &mut SysState<A::Shared, A::Frame>) {
+        self.canonicalize_state(st);
+    }
+
+    /// Appends the outgoing steps contributed by thread `ti` (0-based) in
+    /// `state` — the building block [`Semantics::successors`] loops over,
+    /// exposed so the ample-set selector in `bb-reduce` can expand a single
+    /// thread without enumerating the whole state.
+    #[allow(clippy::type_complexity)]
+    pub fn thread_successors(
+        &self,
+        state: &SysState<A::Shared, A::Frame>,
+        ti: usize,
+        out: &mut Vec<(Action, SysState<A::Shared, A::Frame>)>,
+    ) {
+        let t = ThreadId(ti as u8 + 1);
+        match &state.threads[ti] {
+            ThreadStatus::Idle { remaining } => {
+                if *remaining == 0 {
+                    return;
+                }
+                for (mid, spec) in self.methods.iter().enumerate() {
+                    for &arg in &spec.args {
+                        let mut next = state.clone();
+                        next.threads[ti] = ThreadStatus::Running {
+                            method: mid,
+                            frame: self.alg.begin(mid, arg, t),
+                            remaining: remaining - 1,
+                        };
+                        self.canonicalize(&mut next);
+                        out.push((Action::call(t, spec.name, arg), next));
+                    }
+                }
+            }
+            ThreadStatus::Running {
+                method,
+                frame,
+                remaining,
+            } => {
+                let mut outcomes = Vec::new();
+                self.alg.step(&state.shared, frame, t, &mut outcomes);
+                for oc in outcomes {
+                    match oc {
+                        Outcome::Tau { shared, frame, tag } => {
+                            let mut next = state.clone();
+                            next.shared = shared;
+                            next.threads[ti] = ThreadStatus::Running {
+                                method: *method,
+                                frame,
+                                remaining: *remaining,
+                            };
+                            self.canonicalize(&mut next);
+                            let action = if tag.is_empty() {
+                                Action::tau(t)
+                            } else {
+                                Action::tau_tagged(t, tag)
+                            };
+                            out.push((action, next));
+                        }
+                        Outcome::Ret { shared, val, tag: _ } => {
+                            let mut next = state.clone();
+                            next.shared = shared;
+                            next.threads[ti] = ThreadStatus::Idle {
+                                remaining: *remaining,
+                            };
+                            self.canonicalize(&mut next);
+                            out.push((Action::ret(t, self.methods[*method].name, val), next));
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -117,74 +204,36 @@ where
     }
 
     fn successors(&self, state: &Self::State, out: &mut Vec<(Action, Self::State)>) {
-        let mut outcomes = Vec::new();
-        for (ti, status) in state.threads.iter().enumerate() {
-            let t = ThreadId(ti as u8 + 1);
-            match status {
-                ThreadStatus::Idle { remaining } => {
-                    if *remaining == 0 {
-                        continue;
-                    }
-                    for (mid, spec) in self.methods.iter().enumerate() {
-                        for &arg in &spec.args {
-                            let mut next = state.clone();
-                            next.threads[ti] = ThreadStatus::Running {
-                                method: mid,
-                                frame: self.alg.begin(mid, arg, t),
-                                remaining: remaining - 1,
-                            };
-                            self.canonicalize(&mut next);
-                            out.push((Action::call(t, spec.name, arg), next));
-                        }
-                    }
-                }
-                ThreadStatus::Running {
-                    method,
-                    frame,
-                    remaining,
-                } => {
-                    outcomes.clear();
-                    self.alg.step(&state.shared, frame, t, &mut outcomes);
-                    for oc in outcomes.drain(..) {
-                        match oc {
-                            Outcome::Tau { shared, frame, tag } => {
-                                let mut next = state.clone();
-                                next.shared = shared;
-                                next.threads[ti] = ThreadStatus::Running {
-                                    method: *method,
-                                    frame,
-                                    remaining: *remaining,
-                                };
-                                self.canonicalize(&mut next);
-                                let action = if tag.is_empty() {
-                                    Action::tau(t)
-                                } else {
-                                    Action::tau_tagged(t, tag)
-                                };
-                                out.push((action, next));
-                            }
-                            Outcome::Ret { shared, val, tag: _ } => {
-                                let mut next = state.clone();
-                                next.shared = shared;
-                                next.threads[ti] = ThreadStatus::Idle {
-                                    remaining: *remaining,
-                                };
-                                self.canonicalize(&mut next);
-                                out.push((
-                                    Action::ret(t, self.methods[*method].name, val),
-                                    next,
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
+        for ti in 0..state.threads.len() {
+            self.thread_successors(state, ti, out);
         }
     }
 }
 
 /// Unfolds the most general client of `alg` under `bound` into an explicit
+/// LTS, with budget and worker count chosen by `opts`.
+///
+/// This is the single entry point behind every `explore_system*` variant;
+/// it is also where reduction layers (`bb-reduce`) plug in, by wrapping the
+/// [`System`] semantics before handing it to [`bb_lts::explore_with`].
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage `explore`) when any budget axis trips.
+pub fn explore_system_with<A: ObjectAlgorithm>(
+    alg: &A,
+    bound: Bound,
+    opts: &ExploreOptions<'_>,
+) -> Result<Lts, Exhausted> {
+    let system = System::new(alg, bound);
+    explore_with(&system, opts)
+}
+
+/// Unfolds the most general client of `alg` under `bound` into an explicit
 /// LTS.
+///
+/// Shorthand for [`explore_system_with`] with a plain [`ExploreLimits`]
+/// budget on the serial engine.
 ///
 /// # Errors
 ///
@@ -204,13 +253,13 @@ pub fn explore_system<A: ObjectAlgorithm>(
 /// # Errors
 ///
 /// Returns [`Exhausted`] (stage `explore`) when any budget axis trips.
+#[deprecated(note = "use `explore_system_with(alg, bound, &ExploreOptions::governed(wd))`")]
 pub fn explore_system_governed<A: ObjectAlgorithm>(
     alg: &A,
     bound: Bound,
     wd: &Watchdog,
 ) -> Result<Lts, Exhausted> {
-    let system = System::new(alg, bound);
-    explore_governed(&system, wd)
+    explore_system_with(alg, bound, &ExploreOptions::governed(wd))
 }
 
 /// [`explore_system`] on the parallel exploration engine: the frontier of
@@ -221,14 +270,17 @@ pub fn explore_system_governed<A: ObjectAlgorithm>(
 /// # Errors
 ///
 /// Returns [`ExploreError`] if the state space exceeds `limits`.
+#[deprecated(
+    note = "use `explore_system_with(alg, bound, &ExploreOptions::limits(l).with_jobs(jobs))`"
+)]
 pub fn explore_system_jobs<A: ObjectAlgorithm>(
     alg: &A,
     bound: Bound,
     limits: ExploreLimits,
     jobs: Jobs,
 ) -> Result<Lts, ExploreError> {
-    let system = System::new(alg, bound);
-    explore_jobs(&system, limits, jobs)
+    explore_system_with(alg, bound, &ExploreOptions::limits(limits).with_jobs(jobs))
+        .map_err(ExploreError::from)
 }
 
 /// [`explore_system_governed`] on the parallel exploration engine (see
@@ -237,14 +289,16 @@ pub fn explore_system_jobs<A: ObjectAlgorithm>(
 /// # Errors
 ///
 /// Returns [`Exhausted`] (stage `explore`) when any budget axis trips.
+#[deprecated(
+    note = "use `explore_system_with(alg, bound, &ExploreOptions::governed(wd).with_jobs(jobs))`"
+)]
 pub fn explore_system_governed_jobs<A: ObjectAlgorithm>(
     alg: &A,
     bound: Bound,
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<Lts, Exhausted> {
-    let system = System::new(alg, bound);
-    explore_governed_jobs(&system, wd, jobs)
+    explore_system_with(alg, bound, &ExploreOptions::governed(wd).with_jobs(jobs))
 }
 
 #[cfg(test)]
@@ -319,6 +373,37 @@ mod tests {
                 }),
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_options_entry_point() {
+        let bound = Bound::new(2, 1);
+        let limits = ExploreLimits::default();
+        let base = explore_system_with(&TestCounter, bound, &ExploreOptions::limits(limits))
+            .unwrap();
+        let wd = Watchdog::new(limits.into());
+        let gov = explore_system_governed(&TestCounter, bound, &wd).unwrap();
+        let jobs = explore_system_jobs(&TestCounter, bound, limits, Jobs::new(2)).unwrap();
+        let gov_jobs =
+            explore_system_governed_jobs(&TestCounter, bound, &wd, Jobs::new(2)).unwrap();
+        for other in [&gov, &jobs, &gov_jobs] {
+            assert_eq!(bb_lts::to_aut(&base), bb_lts::to_aut(other));
+        }
+    }
+
+    #[test]
+    fn thread_successors_partitions_successors() {
+        // Union of per-thread successor sets == the Semantics::successors set.
+        let system = System::new(&TestCounter, Bound::new(2, 1));
+        let init = Semantics::initial_state(&system);
+        let mut whole = Vec::new();
+        Semantics::successors(&system, &init, &mut whole);
+        let mut pieces = Vec::new();
+        for ti in 0..init.threads.len() {
+            system.thread_successors(&init, ti, &mut pieces);
+        }
+        assert_eq!(format!("{whole:?}"), format!("{pieces:?}"));
     }
 
     #[test]

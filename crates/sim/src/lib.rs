@@ -28,11 +28,10 @@ mod heap;
 mod ptr;
 mod spec;
 
-pub use algorithm::{MethodId, MethodSpec, ObjectAlgorithm, Outcome};
-pub use client::{
-    explore_system, explore_system_governed, explore_system_governed_jobs, explore_system_jobs,
-    Bound, SysState, System, ThreadStatus,
-};
+pub use algorithm::{Footprint, MethodId, MethodSpec, ObjectAlgorithm, Outcome, ThreadPerm};
+#[allow(deprecated)]
+pub use client::{explore_system_governed, explore_system_governed_jobs, explore_system_jobs};
+pub use client::{explore_system, explore_system_with, Bound, SysState, System, ThreadStatus};
 pub use heap::{Heap, HeapNode, Renaming};
 pub use ptr::Ptr;
 pub use spec::{AtomicSpec, SequentialSpec};

@@ -26,8 +26,12 @@ use bbverify::core::{
 };
 use bbverify::bisim::partition_jobs;
 use bbverify::lts::{to_aut, to_dot, Budget, ExploreLimits, Jobs, Lts, Watchdog};
+use bbverify::lts::ExploreOptions;
+use bbverify::reduce::{
+    differential_check, explore_reduced, verify_case_reduced_governed, ReduceMode,
+};
 use bbverify::sim::{
-    explore_system_governed_jobs, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec,
+    explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec,
 };
 use std::time::Duration;
 
@@ -73,6 +77,7 @@ struct Options {
     max_memory: Option<usize>,
     no_fallback: bool,
     jobs: Jobs,
+    reduce: ReduceMode,
 }
 
 impl Default for Options {
@@ -92,6 +97,7 @@ impl Default for Options {
             max_memory: None,
             no_fallback: false,
             jobs: Jobs::available(),
+            reduce: ReduceMode::None,
         }
     }
 }
@@ -222,6 +228,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 opts.jobs = Jobs::new(n);
             }
+            "--reduce" => {
+                opts.reduce = it
+                    .next()
+                    .ok_or("--reduce needs a mode: none, sym, por, full")?
+                    .parse()?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -229,11 +241,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn print_usage() {
-    eprintln!("usage: bbv <list|verify|quotient|check> [algorithm] [options]");
+    eprintln!("usage: bbv <list|verify|quotient|check|reduce-check> [algorithm|all] [options]");
     eprintln!("  options: --threads N  --ops N  --domain 1,2");
     eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
     eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
     eprintln!("           --jobs N   (worker threads; default = all cores, output identical)");
+    eprintln!("           --reduce none|sym|por|full   (state-space reduction; ≈div-preserving)");
+    eprintln!("           `reduce-check <algorithm|all>` cross-checks the reduction: the");
+    eprintln!("           reduced LTS must be ≈div the full one with identical verdicts");
     eprintln!("  budget:  --timeout 30s  --max-states 1e6  --max-transitions 1e7");
     eprintln!("           --max-memory 2e9  --no-fallback");
     eprintln!("           with a budget, `verify` degrades gracefully: on exhaustion it");
@@ -257,19 +272,24 @@ fn main() {
             print_usage();
             EXIT_PROVED
         }
-        Some(cmd @ ("verify" | "quotient" | "check")) => {
+        Some(cmd @ ("verify" | "quotient" | "check" | "reduce-check")) => {
             let mode = match cmd {
                 "verify" => Mode::Verify,
                 "quotient" => Mode::Quotient,
-                _ => Mode::Check,
+                "check" => Mode::Check,
+                _ => Mode::ReduceCheck,
             };
-            // A panicking case (a bug in a checker, not a budget trip) is an
-            // inconclusive run, not a crash.
-            match run_isolated(|| run(&args[1..], mode)) {
-                Ok(code) => code,
-                Err(msg) => {
-                    eprintln!("internal fault (treated as inconclusive): {msg}");
-                    EXIT_INCONCLUSIVE
+            if mode == Mode::ReduceCheck && args.get(1).map(String::as_str) == Some("all") {
+                reduce_check_all(&args[2..])
+            } else {
+                // A panicking case (a bug in a checker, not a budget trip) is
+                // an inconclusive run, not a crash.
+                match run_isolated(|| run(&args[1..], mode)) {
+                    Ok(code) => code,
+                    Err(msg) => {
+                        eprintln!("internal fault (treated as inconclusive): {msg}");
+                        EXIT_INCONCLUSIVE
+                    }
                 }
             }
         }
@@ -286,6 +306,26 @@ enum Mode {
     Verify,
     Quotient,
     Check,
+    ReduceCheck,
+}
+
+/// `bbv reduce-check all`: sweep the differential check over the whole
+/// roster, reporting every algorithm and returning the worst exit code.
+fn reduce_check_all(extra: &[String]) -> i32 {
+    let mut worst = EXIT_PROVED;
+    for (name, _) in ALGORITHMS {
+        let mut args: Vec<String> = vec![name.to_string()];
+        args.extend(extra.iter().cloned());
+        let code = match run_isolated(|| run(&args, Mode::ReduceCheck)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("internal fault (treated as inconclusive): {msg}");
+                EXIT_INCONCLUSIVE
+            }
+        };
+        worst = worst.max(code);
+    }
+    worst
 }
 
 fn run(args: &[String], mode: Mode) -> i32 {
@@ -340,13 +380,25 @@ fn run(args: &[String], mode: Mode) -> i32 {
 
 /// Explores under the option budget; exhaustion is an inconclusive outcome
 /// (exit 2), reported with the exhausted stage and its partial statistics.
+///
+/// With `--reduce`, exploration unfolds the reduced system instead and the
+/// reducer counters go to stderr (stdout stays diffable across modes).
 fn explore_or_inconclusive<A: ObjectAlgorithm>(
     alg: &A,
     bound: Bound,
     wd: &Watchdog,
-    jobs: Jobs,
+    opts: &Options,
 ) -> Result<Lts, i32> {
-    explore_system_governed_jobs(alg, bound, wd, jobs).map_err(|e| {
+    let eo = ExploreOptions::governed(wd).with_jobs(opts.jobs);
+    let result = if opts.reduce == ReduceMode::None {
+        explore_system_with(alg, bound, &eo)
+    } else {
+        explore_reduced(alg, bound, opts.reduce, &eo).map(|(lts, stats)| {
+            eprintln!("reduction {} [{}]: {stats}", opts.reduce, alg.name());
+            lts
+        })
+    };
+    result.map_err(|e| {
         eprintln!("inconclusive: {e}");
         EXIT_INCONCLUSIVE
     })
@@ -361,12 +413,15 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
 ) -> i32 {
     let bound = Bound::new(opts.threads, opts.ops);
 
+    if mode == Mode::ReduceCheck {
+        return reduce_check(alg, spec, opts, bound, non_blocking);
+    }
     if mode == Mode::Verify && opts.budgeted() {
         return verify_governed(alg, spec, opts, bound, non_blocking);
     }
 
     let wd = Watchdog::new(opts.budget());
-    let imp = match explore_or_inconclusive(alg, bound, &wd, opts.jobs) {
+    let imp = match explore_or_inconclusive(alg, bound, &wd, opts) {
         Ok(l) => l,
         Err(c) => return c,
     };
@@ -438,7 +493,7 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
         return EXIT_PROVED;
     }
 
-    let sp = match explore_or_inconclusive(spec, bound, &wd, opts.jobs) {
+    let sp = match explore_or_inconclusive(spec, bound, &wd, opts) {
         Ok(l) => l,
         Err(c) => return c,
     };
@@ -477,6 +532,38 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     }
 }
 
+/// `bbv reduce-check <algorithm>`: run the differential harness — full and
+/// reduced state spaces must be `≈div` with identical verdicts. `--reduce`
+/// selects the layer under test (default: `full`, both layers).
+fn reduce_check<A: ObjectAlgorithm, S: SequentialSpec>(
+    alg: &A,
+    spec: &AtomicSpec<S>,
+    opts: &Options,
+    bound: Bound,
+    non_blocking: bool,
+) -> i32 {
+    let mode = if opts.reduce == ReduceMode::None {
+        ReduceMode::Full
+    } else {
+        opts.reduce
+    };
+    let lock_freedom = opts.check_lock_freedom && non_blocking;
+    match differential_check(alg, spec, bound, mode, opts.jobs, lock_freedom) {
+        Ok(r) => {
+            println!("{}", r.render());
+            if r.passed() {
+                EXIT_PROVED
+            } else {
+                EXIT_REFUTED
+            }
+        }
+        Err(e) => {
+            eprintln!("inconclusive: {e}");
+            EXIT_INCONCLUSIVE
+        }
+    }
+}
+
 /// The budget-governed `verify` path: run the fallback ladder and map the
 /// overall verdict onto the exit code.
 fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
@@ -493,7 +580,11 @@ fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
     if opts.no_fallback {
         config = config.no_fallback();
     }
-    let report = verify_case_governed(alg, spec, &config);
+    let report = if opts.reduce == ReduceMode::None {
+        verify_case_governed(alg, spec, &config)
+    } else {
+        verify_case_reduced_governed(alg, spec, opts.reduce, &config)
+    };
     print!("{}", report.render());
     if let Some(details) = &report.details {
         println!("{}", details.summary());

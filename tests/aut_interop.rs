@@ -46,3 +46,39 @@ fn full_system_roundtrip_preserves_divergence() {
     assert!(bbverify::bisim::has_tau_cycle(&rt));
     assert!(bisimilar(&lts, &rt, Equivalence::BranchingDiv));
 }
+
+#[test]
+fn import_survives_foreign_line_endings_and_duplicates() {
+    // A CADP-produced file re-saved on Windows: CRLF endings, padded
+    // fields, and a transition listed twice. Import must normalize all of
+    // it — same LTS as the clean rendering.
+    let clean = "des (0, 2, 2)\n(0, \"t1.call.Enq(1)\", 1)\n(1, \"i !t1 !L5\", 0)\n";
+    let messy = "des ( 0 , 2 , 2 )\r\n ( 0 , \"t1.call.Enq(1)\" , 1 ) \r\n(1, \"i !t1 !L5\", 0)\r\n(1, \"i !t1 !L5\", 0)\r\n";
+    let a = from_aut(clean).unwrap();
+    let b = from_aut(messy).unwrap();
+    assert_eq!(to_aut(&a), to_aut(&b));
+}
+
+#[test]
+fn malformed_inputs_error_rather_than_panic() {
+    for (name, text) in [
+        ("empty", ""),
+        ("blank", "   \n\t\n"),
+        ("no header", "(0, \"a\", 1)\n"),
+        ("truncated header", "des (0, 1\n"),
+        ("two-field header", "des (0, 1)\n"),
+        ("four-field header", "des (0, 1, 2, 3)\n"),
+        ("negative state", "des (-1, 1, 2)\n"),
+        ("non-numeric state", "des (x, 1, 2)\n"),
+        ("huge header", "des (0, 1, 18446744073709551615)\n"),
+        ("unparenthesized transition", "des (0, 1, 2)\n0, \"a\", 1\n"),
+        ("one-field transition", "des (0, 1, 2)\n(0)\n"),
+        ("two-field transition", "des (0, 1, 2)\n(0, \"a\")\n"),
+        ("bad source", "des (0, 1, 2)\n(x, \"a\", 1)\n"),
+        ("bad target", "des (0, 1, 2)\n(0, \"a\", x)\n"),
+        ("huge target", "des (0, 1, 2)\n(0, \"a\", 99999999999)\n"),
+    ] {
+        let r = from_aut(text);
+        assert!(r.is_err(), "{name}: should be rejected, got {r:?}");
+    }
+}

@@ -23,7 +23,8 @@ use bbverify::lts::{
 };
 use bbverify::ltl::{check, check_governed, lock_freedom};
 use bbverify::refine::{trace_refines, trace_refines_governed, RefineOptions};
-use bbverify::sim::{explore_system_governed, AtomicSpec, Bound};
+use bbverify::lts::ExploreOptions;
+use bbverify::sim::{explore_system_with, AtomicSpec, Bound};
 use std::time::Duration;
 
 fn tiny(budget: Budget) -> Watchdog {
@@ -31,7 +32,11 @@ fn tiny(budget: Budget) -> Watchdog {
 }
 
 fn msq_lts() -> Lts {
-    explore_system_governed(&MsQueue::new(&[1]), Bound::new(2, 2), &Watchdog::unlimited())
+    explore_system_with(
+        &MsQueue::new(&[1]),
+        Bound::new(2, 2),
+        &ExploreOptions::governed(&Watchdog::unlimited()),
+    )
         .expect("unbudgeted exploration fits")
 }
 
@@ -40,7 +45,7 @@ fn msq_lts() -> Lts {
 #[test]
 fn explore_exhausts_cleanly_on_state_cap() {
     let wd = tiny(Budget::unlimited().with_max_states(10));
-    let err = explore_system_governed(&MsQueue::new(&[1]), Bound::new(2, 2), &wd).unwrap_err();
+    let err = explore_system_with(&MsQueue::new(&[1]), Bound::new(2, 2), &ExploreOptions::governed(&wd)).unwrap_err();
     assert_eq!(err.stage, Stage::Explore);
     assert_eq!(err.reason, ExhaustReason::StateCap);
     assert!(err.partial.states >= 10);
@@ -49,7 +54,7 @@ fn explore_exhausts_cleanly_on_state_cap() {
 #[test]
 fn explore_exhausts_cleanly_on_expired_deadline() {
     let wd = tiny(Budget::unlimited().with_deadline(Duration::ZERO));
-    let err = explore_system_governed(&MsQueue::new(&[1]), Bound::new(2, 2), &wd).unwrap_err();
+    let err = explore_system_with(&MsQueue::new(&[1]), Bound::new(2, 2), &ExploreOptions::governed(&wd)).unwrap_err();
     assert_eq!(err.stage, Stage::Explore);
     assert_eq!(err.reason, ExhaustReason::Deadline);
 }
@@ -80,10 +85,10 @@ fn divergence_search_exhausts_cleanly() {
 #[test]
 fn trace_refinement_exhausts_cleanly() {
     let imp = msq_lts();
-    let spec = explore_system_governed(
+    let spec = explore_system_with(
         &AtomicSpec::new(SeqQueue::new(&[1])),
         Bound::new(2, 2),
-        &Watchdog::unlimited(),
+        &ExploreOptions::governed(&Watchdog::unlimited()),
     )
     .unwrap();
     let wd = tiny(Budget::unlimited().with_max_transitions(4));

@@ -233,3 +233,38 @@ fn check_rejects_bad_formula_as_usage_error() {
     let out = bbv(&["check", "treiber", "--formula", "G G %"]);
     assert_eq!(out.status.code(), Some(3));
 }
+
+#[test]
+fn verify_with_reduction_matches_unreduced_verdict() {
+    let base = bbv(&["verify", "treiber", "--threads", "2", "--ops", "1", "--domain", "1"]);
+    for mode in ["sym", "por", "full"] {
+        let out = bbv(&[
+            "verify", "treiber", "--threads", "2", "--ops", "1", "--domain", "1", "--reduce", mode,
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("lin=✓"), "--reduce {mode}: {text}");
+        // The reduction counters go to stderr; the verdict on stdout must
+        // carry the same marks as the unreduced run.
+        let base_text = String::from_utf8_lossy(&base.stdout);
+        assert_eq!(
+            base_text.contains("lock-free=✓"),
+            text.contains("lock-free=✓"),
+            "--reduce {mode} changed the lock-freedom verdict"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("reduction"), "--reduce {mode}: {err}");
+    }
+}
+
+#[test]
+fn reduce_check_passes_and_bad_mode_is_usage_error() {
+    let out = bbv(&["reduce-check", "treiber", "--threads", "2", "--ops", "1", "--domain", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("≈div ok"), "{text}");
+    assert!(text.contains("verdicts ok"), "{text}");
+
+    let out = bbv(&["verify", "treiber", "--reduce", "nope"]);
+    assert_eq!(out.status.code(), Some(3));
+}

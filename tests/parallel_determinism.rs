@@ -8,11 +8,11 @@
 use bbverify::algorithms::{ms_queue::MsQueue, specs::SeqStack, treiber::Treiber};
 use bbverify::bisim::{partition, partition_jobs, Equivalence};
 use bbverify::lts::{
-    random_lts, to_aut, Budget, CancelToken, ExhaustReason, ExploreLimits, Jobs, RandomLtsConfig,
-    Watchdog,
+    random_lts, to_aut, Budget, CancelToken, ExhaustReason, ExploreLimits, ExploreOptions, Jobs,
+    RandomLtsConfig, Watchdog,
 };
 use bbverify::sim::{
-    explore_system, explore_system_governed_jobs, explore_system_jobs, AtomicSpec, Bound,
+    explore_system, explore_system_with, AtomicSpec, Bound,
 };
 
 /// Sweep sizes: the full sweep takes ~45 s optimized, which debug builds
@@ -86,9 +86,10 @@ fn real_algorithms_explore_bit_identically_at_any_worker_count() {
 
     for jobs in [1, 2, 4] {
         let j = Jobs::new(jobs);
-        let par_treiber = explore_system_jobs(&treiber, bound, limits, j).unwrap();
-        let par_ms = explore_system_jobs(&ms, bound, limits, j).unwrap();
-        let par_spec = explore_system_jobs(&spec, bound, limits, j).unwrap();
+        let opts = ExploreOptions::limits(limits).with_jobs(j);
+        let par_treiber = explore_system_with(&treiber, bound, &opts).unwrap();
+        let par_ms = explore_system_with(&ms, bound, &opts).unwrap();
+        let par_spec = explore_system_with(&spec, bound, &opts).unwrap();
         assert_eq!(to_aut(&seq_treiber), to_aut(&par_treiber), "{jobs} jobs");
         assert_eq!(to_aut(&seq_ms), to_aut(&par_ms), "{jobs} jobs");
         assert_eq!(to_aut(&seq_spec), to_aut(&par_spec), "{jobs} jobs");
@@ -108,13 +109,15 @@ fn cap_trip_reports_identical_partial_stats_at_any_worker_count() {
     let bound = Bound::new(2, 2);
     let budget = Budget::unlimited().with_max_transitions(300);
 
-    let seq = explore_system_governed_jobs(&ms, bound, &Watchdog::new(budget.clone()), Jobs::new(1))
+    let wd_seq = Watchdog::new(budget.clone());
+    let seq = explore_system_with(&ms, bound, &ExploreOptions::governed(&wd_seq).with_jobs(Jobs::new(1)))
         .expect_err("a 300-transition cap must trip on the 2-2 MS queue");
     assert_eq!(seq.reason, ExhaustReason::TransitionCap);
 
     for jobs in [2, 4] {
+        let wd_par = Watchdog::new(budget.clone());
         let par =
-            explore_system_governed_jobs(&ms, bound, &Watchdog::new(budget.clone()), Jobs::new(jobs))
+            explore_system_with(&ms, bound, &ExploreOptions::governed(&wd_par).with_jobs(Jobs::new(jobs)))
                 .expect_err("the same cap must trip at any worker count");
         assert_eq!(par.reason, seq.reason, "{jobs} jobs");
         assert_eq!(par.stage, seq.stage, "{jobs} jobs");
@@ -136,7 +139,8 @@ fn cancellation_mid_parallel_exploration_is_prompt_and_structured() {
     let token = CancelToken::new();
     token.cancel();
     let budget = Budget::unlimited().with_cancel_token(token);
-    let err = explore_system_governed_jobs(&ms, bound, &Watchdog::new(budget), Jobs::new(4))
+    let wd = Watchdog::new(budget);
+    let err = explore_system_with(&ms, bound, &ExploreOptions::governed(&wd).with_jobs(Jobs::new(4)))
         .expect_err("a pre-cancelled token must abort the exploration");
     assert_eq!(err.reason, ExhaustReason::Cancelled);
     let full = explore_system(&ms, bound, ExploreLimits::default()).unwrap();
