@@ -8,7 +8,9 @@
 //! Subcommands: `table1` … `table7`, `fig10`, `all`, plus two reduction
 //! sweeps: `reduce` (reduction-factor table, `--reduce none` vs `full`) and
 //! `verdicts` (machine-diffable verdict lines; run once per `--reduce` mode
-//! and diff — CI does exactly that). The `--large` flag
+//! and diff — CI does exactly that), and `phases` (per-phase wall-clock
+//! breakdown of the verification pipeline, collected through bb-obs spans
+//! — the EXPERIMENTS.md observability table). The `--large` flag
 //! extends the sweeps towards the paper's original configurations (minutes
 //! of runtime instead of seconds); `--jobs N` runs exploration and
 //! refinement on N worker threads (deterministic — only timings change). Absolute state counts and times differ
@@ -57,6 +59,7 @@ fn main() {
     match cmd {
         "reduce" => guarded("reduce", || reduce_table(large, jobs)),
         "verdicts" => guarded("verdicts", || verdicts(reduce, jobs)),
+        "phases" => phases(jobs),
         "table1" => guarded("table1", || table1(jobs)),
         "table2" => guarded("table2", || table2(jobs)),
         "table3" => guarded("table3", || table3(large, jobs)),
@@ -78,7 +81,7 @@ fn main() {
         other => {
             eprintln!("unknown subcommand `{other}`");
             eprintln!(
-                "usage: tables [table1..table7|fig10|reduce|verdicts|all] \
+                "usage: tables [table1..table7|fig10|reduce|verdicts|phases|all] \
                  [--large] [--jobs N] [--reduce none|sym|por|full]"
             );
             std::process::exit(3);
@@ -554,6 +557,73 @@ fn reduce_table(large: bool, jobs: Jobs) {
     println!(" transitions and defers call branching; symmetry merges states that only");
     println!(" differ by a permutation of per-thread data, which is where the state-");
     println!(" count factor comes from on objects with per-thread slots.)");
+}
+
+// ------------------------------------------------------ per-phase breakdown
+
+/// Per-phase wall-clock breakdown of the full verification pipeline
+/// (exploration, partition refinement, trace refinement, divergence
+/// analysis), collected through bb-obs spans. Timing columns vary run to
+/// run; the phase *shape* — which phases dominate on which object — is the
+/// reproducible part (see EXPERIMENTS.md).
+fn phases(jobs: Jobs) {
+    println!("\n=== Per-phase time breakdown (bb-obs spans; wall-clock µs) ===\n");
+    println!(
+        "{:<12} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>7}",
+        "Object", "#Th-#Op", "explore", "bisim", "refine", "diverge", "total", "sig-recomp", "rounds"
+    );
+
+    macro_rules! row {
+        ($name:expr, $alg:expr, $spec:expr, $th:expr, $op:expr) => {{
+            bb_obs::install(bb_obs::ObsConfig { progress: false, quiet: true });
+            let outcome = bb_core::run_isolated(|| -> Result<(), bb_lts::ExploreError> {
+                let imp = try_lts_of_jobs(&$alg, $th, $op, jobs)?;
+                let spec = try_lts_of_jobs(&AtomicSpec::new($spec), $th, $op, jobs)?;
+                let cfg = VerifyConfig::new(Bound::new($th, $op)).with_jobs(jobs);
+                let _ = verify_case_lts($name, cfg, &imp, &spec);
+                Ok(())
+            });
+            let session = bb_obs::finish();
+            match (outcome, session) {
+                (Ok(Ok(())), Some(s)) => {
+                    let us = |phase: &str| s.phase_total(phase).0;
+                    let counter = |name: &str| {
+                        s.counters().iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+                    };
+                    println!(
+                        "{:<12} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>7}",
+                        $name,
+                        format!("{}-{}", $th, $op),
+                        us("explore"),
+                        us("bisim"),
+                        us("refine"),
+                        us("divergence"),
+                        s.elapsed_us(),
+                        counter("bisim.signature_recomputes"),
+                        counter("bisim.rounds"),
+                    );
+                }
+                (Ok(Err(e)), _) => {
+                    println!("{:<12} {}-{} (aborted: {e})", $name, $th, $op)
+                }
+                (Err(fault), _) => println!(
+                    "{:<12} {}-{} internal fault: {}",
+                    $name,
+                    $th,
+                    $op,
+                    fault.lines().next().unwrap_or("panic")
+                ),
+                (_, None) => println!("{:<12} {}-{} (no obs session)", $name, $th, $op),
+            }
+        }};
+    }
+
+    row!("treiber", Treiber::new(&[1, 2]), SeqStack::new(&[1, 2]), 2, 2);
+    row!("ms-queue", MsQueue::new(&[1, 2]), SeqQueue::new(&[1, 2]), 2, 2);
+    row!("hm-list", HmList::revised(&[1]), SeqSet::new(&[1]), 2, 2);
+    println!("\n(Phases nest — `explore` and `bisim` run inside `lin`/`lockfree`, so");
+    println!(" columns overlap and do not sum to `total`. `sig-recomp` counts state");
+    println!(" signature recomputations across every partition-refinement round.)");
 }
 
 /// Machine-diffable verdict lines: no state counts, no timings — only what

@@ -105,6 +105,7 @@ pub fn divergence_witness_governed(
     wd: &Watchdog,
 ) -> Result<Option<Lasso>, Exhausted> {
     let n = lts.num_states();
+    let _span = bb_obs::span("divergence").with("states", n);
     let mut meter = wd.meter(Stage::Divergence);
     meter.add_states(n)?;
     let cond = tarjan_scc(n, |s, out| {

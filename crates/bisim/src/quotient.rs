@@ -29,6 +29,9 @@ pub fn quotient(lts: &Lts, p: &Partition) -> Quotient {
         lts.num_states(),
         "partition does not match LTS"
     );
+    let _span = bb_obs::span("quotient")
+        .with("states", lts.num_states())
+        .with("blocks", p.num_blocks());
     let mut b = LtsBuilder::new();
     b.add_states(p.num_blocks());
 

@@ -427,6 +427,10 @@ fn run_governed_jobs(
     jobs: Jobs,
 ) -> Result<Partition, Exhausted> {
     let n = lts.num_states();
+    let span = bb_obs::span("bisim")
+        .with("eq", format!("{eq:?}"))
+        .with("states", n)
+        .with("transitions", lts.num_transitions());
     let mut meter = wd.meter(Stage::Bisim);
     // Input size counts against the state cap; each refinement round's scan
     // counts its transition visits (work-proportional accounting).
@@ -437,9 +441,19 @@ fn run_governed_jobs(
     let mut rounds: Vec<Partition> = vec![p.clone()];
     // Peak live signature storage accounted so far.
     let mut mem_accounted = 0usize;
+    let mut round = 0usize;
     loop {
+        let round_span = bb_obs::span("bisim.round")
+            .with("round", round)
+            .with("blocks_before", p.num_blocks());
         meter.add_transitions(lts.num_transitions())?;
         let (next, pairs) = refine_once(&ctx, &p, &mut sigs, &mut meter)?;
+        bb_obs::hot::SIG_ROUNDS.incr();
+        bb_obs::hot::SIG_STATE_RECOMPUTES.add(n as u64);
+        round_span.record("blocks_after", next.num_blocks());
+        round_span.record("sig_pairs", pairs);
+        drop(round_span);
+        round += 1;
         // Incremental byte count from the pair total the signature writers
         // already tracked — no extra O(n) rescan per round. The formula
         // matches the old per-signature scan: `len * 8` payload plus 24
@@ -459,6 +473,9 @@ fn run_governed_jobs(
             break;
         }
     }
+    span.record("rounds", round);
+    span.record("blocks", p.num_blocks());
+    span.record("mem_bytes", meter.stats().memory_bytes);
     if let Some(h) = history {
         *h = rounds;
     }

@@ -83,6 +83,9 @@ pub fn verify_linearizability_governed_jobs(
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<LinReport, Exhausted> {
+    let span = bb_obs::span("lin")
+        .with("impl_states", imp.num_states())
+        .with("spec_states", spec.num_states());
     let start = Instant::now();
     let p_imp = partition_governed_jobs(imp, Equivalence::Branching, wd, jobs)?;
     let q_imp = quotient(imp, &p_imp);
@@ -90,6 +93,9 @@ pub fn verify_linearizability_governed_jobs(
     let q_spec = quotient(spec, &p_spec);
     let refinement =
         trace_refines_governed(&q_imp.lts, &q_spec.lts, RefineOptions::default(), wd)?;
+    span.record("linearizable", u64::from(refinement.holds));
+    span.record("impl_quotient_states", q_imp.lts.num_states());
+    span.record("spec_quotient_states", q_spec.lts.num_states());
     Ok(LinReport {
         linearizable: refinement.holds,
         impl_states: imp.num_states(),

@@ -85,6 +85,7 @@ pub fn verify_lock_freedom_governed_jobs(
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<LockFreeReport, Exhausted> {
+    let span = bb_obs::span("lockfree").with("impl_states", imp.num_states());
     let start = Instant::now();
     let p = partition_governed_jobs(imp, Equivalence::Branching, wd, jobs)?;
     let q = quotient(imp, &p);
@@ -99,6 +100,8 @@ pub fn verify_lock_freedom_governed_jobs(
         );
         w
     };
+    span.record("lock_free", u64::from(div_bisim));
+    span.record("quotient_states", q.lts.num_states());
     Ok(LockFreeReport {
         lock_free: div_bisim,
         impl_states: imp.num_states(),

@@ -370,6 +370,10 @@ pub fn verify_case_governed_with(
     };
 
     // --- Rung 1: direct --------------------------------------------------
+    let rung_span = bb_obs::span("rung")
+        .with("rung", "direct")
+        .with("threads", config.bound.threads as u64)
+        .with("ops", config.bound.ops_per_thread as u64);
     let direct = explore_pair(config.bound, &mut cache, &wd).and_then(|(imp, sp)| {
         pipeline_lts(
             name,
@@ -381,6 +385,8 @@ pub fn verify_case_governed_with(
             config.jobs,
         )
     });
+    rung_span.record("ok", u64::from(direct.is_ok()));
+    drop(rung_span);
     match direct {
         Ok(report) => {
             let lin = Verdict::of(report.linearizable());
@@ -407,6 +413,10 @@ pub fn verify_case_governed_with(
         // Only applicable when the exploration itself succeeded: the
         // reduction runs on the explored systems.
         if cache.as_ref().is_some_and(|(b, _, _)| *b == config.bound) {
+            let rung_span = bb_obs::span("rung")
+                .with("rung", "strong-reduction")
+                .with("threads", config.bound.threads as u64)
+                .with("ops", config.bound.ops_per_thread as u64);
             let strong = explore_pair(config.bound, &mut cache, &wd).and_then(|(imp, sp)| {
                 let imp_r = strong_reduce(&imp, &wd, config.jobs)?;
                 let sp_r = strong_reduce(&sp, &wd, config.jobs)?;
@@ -420,6 +430,8 @@ pub fn verify_case_governed_with(
                     config.jobs,
                 )
             });
+            rung_span.record("ok", u64::from(strong.is_ok()));
+            drop(rung_span);
             match strong {
                 Ok(report) => {
                     // Strong bisimilarity preserves every checked property,
@@ -452,6 +464,10 @@ pub fn verify_case_governed_with(
 
         // --- Rung 3: reduced bound ---------------------------------------
         if let Some(small) = reduced_bound(config.bound) {
+            let rung_span = bb_obs::span("rung")
+                .with("rung", "reduced-bound")
+                .with("threads", small.threads as u64)
+                .with("ops", small.ops_per_thread as u64);
             let reduced = explore_pair(small, &mut cache, &wd).and_then(|(imp, sp)| {
                 pipeline_lts(
                     name,
@@ -463,6 +479,8 @@ pub fn verify_case_governed_with(
                     config.jobs,
                 )
             });
+            rung_span.record("ok", u64::from(reduced.is_ok()));
+            drop(rung_span);
             match reduced {
                 Ok(report) => {
                     // Histories at the smaller bound embed in the requested

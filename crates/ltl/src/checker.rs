@@ -87,6 +87,7 @@ pub fn check(lts: &Lts, formula: &Ltl) -> CheckResult {
 /// Returns [`Exhausted`] when the budget trips before the search concludes;
 /// an aborted check establishes neither satisfaction nor violation.
 pub fn check_governed(lts: &Lts, formula: &Ltl, wd: &Watchdog) -> Result<CheckResult, Exhausted> {
+    let span = bb_obs::span("ltl").with("states", lts.num_states());
     let mut meter = wd.meter(Stage::Ltl);
     let buchi = translate(&Ltl::not(formula.clone()));
 
@@ -209,13 +210,18 @@ pub fn check_governed(lts: &Lts, formula: &Ltl, wd: &Watchdog) -> Result<CheckRe
         }
     }
 
+    span.record("product_states", n);
+    bb_obs::hot::LTL_PRODUCT_STATES.add(n as u64);
+
     let Some(seed) = witness else {
+        span.record("holds", 1u64);
         return Ok(CheckResult {
             holds: true,
             counterexample: None,
             product_states: n,
         });
     };
+    span.record("holds", 0u64);
 
     // Prefix: BFS parents from an initial node to `seed`.
     let mut prefix_rev: Vec<Option<ActionId>> = Vec::new();

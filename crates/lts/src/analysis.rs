@@ -68,6 +68,7 @@ impl TauClosure {
     /// mutually τ-reachable states and computed in a single reverse
     /// topological pass.
     pub fn compute(lts: &Lts) -> TauClosure {
+        bb_obs::hot::TAU_CLOSURE_BUILDS.incr();
         let cond = crate::scc::condensation(lts, |_, a, _| !lts.is_visible(a));
         // closure per SCC, in reverse topological id order (id 0 = sink-most).
         let mut scc_closure: Vec<Vec<StateId>> = vec![Vec::new(); cond.num_sccs];

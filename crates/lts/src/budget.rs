@@ -47,15 +47,23 @@ pub enum Stage {
     Ltl,
 }
 
-impl fmt::Display for Stage {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Stage {
+    /// Stable lowercase name, shared by `Display`, heartbeat lines, and the
+    /// observability span/metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
             Stage::Explore => "explore",
             Stage::Bisim => "bisim",
             Stage::Divergence => "divergence",
             Stage::Refine => "refine",
             Stage::Ltl => "ltl",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -101,10 +109,15 @@ pub struct PartialStats {
 
 impl fmt::Display for PartialStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One format for every report path: states, transitions, peak
+        // memory, and elapsed wall-clock, always all four.
         write!(
             f,
-            "{} states, {} transitions, {:.1?} elapsed",
-            self.states, self.transitions, self.elapsed
+            "{} states, {} transitions, {} peak, {:.1?} elapsed",
+            self.states,
+            self.transitions,
+            bb_obs::format_bytes(self.memory_bytes as u64),
+            self.elapsed
         )
     }
 }
@@ -351,6 +364,13 @@ impl Meter {
     #[inline]
     fn check_clock(&mut self) -> Result<(), Exhausted> {
         self.ticks_until_check = CHECK_INTERVAL;
+        // The amortized check boundary doubles as the progress heartbeat:
+        // rate-limited inside bb-obs, no-op unless --progress is on.
+        bb_obs::heartbeat(
+            self.stage.as_str(),
+            self.states as u64,
+            self.transitions as u64,
+        );
         if self.wd.budget.cancel.is_cancelled() {
             return Err(self.exhausted(ExhaustReason::Cancelled));
         }
@@ -531,5 +551,20 @@ mod tests {
         assert!(text.contains("explore"), "{text}");
         assert!(text.contains("state cap"), "{text}");
         assert!(text.contains("states"), "{text}");
+    }
+
+    #[test]
+    fn partial_stats_report_all_four_resources() {
+        let stats = PartialStats {
+            states: 7,
+            transitions: 12,
+            memory_bytes: 3 * 1024 * 1024,
+            elapsed: Duration::from_millis(1500),
+        };
+        let text = stats.to_string();
+        assert!(text.contains("7 states"), "{text}");
+        assert!(text.contains("12 transitions"), "{text}");
+        assert!(text.contains("3.0 MiB peak"), "{text}");
+        assert!(text.contains("elapsed"), "{text}");
     }
 }

@@ -75,6 +75,8 @@ pub struct ExploreError {
     pub states_seen: usize,
     /// Transitions recorded before the limit was hit.
     pub transitions_seen: usize,
+    /// Approximate peak memory attributed to the exploration, in bytes.
+    pub memory_bytes: usize,
     /// Wall-clock time spent exploring before the abort.
     pub elapsed: Duration,
     /// Which resource ran out.
@@ -90,7 +92,7 @@ impl ExploreError {
             partial: crate::budget::PartialStats {
                 states: self.states_seen,
                 transitions: self.transitions_seen,
-                memory_bytes: 0,
+                memory_bytes: self.memory_bytes,
                 elapsed: self.elapsed,
             },
         }
@@ -102,6 +104,7 @@ impl From<Exhausted> for ExploreError {
         ExploreError {
             states_seen: e.partial.states,
             transitions_seen: e.partial.transitions,
+            memory_bytes: e.partial.memory_bytes,
             elapsed: e.partial.elapsed,
             reason: e.reason,
         }
@@ -112,8 +115,12 @@ impl fmt::Display for ExploreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "state-space exploration aborted ({}) after {} states and {} transitions in {:.1?}",
-            self.reason, self.states_seen, self.transitions_seen, self.elapsed
+            "state-space exploration aborted ({}) after {} states and {} transitions, {} peak, in {:.1?}",
+            self.reason,
+            self.states_seen,
+            self.transitions_seen,
+            bb_obs::format_bytes(self.memory_bytes as u64),
+            self.elapsed
         )
     }
 }
@@ -228,11 +235,22 @@ pub fn explore_with<S: Semantics>(
 }
 
 fn explore_impl<S: Semantics>(sem: &S, wd: &Watchdog, jobs: Jobs) -> Result<Lts, Exhausted> {
-    if jobs.is_serial() {
-        explore_serial(sem, wd)
+    let span = bb_obs::span("explore").with("jobs", jobs.get());
+    let mut meter = wd.meter(Stage::Explore);
+    let result = if jobs.is_serial() {
+        explore_serial(sem, &mut meter)
     } else {
-        explore_parallel(sem, wd, jobs)
+        explore_parallel(sem, wd, jobs, &mut meter)
+    };
+    let stats = meter.stats();
+    span.record("states", stats.states);
+    span.record("transitions", stats.transitions);
+    span.record("mem_bytes", stats.memory_bytes);
+    span.record("frontier_peak", bb_obs::hot::EXPLORE_FRONTIER.peak());
+    if let Err(e) = &result {
+        span.record("exhausted", e.reason.to_string());
     }
+    result
 }
 
 /// Unfolds `sem` into an explicit [`Lts`] by breadth-first exploration.
@@ -288,8 +306,7 @@ pub fn explore_governed_jobs<S: Semantics>(
     explore_with(sem, &ExploreOptions::governed(wd).with_jobs(jobs))
 }
 
-fn explore_serial<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exhausted> {
-    let mut meter = wd.meter(Stage::Explore);
+fn explore_serial<S: Semantics>(sem: &S, meter: &mut Meter) -> Result<Lts, Exhausted> {
     // Approximate per-state footprint: the interned key in the id map plus
     // the copy on the `discovered` list, and builder bookkeeping.
     let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
@@ -311,6 +328,7 @@ fn explore_serial<S: Semantics>(sem: &S, wd: &Watchdog) -> Result<Lts, Exhausted
     let mut steps: Vec<(Action, S::State)> = Vec::new();
 
     while cursor < discovered.len() {
+        bb_obs::hot::EXPLORE_FRONTIER.set((discovered.len() - cursor) as u64);
         let src_id = StateId(cursor as u32);
         // Clone-free expansion: the shared borrow of `discovered[cursor]`
         // ends with the `successors` call, before any state discovered in
@@ -375,9 +393,9 @@ fn explore_parallel<S: Semantics>(
     sem: &S,
     wd: &Watchdog,
     jobs: Jobs,
+    meter: &mut Meter,
 ) -> Result<Lts, Exhausted> {
     debug_assert!(!jobs.is_serial());
-    let mut meter = wd.meter(Stage::Explore);
     let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
     let transition_bytes = std::mem::size_of::<(StateId, u32, StateId)>();
 
@@ -395,8 +413,9 @@ fn explore_parallel<S: Semantics>(
 
     while level_start < discovered.len() {
         let level_end = discovered.len();
+        bb_obs::hot::EXPLORE_FRONTIER.set((level_end - level_start) as u64);
         let expansions =
-            expand_level(sem, wd, &discovered[level_start..level_end], jobs, &mut meter)?;
+            expand_level(sem, wd, &discovered[level_start..level_end], jobs, meter)?;
 
         // Deterministic merge. Chunks are contiguous id ranges and are
         // concatenated in chunk order, so iterating the level's expansions
@@ -497,6 +516,21 @@ fn expand_level<S: Semantics>(
         meter.checkpoint()?;
         return Err(meter.exhausted(ExhaustReason::Cancelled));
     }
+
+    // Shard-imbalance profile: successor volume of the heaviest chunk as a
+    // percentage of the mean (100 = perfectly balanced fan-out).
+    if bb_obs::enabled() && per_chunk.len() > 1 {
+        let sizes: Vec<usize> = per_chunk
+            .iter()
+            .map(|c| c.iter().map(Vec::len).sum::<usize>())
+            .collect();
+        let mean = sizes.iter().sum::<usize>() / sizes.len();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        if let Some(pct) = (max * 100).checked_div(mean) {
+            bb_obs::hot::SHARD_IMBALANCE.record(pct as u64);
+        }
+    }
+
     Ok(per_chunk.into_iter().flatten().collect())
 }
 

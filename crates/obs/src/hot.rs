@@ -1,0 +1,297 @@
+//! Hot-path instruments: statically allocated counters, gauges, and
+//! log2-bucket histograms.
+//!
+//! These live in the innermost loops (signature recomputation, τ-closure
+//! construction, ample-set selection, symmetry canonicalization, the
+//! parallel shard merge), so the design rule is: **one relaxed load when
+//! recording is off, one relaxed RMW when it is on**. No locks, no
+//! allocation, no branches on anything but the global enable flag.
+//!
+//! Every instrument is registered in a static table so `install` can reset
+//! them and `finish` can snapshot them without the hot paths knowing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::enabled;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event counter.
+pub struct Counter {
+    name: &'static str,
+    cell: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cell: AtomicU64::new(0),
+        }
+    }
+
+    /// Bump by `n`. No-op (one relaxed load) when recording is off.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Bump by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A last-value instrument (e.g. current BFS frontier depth). Also tracks
+/// the high-water mark so the summary can report the peak.
+pub struct Gauge {
+    name: &'static str,
+    cell: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            cell: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the current value. No-op when recording is off.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.cell.store(v, Ordering::Relaxed);
+            self.peak.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `k` (k ≥ 1)
+/// holds values `v` with `2^(k-1) <= v < 2^k`; the last bucket is a
+/// catch-all for anything larger.
+const HIST_BUCKETS: usize = 33;
+
+/// A lock-free power-of-two histogram for size distributions (symmetry
+/// orbit sizes, per-shard imbalance percentages).
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            buckets: [ZERO; HIST_BUCKETS],
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. No-op when recording is off.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let bucket = if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Snapshot to (upper-bound, count) pairs for non-empty buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                // Upper bound (exclusive) of the bucket: 2^i, with bucket 0
+                // meaning "exactly zero" (bound 1).
+                let le = if i == 0 { 1 } else { 1u64 << i.min(63) };
+                buckets.push((le, n));
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Materialized histogram contents: total count, observed max, and
+/// `(exclusive_upper_bound, count)` pairs for non-empty log2 buckets.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub max: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+// ---------------------------------------------------------------------------
+// The workspace instrument registry
+// ---------------------------------------------------------------------------
+
+/// States whose branching-bisimulation signature was recomputed, summed
+/// over refinement rounds (the dominant cost of partition refinement).
+pub static SIG_STATE_RECOMPUTES: Counter = Counter::new("bisim.signature_recomputes");
+/// Completed signature-refinement rounds across all partition calls.
+pub static SIG_ROUNDS: Counter = Counter::new("bisim.rounds");
+/// τ-closure (condensed SCC reachability) constructions.
+pub static TAU_CLOSURE_BUILDS: Counter = Counter::new("lts.tau_closure_builds");
+/// States where a singleton ample set was taken (POR hit).
+pub static AMPLE_HITS: Counter = Counter::new("reduce.ample_hits");
+/// States fully expanded because no ample candidate existed (POR miss).
+pub static AMPLE_MISSES: Counter = Counter::new("reduce.ample_misses");
+/// Ample candidates discarded by the C3/divergence proviso.
+pub static AMPLE_FALLBACKS: Counter = Counter::new("reduce.ample_proviso_fallbacks");
+/// States merged into a previously seen symmetry-canonical representative.
+pub static SYM_MERGES: Counter = Counter::new("reduce.sym_merges");
+/// States whose orbit exceeded the cap and were left uncanonicalized.
+pub static SYM_SKIPS: Counter = Counter::new("reduce.sym_skips");
+/// Product states expanded by the antichain trace-refinement check.
+pub static REFINE_PRODUCT_STATES: Counter = Counter::new("refine.product_states");
+/// Distinct spec-subset vectors interned by trace refinement.
+pub static REFINE_SUBSETS: Counter = Counter::new("refine.spec_subsets");
+/// Product states expanded by the Büchi LTL check.
+pub static LTL_PRODUCT_STATES: Counter = Counter::new("ltl.product_states");
+
+/// Current BFS frontier depth (undiscovered tail of the exploration queue).
+pub static EXPLORE_FRONTIER: Gauge = Gauge::new("explore.frontier_depth");
+
+/// Symmetry orbit sizes searched during canonicalization.
+pub static ORBIT_SIZE: Histogram = Histogram::new("reduce.sym.orbit_size");
+/// Per-level shard imbalance in the parallel engine: `max_chunk * 100 /
+/// mean_chunk` for each level fan-out (100 = perfectly balanced).
+pub static SHARD_IMBALANCE: Histogram = Histogram::new("explore.shard_imbalance_pct");
+
+static COUNTERS: [&Counter; 11] = [
+    &SIG_STATE_RECOMPUTES,
+    &SIG_ROUNDS,
+    &TAU_CLOSURE_BUILDS,
+    &AMPLE_HITS,
+    &AMPLE_MISSES,
+    &AMPLE_FALLBACKS,
+    &SYM_MERGES,
+    &SYM_SKIPS,
+    &REFINE_PRODUCT_STATES,
+    &REFINE_SUBSETS,
+    &LTL_PRODUCT_STATES,
+];
+
+static GAUGES: [&Gauge; 1] = [&EXPLORE_FRONTIER];
+
+static HISTOGRAMS: [&Histogram; 2] = [&ORBIT_SIZE, &SHARD_IMBALANCE];
+
+/// Reset every registered instrument (called by `install`).
+pub(crate) fn reset_all() {
+    for c in COUNTERS {
+        c.reset();
+    }
+    for g in GAUGES {
+        g.reset();
+    }
+    for h in HISTOGRAMS {
+        h.reset();
+    }
+}
+
+/// Snapshot all counters plus gauge peaks, including zeros, sorted by name.
+pub(crate) fn counter_snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = COUNTERS.iter().map(|c| (c.name, c.get())).collect();
+    out.extend(GAUGES.iter().map(|g| (g.name, g.peak())));
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+/// Snapshot all non-empty histograms, sorted by name.
+pub(crate) fn histogram_snapshot() -> Vec<(&'static str, HistogramSnapshot)> {
+    let mut out: Vec<_> = HISTOGRAMS
+        .iter()
+        .map(|h| (h.name, h.snapshot()))
+        .filter(|(_, s)| s.count > 0)
+        .collect();
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let h = Histogram::new("test");
+        // Bypass the enable gate by poking buckets through record() with
+        // recording forced on is not possible here; check the math instead.
+        let bucket = |v: u64| -> usize {
+            if v == 0 {
+                0
+            } else {
+                ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+            }
+        };
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(1024), 11);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert!(snap.buckets.is_empty());
+    }
+}

@@ -105,10 +105,12 @@ impl<'a, A: ObjectAlgorithm> ReducedSystem<'a, A> {
             SymOutcome::Identity => {}
             SymOutcome::Skipped => {
                 self.sym_skips.fetch_add(1, Ordering::Relaxed);
+                bb_obs::hot::SYM_SKIPS.incr();
             }
             SymOutcome::Canonical { changed } => {
                 if changed {
                     self.sym_merges.fetch_add(1, Ordering::Relaxed);
+                    bb_obs::hot::SYM_MERGES.incr();
                 }
             }
         }
@@ -129,14 +131,17 @@ impl<A: ObjectAlgorithm> Semantics for ReducedSystem<'_, A> {
             if let Some((action, mut target)) = candidate(&self.system, state) {
                 if chain_terminates(&self.system, &target, |st| self.canon(st)) {
                     self.ample_states.fetch_add(1, Ordering::Relaxed);
+                    bb_obs::hot::AMPLE_HITS.incr();
                     self.canon(&mut target);
                     out.push((action, target));
                     return;
                 }
                 self.proviso_fallbacks.fetch_add(1, Ordering::Relaxed);
+                bb_obs::hot::AMPLE_FALLBACKS.incr();
             }
         }
         self.expanded_states.fetch_add(1, Ordering::Relaxed);
+        bb_obs::hot::AMPLE_MISSES.incr();
         let base = out.len();
         self.system.successors(state, out);
         if self.mode.sym() {
@@ -170,7 +175,17 @@ pub fn explore_reduced<A: ObjectAlgorithm>(
     mode: ReduceMode,
     opts: &ExploreOptions<'_>,
 ) -> Result<(Lts, ReduceStats), Exhausted> {
+    let span = bb_obs::span("reduce")
+        .with("object", alg.name())
+        .with("mode", format!("{mode:?}"));
     let reduced = ReducedSystem::new(alg, bound, mode);
     let lts = explore_with(&reduced, opts)?;
-    Ok((lts, reduced.stats()))
+    let stats = reduced.stats();
+    span.record("ample_states", stats.ample_states);
+    span.record("expanded_states", stats.expanded_states);
+    span.record("proviso_fallbacks", stats.proviso_fallbacks);
+    span.record("sym_merges", stats.sym_merges);
+    span.record("sym_skips", stats.sym_skips);
+    span.record("reduced_states", lts.num_states());
+    Ok((lts, stats))
 }

@@ -69,6 +69,7 @@ pub(crate) fn canonicalize_symmetry<A: ObjectAlgorithm>(
             return SymOutcome::Skipped;
         }
     }
+    bb_obs::hot::ORBIT_SIZE.record(orbit as u64);
 
     // Enumerate every composite permutation (cartesian product of in-group
     // permutations) as a ThreadPerm map.

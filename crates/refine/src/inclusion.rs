@@ -124,6 +124,9 @@ pub fn trace_refines_governed(
     options: RefineOptions,
     wd: &Watchdog,
 ) -> Result<RefinementResult, Exhausted> {
+    let span = bb_obs::span("refine")
+        .with("imp_states", imp.num_states())
+        .with("spec_states", spec.num_states());
     let mut meter = wd.meter(Stage::Refine);
     // Spec observation index: observation -> spec action ids.
     let spec_index = spec.observation_index();
@@ -197,6 +200,11 @@ pub fn trace_refines_governed(
                             }
                         }
                         rev.reverse();
+                        span.record("holds", 0u64);
+                        span.record("product_states", nodes.len());
+                        span.record("spec_subsets", subsets.sets.len());
+                        bb_obs::hot::REFINE_PRODUCT_STATES.add(nodes.len() as u64);
+                        bb_obs::hot::REFINE_SUBSETS.add(subsets.sets.len() as u64);
                         return Ok(RefinementResult {
                             holds: false,
                             violation: Some(Violation { trace: rev }),
@@ -274,6 +282,11 @@ pub fn trace_refines_governed(
         });
     }
 
+    span.record("holds", 1u64);
+    span.record("product_states", nodes.len());
+    span.record("spec_subsets", subsets.sets.len());
+    bb_obs::hot::REFINE_PRODUCT_STATES.add(nodes.len() as u64);
+    bb_obs::hot::REFINE_SUBSETS.add(subsets.sets.len() as u64);
     Ok(RefinementResult {
         holds: true,
         violation: None,

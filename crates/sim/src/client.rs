@@ -225,6 +225,10 @@ pub fn explore_system_with<A: ObjectAlgorithm>(
     bound: Bound,
     opts: &ExploreOptions<'_>,
 ) -> Result<Lts, Exhausted> {
+    let _span = bb_obs::span("explore.system")
+        .with("object", alg.name())
+        .with("threads", bound.threads as u64)
+        .with("ops", bound.ops_per_thread as u64);
     let system = System::new(alg, bound);
     explore_with(&system, opts)
 }

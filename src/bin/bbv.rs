@@ -78,6 +78,10 @@ struct Options {
     no_fallback: bool,
     jobs: Jobs,
     reduce: ReduceMode,
+    metrics: Option<String>,
+    trace: Option<String>,
+    progress: bool,
+    quiet: bool,
 }
 
 impl Default for Options {
@@ -98,6 +102,10 @@ impl Default for Options {
             no_fallback: false,
             jobs: Jobs::available(),
             reduce: ReduceMode::None,
+            metrics: None,
+            trace: None,
+            progress: false,
+            quiet: false,
         }
     }
 }
@@ -234,6 +242,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--reduce needs a mode: none, sym, por, full")?
                     .parse()?;
             }
+            "--metrics" => {
+                opts.metrics = Some(it.next().ok_or("--metrics needs a path")?.clone())
+            }
+            "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
+            "--progress" => opts.progress = true,
+            "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -249,6 +263,12 @@ fn print_usage() {
     eprintln!("           --reduce none|sym|por|full   (state-space reduction; ≈div-preserving)");
     eprintln!("           `reduce-check <algorithm|all>` cross-checks the reduction: the");
     eprintln!("           reduced LTS must be ≈div the full one with identical verdicts");
+    eprintln!("  observe: --metrics FILE   (phase spans + counters as one JSON document)");
+    eprintln!("           --trace FILE     (per-span event stream, NDJSON)");
+    eprintln!("           --progress       (stderr heartbeat: states/sec, frontier depth)");
+    eprintln!("           --quiet          (silence diagnostic counters on stderr)");
+    eprintln!("           observability is output-neutral: stdout, .aut files and exit");
+    eprintln!("           codes are byte-identical with or without these flags");
     eprintln!("  budget:  --timeout 30s  --max-states 1e6  --max-transitions 1e7");
     eprintln!("           --max-memory 2e9  --no-fallback");
     eprintln!("           with a budget, `verify` degrades gracefully: on exhaustion it");
@@ -328,6 +348,39 @@ fn reduce_check_all(extra: &[String]) -> i32 {
     worst
 }
 
+/// The command word for metrics metadata and the root trace span.
+fn mode_str(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Verify => "verify",
+        Mode::Quotient => "quotient",
+        Mode::Check => "check",
+        Mode::ReduceCheck => "reduce-check",
+    }
+}
+
+/// Writes the `--metrics` / `--trace` exports after a run. Failures go to
+/// stderr only: observability never changes the verification exit code.
+fn write_obs_outputs(session: &bb_obs::Session, opts: &Options, algorithm: &str, mode: Mode) {
+    let meta: Vec<(&str, bb_obs::Value)> = vec![
+        ("command", mode_str(mode).into()),
+        ("algorithm", algorithm.into()),
+        ("threads", u64::from(opts.threads).into()),
+        ("ops", u64::from(opts.ops).into()),
+        ("jobs", opts.jobs.get().into()),
+        ("reduce", opts.reduce.to_string().into()),
+    ];
+    if let Some(path) = &opts.metrics {
+        if let Err(e) = std::fs::write(path, session.metrics_json(&meta)) {
+            eprintln!("could not write metrics to {path}: {e}");
+        }
+    }
+    if let Some(path) = &opts.trace {
+        if let Err(e) = std::fs::write(path, session.trace_ndjson()) {
+            eprintln!("could not write trace to {path}: {e}");
+        }
+    }
+}
+
 fn run(args: &[String], mode: Mode) -> i32 {
     let Some(name) = args.first() else {
         eprintln!("missing algorithm name; try `bbv list`");
@@ -340,37 +393,62 @@ fn run(args: &[String], mode: Mode) -> i32 {
             return EXIT_USAGE;
         }
     };
+    // Accept underscores interchangeably with dashes (`ms_queue` = `ms-queue`).
+    let canon = name.replace('_', "-");
+    let recording = opts.metrics.is_some() || opts.trace.is_some() || opts.progress;
+    if recording {
+        bb_obs::install(bb_obs::ObsConfig {
+            progress: opts.progress,
+            quiet: opts.quiet,
+        });
+    } else {
+        bb_obs::set_quiet(opts.quiet);
+    }
+    let code = {
+        let _root = bb_obs::span("bbv")
+            .with("command", mode_str(mode))
+            .with("algorithm", canon.as_str());
+        dispatch_named(&canon, &opts, mode)
+    };
+    if recording {
+        if let Some(session) = bb_obs::finish() {
+            write_obs_outputs(&session, &opts, &canon, mode);
+        }
+    }
+    code
+}
+
+fn dispatch_named(canon: &str, opts: &Options, mode: Mode) -> i32 {
     let d = &opts.domain;
     let dsize = d.len() as i64;
     let th = opts.threads;
     let ops = opts.ops;
-    // Accept underscores interchangeably with dashes (`ms_queue` = `ms-queue`).
-    match name.replace('_', "-").as_str() {
-        "treiber" => dispatch(&Treiber::new(d), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
-        "treiber-hp" => dispatch(&TreiberHp::new(d, th), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
-        "treiber-hp-fu" => dispatch(&TreiberHpFu::new(d, th), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
-        "ms-queue" => dispatch(&MsQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, true),
-        "dglm-queue" => dispatch(&DglmQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, true),
+    match canon {
+        "treiber" => dispatch(&Treiber::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
+        "treiber-hp" => dispatch(&TreiberHp::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
+        "treiber-hp-fu" => dispatch(&TreiberHpFu::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
+        "ms-queue" => dispatch(&MsQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true),
+        "dglm-queue" => dispatch(&DglmQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true),
         "hw-queue" => dispatch(
             &HwQueue::for_bound(d, th, ops),
             &AtomicSpec::new(SeqQueue::new(d)),
-            &opts,
+            opts,
             mode,
             true,
         ),
-        "ccas" => dispatch(&Ccas::new(dsize), &AtomicSpec::new(SeqCcas::new(dsize)), &opts, mode, true),
-        "rdcss" => dispatch(&Rdcss::new(dsize), &AtomicSpec::new(SeqRdcss::new(dsize)), &opts, mode, true),
-        "newcas" => dispatch(&NewCas::new(dsize), &AtomicSpec::new(SeqRegister::new(dsize)), &opts, mode, true),
-        "hm-list" => dispatch(&HmList::revised(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, true),
-        "hm-list-buggy" => dispatch(&HmList::buggy(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, true),
-        "hsy-stack" => dispatch(&HsyStack::new(d), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, true),
-        "lazy-list" => dispatch(&LazyList::new(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
-        "optimistic-list" => dispatch(&OptimisticList::new(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
-        "fine-list" => dispatch(&FineList::new(d), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
-        "two-lock-queue" => dispatch(&TwoLockQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, false),
-        "coarse-stack" => dispatch(&CoarseLocked::new(SeqStack::new(d)), &AtomicSpec::new(SeqStack::new(d)), &opts, mode, false),
-        "coarse-queue" => dispatch(&CoarseLocked::new(SeqQueue::new(d)), &AtomicSpec::new(SeqQueue::new(d)), &opts, mode, false),
-        "coarse-set" => dispatch(&CoarseLocked::new(SeqSet::new(d)), &AtomicSpec::new(SeqSet::new(d)), &opts, mode, false),
+        "ccas" => dispatch(&Ccas::new(dsize), &AtomicSpec::new(SeqCcas::new(dsize)), opts, mode, true),
+        "rdcss" => dispatch(&Rdcss::new(dsize), &AtomicSpec::new(SeqRdcss::new(dsize)), opts, mode, true),
+        "newcas" => dispatch(&NewCas::new(dsize), &AtomicSpec::new(SeqRegister::new(dsize)), opts, mode, true),
+        "hm-list" => dispatch(&HmList::revised(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true),
+        "hm-list-buggy" => dispatch(&HmList::buggy(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true),
+        "hsy-stack" => dispatch(&HsyStack::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
+        "lazy-list" => dispatch(&LazyList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
+        "optimistic-list" => dispatch(&OptimisticList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
+        "fine-list" => dispatch(&FineList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
+        "two-lock-queue" => dispatch(&TwoLockQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false),
+        "coarse-stack" => dispatch(&CoarseLocked::new(SeqStack::new(d)), &AtomicSpec::new(SeqStack::new(d)), opts, mode, false),
+        "coarse-queue" => dispatch(&CoarseLocked::new(SeqQueue::new(d)), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false),
+        "coarse-set" => dispatch(&CoarseLocked::new(SeqSet::new(d)), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
         other => {
             eprintln!("unknown algorithm `{other}`; try `bbv list`");
             EXIT_USAGE
@@ -394,7 +472,7 @@ fn explore_or_inconclusive<A: ObjectAlgorithm>(
         explore_system_with(alg, bound, &eo)
     } else {
         explore_reduced(alg, bound, opts.reduce, &eo).map(|(lts, stats)| {
-            eprintln!("reduction {} [{}]: {stats}", opts.reduce, alg.name());
+            bb_obs::diag!("reduction {} [{}]: {stats}", opts.reduce, alg.name());
             lts
         })
     };

@@ -1,0 +1,108 @@
+//! Observability must be verdict- and output-neutral: enabling `--metrics`,
+//! `--trace` and `--progress` may add stderr lines and write the named
+//! files, but stdout, exit codes and exported `.aut` artifacts stay
+//! byte-identical at any `--jobs` count.
+
+use std::process::Command;
+
+fn bbv(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bbv"))
+        .args(args)
+        .output()
+        .expect("bbv runs")
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("bbv_neutral_{name}_{}", std::process::id()))
+}
+
+/// Runs `verify` twice — plain, and with the full observability surface on —
+/// and asserts stdout and the exit code are byte-identical.
+fn assert_neutral(algo: &str, jobs: &str, expect_code: i32) {
+    let base_args = ["verify", algo, "--threads", "2", "--ops", "1", "--domain", "1",
+                     "--jobs", jobs];
+    let plain = bbv(&base_args);
+
+    let m = tmp(&format!("{algo}_{jobs}_m.json"));
+    let t = tmp(&format!("{algo}_{jobs}_t.ndjson"));
+    let mut obs_args: Vec<&str> = base_args.to_vec();
+    obs_args.extend(["--metrics", m.to_str().unwrap(), "--trace", t.to_str().unwrap(),
+                     "--progress"]);
+    let observed = bbv(&obs_args);
+    let _ = std::fs::remove_file(m);
+    let _ = std::fs::remove_file(t);
+
+    assert_eq!(plain.status.code(), Some(expect_code), "plain run verdict changed");
+    assert_eq!(observed.status.code(), Some(expect_code), "observability changed the exit code");
+    assert_eq!(
+        plain.stdout, observed.stdout,
+        "observability changed stdout (--jobs {jobs}):\nplain:\n{}\nobserved:\n{}",
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&observed.stdout)
+    );
+}
+
+#[test]
+fn verify_stdout_is_identical_with_metrics_on_one_worker() {
+    assert_neutral("ms-queue", "1", 0);
+}
+
+#[test]
+fn verify_stdout_is_identical_with_metrics_on_four_workers() {
+    assert_neutral("ms-queue", "4", 0);
+}
+
+#[test]
+fn refutation_stdout_is_identical_with_metrics() {
+    // A failing verdict (the HW queue spins): exit code 1 either way, and
+    // the counterexample text is unchanged by observation.
+    assert_neutral("hw-queue", "1", 1);
+    assert_neutral("hw-queue", "4", 1);
+}
+
+#[test]
+fn verify_stdout_is_identical_across_worker_counts() {
+    let run = |jobs: &str| {
+        bbv(&["verify", "ms-queue", "--threads", "2", "--ops", "1", "--domain", "1",
+              "--jobs", jobs])
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(one.status.code(), four.status.code());
+    assert_eq!(one.stdout, four.stdout, "verdict output must not depend on --jobs");
+}
+
+#[test]
+fn exported_aut_is_identical_with_metrics() {
+    let run = |tag: &str, extra: &[&str]| -> Vec<u8> {
+        let aut = tmp(&format!("q_{tag}.aut"));
+        let mut args = vec!["quotient", "treiber", "--threads", "2", "--ops", "1",
+                            "--domain", "1", "--aut", aut.to_str().unwrap()];
+        args.extend(extra);
+        let out = bbv(&args);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let bytes = std::fs::read(&aut).unwrap();
+        let _ = std::fs::remove_file(aut);
+        bytes
+    };
+    let m = tmp("q_m.json");
+    let plain = run("plain", &[]);
+    let observed = run("obs", &["--metrics", m.to_str().unwrap()]);
+    let _ = std::fs::remove_file(m);
+    assert_eq!(plain, observed, ".aut bytes changed under --metrics");
+}
+
+#[test]
+fn quiet_silences_reduction_diagnostics_but_not_verdicts() {
+    let loud = bbv(&["verify", "treiber", "--threads", "2", "--ops", "1", "--domain", "1",
+                     "--reduce", "full"]);
+    let quiet = bbv(&["verify", "treiber", "--threads", "2", "--ops", "1", "--domain", "1",
+                      "--reduce", "full", "--quiet"]);
+    assert!(loud.status.success());
+    assert!(quiet.status.success());
+    assert_eq!(loud.stdout, quiet.stdout, "--quiet must not touch stdout");
+    let loud_err = String::from_utf8_lossy(&loud.stderr);
+    let quiet_err = String::from_utf8_lossy(&quiet.stderr);
+    assert!(loud_err.contains("reduction"), "diagnostic expected on stderr: {loud_err}");
+    assert!(!quiet_err.contains("reduction"), "--quiet leaks diagnostics: {quiet_err}");
+}
