@@ -18,7 +18,10 @@
 //! — see DESIGN.md); the *shape* of every result is reproduced.
 
 use bb_bench::{check, lts_of_jobs, mark, try_lts_of_jobs};
-use bb_bisim::{bisimilar_governed_jobs, partition_jobs, quotient, Equivalence};
+use bb_bisim::{
+    bisimilar_governed_jobs, partition_jobs, partition_with_stats, quotient, Equivalence,
+    PartitionOptions, RefineMode,
+};
 use bb_core::{
     verify_case_lts, verify_linearizability_jobs, verify_lock_freedom_jobs,
     verify_lock_freedom_via_abstraction_jobs, VerifyConfig,
@@ -55,10 +58,18 @@ fn main() {
             std::process::exit(3);
         }
     };
+    let refine = match parse_refine(&args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(3);
+        }
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
         "reduce" => guarded("reduce", || reduce_table(large, jobs)),
-        "verdicts" => guarded("verdicts", || verdicts(reduce, jobs)),
+        "verdicts" => guarded("verdicts", || verdicts(reduce, refine, jobs)),
+        "perf" => guarded("perf", || perf(&parse_out(&args))),
         "phases" => phases(jobs),
         "table1" => guarded("table1", || table1(jobs)),
         "table2" => guarded("table2", || table2(jobs)),
@@ -81,8 +92,9 @@ fn main() {
         other => {
             eprintln!("unknown subcommand `{other}`");
             eprintln!(
-                "usage: tables [table1..table7|fig10|reduce|verdicts|phases|all] \
-                 [--large] [--jobs N] [--reduce none|sym|por|full]"
+                "usage: tables [table1..table7|fig10|reduce|verdicts|phases|perf|all] \
+                 [--large] [--jobs N] [--reduce none|sym|por|full] \
+                 [--refine full|incremental] [--out FILE]"
             );
             std::process::exit(3);
         }
@@ -97,6 +109,26 @@ fn parse_reduce(args: &[String]) -> Result<ReduceMode, String> {
     args.get(pos + 1)
         .ok_or("--reduce needs a mode: none, sym, por, full")?
         .parse()
+}
+
+/// Parses `--refine MODE` (default: the engine default, incremental).
+/// Both engines compute identical partitions; `verdicts` runs once per mode
+/// in CI and the outputs are diffed byte-for-byte.
+fn parse_refine(args: &[String]) -> Result<RefineMode, String> {
+    let Some(pos) = args.iter().position(|a| a == "--refine") else {
+        return Ok(RefineMode::default());
+    };
+    args.get(pos + 1)
+        .ok_or("--refine needs a mode: full or incremental")?
+        .parse()
+}
+
+/// Parses `--out FILE` for the `perf` subcommand (default: BENCH_5.json).
+fn parse_out(args: &[String]) -> String {
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|pos| args.get(pos + 1).cloned())
+        .unwrap_or_else(|| "BENCH_5.json".into())
 }
 
 /// Parses `--jobs N` (default: all cores). Every table is deterministic in
@@ -629,7 +661,7 @@ fn phases(jobs: Jobs) {
 /// Machine-diffable verdict lines: no state counts, no timings — only what
 /// must stay invariant under any sound reduction. CI runs this twice
 /// (`--reduce none` / `--reduce full`) and diffs the output byte-for-byte.
-fn verdicts(reduce: ReduceMode, jobs: Jobs) {
+fn verdicts(reduce: ReduceMode, refine: RefineMode, jobs: Jobs) {
     macro_rules! case {
         ($name:expr, $alg:expr, $spec:expr, $th:expr, $op:expr, $lf:expr) => {{
             let bound = Bound::new($th, $op);
@@ -646,7 +678,7 @@ fn verdicts(reduce: ReduceMode, jobs: Jobs) {
                         explore_reduced(&AtomicSpec::new($spec), bound, reduce, &opts)?.0,
                     )
                 };
-                let mut cfg = VerifyConfig::new(bound).with_jobs(jobs);
+                let mut cfg = VerifyConfig::new(bound).with_jobs(jobs).with_refine(refine);
                 if !$lf {
                     cfg = cfg.linearizability_only();
                 }
@@ -697,4 +729,142 @@ fn verdicts(reduce: ReduceMode, jobs: Jobs) {
     case!("coarse-stack", CoarseLocked::new(SeqStack::new(&[1])), SeqStack::new(&[1]), 2, 2, false);
     case!("coarse-queue", CoarseLocked::new(SeqQueue::new(&[1])), SeqQueue::new(&[1]), 2, 2, false);
     case!("coarse-set", CoarseLocked::new(SeqSet::new(&[1])), SeqSet::new(&[1]), 2, 2, false);
+}
+
+// --------------------------------------------------- refinement engine perf
+
+/// One `perf` roster entry: full vs incremental refinement on the same LTS.
+struct PerfRow {
+    name: &'static str,
+    bound: String,
+    states: usize,
+    transitions: usize,
+    rounds: usize,
+    full_recomputes: u64,
+    full_us: u128,
+    full_peak_sig_bytes: usize,
+    inc_recomputes: u64,
+    inc_dirty_states: u64,
+    inc_us: u128,
+    inc_peak_sig_bytes: usize,
+}
+
+/// Measures one roster case under both refinement engines. The partitions
+/// are asserted equal (block ids included); the statistics are deterministic
+/// and taken from the last sample, while the wall-clock is the best of
+/// `samples` runs.
+fn perf_row(name: &'static str, th: u8, op: u32, lts: &Lts, samples: u32) -> PerfRow {
+    let eq = Equivalence::Branching;
+    let full_opts = PartitionOptions::default().with_mode(RefineMode::Full);
+    let inc_opts = PartitionOptions::default().with_mode(RefineMode::Incremental);
+
+    let mut full_us = u128::MAX;
+    let mut inc_us = u128::MAX;
+    let (mut p_full, mut full_stats) = partition_with_stats(lts, eq, full_opts);
+    let (mut p_inc, mut inc_stats) = partition_with_stats(lts, eq, inc_opts);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let (p, s) = partition_with_stats(lts, eq, full_opts);
+        full_us = full_us.min(t0.elapsed().as_micros());
+        (p_full, full_stats) = (p, s);
+        let t0 = Instant::now();
+        let (p, s) = partition_with_stats(lts, eq, inc_opts);
+        inc_us = inc_us.min(t0.elapsed().as_micros());
+        (p_inc, inc_stats) = (p, s);
+    }
+    assert_eq!(
+        p_full, p_inc,
+        "{name} {th}-{op}: full and incremental partitions must be identical"
+    );
+    assert_eq!(full_stats.rounds, inc_stats.rounds);
+    PerfRow {
+        name,
+        bound: format!("{th}-{op}"),
+        states: lts.num_states(),
+        transitions: lts.num_transitions(),
+        rounds: full_stats.rounds,
+        full_recomputes: full_stats.sig_recomputes,
+        full_us,
+        full_peak_sig_bytes: full_stats.peak_sig_bytes,
+        inc_recomputes: inc_stats.sig_recomputes,
+        inc_dirty_states: inc_stats.dirty_states,
+        inc_us,
+        inc_peak_sig_bytes: inc_stats.peak_sig_bytes,
+    }
+}
+
+/// `perf` — full vs incremental partition refinement on a fixed seeded
+/// roster. Writes a machine-readable JSON report (schema `bb-bench/perf-v1`,
+/// default `BENCH_5.json`); the counters are deterministic, only the
+/// wall-clock columns vary run to run.
+fn perf(out: &str) {
+    const SAMPLES: u32 = 3;
+    println!("\n=== Refinement engine — full vs incremental (branching, serial) ===");
+    println!("(best of {SAMPLES} runs; counters deterministic, partitions asserted equal)\n");
+    println!(
+        "{:<12} {:>5} {:>9} {:>10} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "Object", "#T-#O", "states", "trans", "rounds", "full recomp", "inc recomp", "dirty/n",
+        "full time", "inc time"
+    );
+
+    let jobs = Jobs::serial();
+    let rows = [
+        perf_row("treiber", 2, 2, &lts_of_jobs(&Treiber::new(&[1]), 2, 2, jobs), SAMPLES),
+        perf_row("lazy-list", 2, 1, &lts_of_jobs(&LazyList::new(&[1]), 2, 1, jobs), SAMPLES),
+        perf_row("lazy-list", 2, 2, &lts_of_jobs(&LazyList::new(&[1]), 2, 2, jobs), SAMPLES),
+        perf_row("ms-queue", 2, 2, &lts_of_jobs(&MsQueue::new(&[1, 2]), 2, 2, jobs), SAMPLES),
+    ];
+
+    let mut json = String::from("{\n  \"schema\": \"bb-bench/perf-v1\",\n");
+    json.push_str("  \"equivalence\": \"branching\",\n  \"jobs\": 1,\n");
+    json.push_str(&format!("  \"samples\": {SAMPLES},\n  \"entries\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        let full_work = r.rounds as u64 * r.states as u64;
+        assert!(
+            r.inc_recomputes < full_work,
+            "{} {}: incremental must recompute strictly fewer than rounds × n",
+            r.name,
+            r.bound
+        );
+        println!(
+            "{:<12} {:>5} {:>9} {:>10} {:>7} {:>12} {:>12} {:>7.1}% {:>8}µs {:>8}µs",
+            r.name,
+            r.bound,
+            r.states,
+            r.transitions,
+            r.rounds,
+            r.full_recomputes,
+            r.inc_recomputes,
+            100.0 * r.inc_dirty_states as f64 / full_work.max(1) as f64,
+            r.full_us,
+            r.inc_us,
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"bound\": \"{}\", \"states\": {}, \"transitions\": {}, \
+             \"rounds\": {}, \
+             \"full\": {{\"sig_recomputes\": {}, \"peak_sig_bytes\": {}, \"min_wall_us\": {}}}, \
+             \"incremental\": {{\"sig_recomputes\": {}, \"dirty_states\": {}, \
+             \"peak_sig_bytes\": {}, \"min_wall_us\": {}}}, \
+             \"partitions_equal\": true}}{}\n",
+            r.name,
+            r.bound,
+            r.states,
+            r.transitions,
+            r.rounds,
+            r.full_recomputes,
+            r.full_peak_sig_bytes,
+            r.full_us,
+            r.inc_recomputes,
+            r.inc_dirty_states,
+            r.inc_peak_sig_bytes,
+            r.inc_us,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(3);
+    }
+    println!("\n(report written to {out})");
 }

@@ -6,7 +6,8 @@
 use crate::diagnostics::{distinguishing_formula, Formula};
 use crate::partition::Partition;
 use crate::signatures::{
-    partition, partition_governed_jobs, partition_with_history, Equivalence, RefinementHistory,
+    partition, partition_governed_opts, partition_with_history_opts, Equivalence,
+    PartitionOptions, RefinementHistory,
 };
 use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::{disjoint_union, Jobs, Lts, StateId};
@@ -37,8 +38,14 @@ pub struct BisimCheck {
 impl BisimCheck {
     /// Compares `left` and `right` under `eq`, retaining diagnostics.
     pub fn run(left: &Lts, right: &Lts, eq: Equivalence) -> BisimCheck {
+        BisimCheck::run_opts(left, right, eq, PartitionOptions::default())
+    }
+
+    /// [`BisimCheck::run`] with explicit [`PartitionOptions`]; the verdict,
+    /// partition, and history are identical for every option combination.
+    pub fn run_opts(left: &Lts, right: &Lts, eq: Equivalence, opts: PartitionOptions) -> BisimCheck {
         let u = disjoint_union(left, right);
-        let (p, history) = partition_with_history(&u.lts, eq);
+        let (p, history) = partition_with_history_opts(&u.lts, eq, opts);
         let equivalent = p.same_block(u.left_initial, u.right_initial);
         BisimCheck {
             equivalent,
@@ -108,6 +115,24 @@ pub fn bisimilar_governed_jobs(
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<bool, Exhausted> {
+    bisimilar_opts(left, right, eq, wd, PartitionOptions::default().with_jobs(jobs))
+}
+
+/// [`bisimilar_governed`] with explicit [`PartitionOptions`] (worker count
+/// and refinement engine); the verdict is identical for every option
+/// combination.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict is reached;
+/// callers must treat this as *unknown*, never as inequivalence.
+pub fn bisimilar_opts(
+    left: &Lts,
+    right: &Lts,
+    eq: Equivalence,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+) -> Result<bool, Exhausted> {
     if eq == Equivalence::Weak {
         // Weak signatures need τ-closures, which are expensive on large
         // systems. Since ≈ refines ~w and every system is branching
@@ -115,16 +140,16 @@ pub fn bisimilar_governed_jobs(
         // originals equals the weak verdict between the (much smaller)
         // quotients.
         let reduce = |lts: &Lts| -> Result<Lts, Exhausted> {
-            let p = partition_governed_jobs(lts, Equivalence::Branching, wd, jobs)?;
+            let p = partition_governed_opts(lts, Equivalence::Branching, wd, opts)?;
             Ok(crate::quotient::quotient(lts, &p).lts)
         };
         let (lq, rq) = (reduce(left)?, reduce(right)?);
         let u = disjoint_union(&lq, &rq);
-        let p = partition_governed_jobs(&u.lts, Equivalence::Weak, wd, jobs)?;
+        let p = partition_governed_opts(&u.lts, Equivalence::Weak, wd, opts)?;
         return Ok(p.same_block(u.left_initial, u.right_initial));
     }
     let u = disjoint_union(left, right);
-    let p = partition_governed_jobs(&u.lts, eq, wd, jobs)?;
+    let p = partition_governed_opts(&u.lts, eq, wd, opts)?;
     Ok(p.same_block(u.left_initial, u.right_initial))
 }
 

@@ -84,13 +84,13 @@ pub fn distinguishing_formula(
         last.block_of(left) != last.block_of(right),
         "states are equivalent; nothing distinguishes them"
     );
-    let (_, names) = crate::signatures::letter_table(lts);
     // One context for the whole explanation: the letter table — and for
     // weak bisimulation the full forward τ-closure — is built once here
     // instead of once per replayed round, so formula construction is linear
-    // in the number of replays rather than quadratic in practice.
+    // in the number of replays rather than quadratic in practice. The
+    // letter names come from the same table the signatures use.
     let ctx = Ctx::new(lts, eq);
-    dist(lts, &ctx, history, &names, left, right, MAX_DEPTH)
+    dist(lts, &ctx, history, ctx.letter_names(), left, right, MAX_DEPTH)
 }
 
 #[allow(clippy::too_many_arguments)]

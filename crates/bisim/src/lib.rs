@@ -54,7 +54,8 @@ mod quotient;
 mod signatures;
 
 pub use compare::{
-    bisimilar, bisimilar_governed, bisimilar_governed_jobs, bisimilar_states, BisimCheck,
+    bisimilar, bisimilar_governed, bisimilar_governed_jobs, bisimilar_opts, bisimilar_states,
+    BisimCheck,
 };
 pub use diagnostics::{distinguishing_formula, Formula};
 pub use divergence::{
@@ -62,8 +63,10 @@ pub use divergence::{
     starvation_witness, Lasso,
 };
 pub use partition::{BlockId, Partition};
-pub use quotient::{div_quotient, quotient, Quotient};
+pub use quotient::{div_quotient, div_quotient_opts, quotient, Quotient};
 pub use signatures::{
-    partition, partition_governed, partition_governed_jobs, partition_jobs,
-    partition_with_history, Equivalence, RefinementHistory,
+    partition, partition_governed, partition_governed_jobs, partition_governed_opts,
+    partition_jobs, partition_opts, partition_with_history, partition_with_history_opts,
+    partition_with_stats, Equivalence, PartitionOptions, RefineMode, RefineStats,
+    RefinementHistory,
 };

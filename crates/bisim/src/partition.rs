@@ -113,9 +113,43 @@ impl Partition {
     }
 }
 
+/// Builds a [`Partition`] from arbitrary (stable) block labels by renumbering
+/// blocks in order of first occurrence in state order — the canonical id
+/// scheme the full refinement engine produces. Every label in
+/// `0..num_blocks` must occur (blocks are never empty), so the canonical
+/// partition has exactly `num_blocks` blocks.
+pub(crate) fn canonical_from_labels(labels: &[u32], num_blocks: usize) -> Partition {
+    let mut map = vec![u32::MAX; num_blocks];
+    let mut next = 0u32;
+    let block_of = labels
+        .iter()
+        .map(|&l| {
+            if map[l as usize] == u32::MAX {
+                map[l as usize] = next;
+                next += 1;
+            }
+            BlockId(map[l as usize])
+        })
+        .collect();
+    debug_assert_eq!(next as usize, num_blocks, "every block must be non-empty");
+    Partition::new(block_of, num_blocks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_renumbering_is_first_occurrence() {
+        let p = canonical_from_labels(&[2, 0, 2, 1], 3);
+        assert_eq!(
+            p.assignment(),
+            &[BlockId(0), BlockId(1), BlockId(0), BlockId(2)]
+        );
+        assert_eq!(p.num_blocks(), 3);
+        let empty = canonical_from_labels(&[], 0);
+        assert_eq!(empty.num_states(), 0);
+    }
 
     #[test]
     fn universal_and_discrete() {

@@ -70,7 +70,15 @@ pub fn quotient(lts: &Lts, p: &Partition) -> Quotient {
 /// next-free LTL/CTL* properties — progress properties like lock-freedom
 /// can be model-checked on it (Section V-B) at a fraction of the size.
 pub fn div_quotient(lts: &Lts) -> Quotient {
-    let p = crate::signatures::partition(lts, crate::signatures::Equivalence::BranchingDiv);
+    div_quotient_opts(lts, crate::signatures::PartitionOptions::default())
+}
+
+/// [`div_quotient`] with explicit [`PartitionOptions`](crate::PartitionOptions)
+/// for the underlying `≈div` partition; the quotient is identical for every
+/// option combination.
+pub fn div_quotient_opts(lts: &Lts, opts: crate::signatures::PartitionOptions) -> Quotient {
+    let p =
+        crate::signatures::partition_opts(lts, crate::signatures::Equivalence::BranchingDiv, opts);
     let divergent = crate::divergence::divergent_states(lts, &p);
 
     let mut b = LtsBuilder::new();

@@ -7,10 +7,27 @@
 //! most `|S|` rounds at the coarsest bisimulation of the requested kind
 //! (Blom & Orzan, 2002; for the divergence flag, the mCRL2 variant of
 //! divergence-preserving branching bisimulation).
+//!
+//! Two engines implement the loop, selected by [`RefineMode`]:
+//!
+//! * [`RefineMode::Full`] recomputes every signature every round — the
+//!   original formulation, kept as the reference implementation and the
+//!   `--refine full` escape hatch.
+//! * [`RefineMode::Incremental`] (the default) observes that a state's
+//!   signature can only change when a successor changed block, so each round
+//!   recomputes only a *dirty worklist* derived from the states that moved in
+//!   the previous round. Signatures are hash-consed into a flat
+//!   [`SigArena`], the split compares interned `u32` sig-ids instead of
+//!   re-hashing pair vectors, and the branching engines reuse the inert-τ
+//!   SCC condensation across rounds whenever no component-internal τ-edge
+//!   lost inertness. The produced partition — block ids included — is
+//!   bit-identical to the full engine at any [`Jobs`] count; see
+//!   DESIGN.md § "Incremental refinement" for the invariants and the
+//!   determinism argument.
 
-use crate::partition::{BlockId, Partition};
+use crate::partition::{canonical_from_labels, BlockId, Partition};
 use bb_lts::budget::{Exhausted, Meter, Stage, Watchdog};
-use bb_lts::{tarjan_scc, Jobs, Lts, StateId, TauClosure};
+use bb_lts::{tarjan_scc, tarjan_scc_region, Jobs, Lts, PredecessorTable, StateId, TauClosure};
 use std::collections::HashMap;
 
 /// Minimum states per worker before a signature pass is fanned out.
@@ -18,6 +35,8 @@ const SIG_MIN_CHUNK: usize = 256;
 /// Minimum SCCs per worker before a branching topological layer is fanned
 /// out (per-SCC work is heavier than per-state work).
 const SCC_MIN_CHUNK: usize = 64;
+/// Sentinel sig-id for "no signature computed yet".
+const NO_SIG: u32 = u32::MAX;
 
 /// The equivalence relation to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +52,100 @@ pub enum Equivalence {
     BranchingDiv,
     /// Weak bisimulation `~w` (Milner; Section VII of the paper).
     Weak,
+}
+
+/// Which refinement engine computes the partition.
+///
+/// Both engines produce bit-identical partitions (block ids included) at any
+/// [`Jobs`] count; they differ only in how much work a round does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RefineMode {
+    /// Recompute every signature every round (the reference engine).
+    Full,
+    /// Recompute only dirty states, intern signatures, and reuse the
+    /// inert-τ condensation across rounds.
+    #[default]
+    Incremental,
+}
+
+impl std::fmt::Display for RefineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RefineMode::Full => "full",
+            RefineMode::Incremental => "incremental",
+        })
+    }
+}
+
+impl std::str::FromStr for RefineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(RefineMode::Full),
+            "incremental" => Ok(RefineMode::Incremental),
+            other => Err(format!(
+                "unknown refinement mode `{other}` (expected `full` or `incremental`)"
+            )),
+        }
+    }
+}
+
+/// Options for a partition-refinement run.
+///
+/// The default is the sequential incremental engine — the same partition as
+/// every other configuration, computed with the least work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionOptions {
+    /// Worker threads for the sharded signature passes.
+    pub jobs: Jobs,
+    /// Which refinement engine to run.
+    pub mode: RefineMode,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            jobs: Jobs::serial(),
+            mode: RefineMode::Incremental,
+        }
+    }
+}
+
+impl PartitionOptions {
+    /// The default options: sequential, incremental.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the refinement engine.
+    pub fn with_mode(mut self, mode: RefineMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Work accounting of a refinement run (see [`partition_with_stats`]).
+///
+/// The full engine recomputes `rounds × num_states` signatures by
+/// construction; the incremental engine's `sig_recomputes` is the measure of
+/// how much of that it avoided.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Refinement rounds executed (including the final stable round).
+    pub rounds: usize,
+    /// State-signatures actually recomputed, summed over rounds.
+    pub sig_recomputes: u64,
+    /// States on the dirty worklist at round start, summed over rounds.
+    pub dirty_states: u64,
+    /// Peak signature storage charged against the memory budget, in bytes.
+    pub peak_sig_bytes: usize,
 }
 
 /// The sequence of partitions produced by the refinement rounds.
@@ -53,8 +166,9 @@ pub(crate) const TAU_LETTER: u32 = 0;
 /// Per-LTS context shared by all refinement rounds.
 ///
 /// Hoisting this across rounds (and across the diagnostic replays of
-/// [`signatures_at`]) means the letter table — and for [`Equivalence::Weak`]
-/// the full forward τ-closure — is built once per LTS, not once per round.
+/// [`Ctx::signatures_of`]) means the letter table — and for
+/// [`Equivalence::Weak`] the full forward τ-closure — is built once per LTS,
+/// not once per round.
 pub(crate) struct Ctx<'a> {
     lts: &'a Lts,
     eq: Equivalence,
@@ -63,6 +177,8 @@ pub(crate) struct Ctx<'a> {
     /// Maps `ActionId` to a letter id: `TAU_LETTER` for every internal
     /// action, a unique id `>= 1` per distinct observation otherwise.
     letters: Vec<u32>,
+    /// Display name of each letter (`names[0]` is τ), for diagnostics.
+    names: Vec<String>,
     /// Forward τ-closure, computed lazily for weak bisimulation only.
     closure: Option<TauClosure>,
 }
@@ -73,7 +189,7 @@ impl<'a> Ctx<'a> {
     }
 
     fn with_jobs(lts: &'a Lts, eq: Equivalence, jobs: Jobs) -> Self {
-        let (letters, _) = letter_table(lts);
+        let (letters, names) = letter_table(lts);
         let closure = match eq {
             Equivalence::Weak => Some(TauClosure::compute(lts)),
             _ => None,
@@ -83,6 +199,7 @@ impl<'a> Ctx<'a> {
             eq,
             jobs,
             letters,
+            names,
             closure,
         }
     }
@@ -90,6 +207,12 @@ impl<'a> Ctx<'a> {
     #[inline]
     fn is_tau(&self, a: bb_lts::ActionId) -> bool {
         self.letters[a.index()] == TAU_LETTER
+    }
+
+    /// Display names of the signature letters (`names[0]` is τ). Built once
+    /// per context so diagnostics do not recompute the letter table.
+    pub(crate) fn letter_names(&self) -> &[String] {
+        &self.names
     }
 
     /// Computes the signatures of all states w.r.t. `p` into `sigs`,
@@ -379,9 +502,10 @@ fn weak_signatures(ctx: &Ctx<'_>, p: &Partition, sigs: &mut [Signature]) -> usiz
     })
 }
 
-/// One refinement round: recomputes signatures (possibly in parallel), then
-/// splits blocks sequentially. Returns the refined partition and the total
-/// signature pair count of the round (for incremental memory accounting).
+/// One full-engine refinement round: recomputes signatures (possibly in
+/// parallel), then splits blocks sequentially. Returns the refined partition
+/// and the total signature pair count of the round (for incremental memory
+/// accounting).
 fn refine_once(
     ctx: &Ctx<'_>,
     p: &Partition,
@@ -405,26 +529,15 @@ fn refine_once(
     Ok((Partition::new(assignment, num_blocks), pairs))
 }
 
-fn run(lts: &Lts, eq: Equivalence, history: Option<&mut Vec<Partition>>) -> Partition {
-    run_governed(lts, eq, history, &Watchdog::unlimited())
-        .expect("an unlimited watchdog never trips")
-}
-
-fn run_governed(
+/// The reference engine: every round recomputes all signatures and splits
+/// every block.
+fn run_full(
     lts: &Lts,
     eq: Equivalence,
-    history: Option<&mut Vec<Partition>>,
-    wd: &Watchdog,
-) -> Result<Partition, Exhausted> {
-    run_governed_jobs(lts, eq, history, wd, Jobs::serial())
-}
-
-fn run_governed_jobs(
-    lts: &Lts,
-    eq: Equivalence,
-    history: Option<&mut Vec<Partition>>,
+    mut history: Option<&mut Vec<Partition>>,
     wd: &Watchdog,
     jobs: Jobs,
+    stats: Option<&mut RefineStats>,
 ) -> Result<Partition, Exhausted> {
     let n = lts.num_states();
     let span = bb_obs::span("bisim")
@@ -438,7 +551,10 @@ fn run_governed_jobs(
     let ctx = Ctx::with_jobs(lts, eq, jobs);
     let mut p = Partition::universal(n);
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
-    let mut rounds: Vec<Partition> = vec![p.clone()];
+    let mut rounds: Vec<Partition> = Vec::new();
+    if history.is_some() {
+        rounds.push(p.clone());
+    }
     // Peak live signature storage accounted so far.
     let mut mem_accounted = 0usize;
     let mut round = 0usize;
@@ -450,6 +566,7 @@ fn run_governed_jobs(
         let (next, pairs) = refine_once(&ctx, &p, &mut sigs, &mut meter)?;
         bb_obs::hot::SIG_ROUNDS.incr();
         bb_obs::hot::SIG_STATE_RECOMPUTES.add(n as u64);
+        bb_obs::hot::SIG_DIRTY_STATES.add(n as u64);
         round_span.record("blocks_after", next.num_blocks());
         round_span.record("sig_pairs", pairs);
         drop(round_span);
@@ -476,10 +593,752 @@ fn run_governed_jobs(
     span.record("rounds", round);
     span.record("blocks", p.num_blocks());
     span.record("mem_bytes", meter.stats().memory_bytes);
-    if let Some(h) = history {
+    if let Some(h) = history.take() {
         *h = rounds;
     }
+    if let Some(st) = stats {
+        *st = RefineStats {
+            rounds: round,
+            sig_recomputes: (round * n) as u64,
+            dirty_states: (round * n) as u64,
+            peak_sig_bytes: mem_accounted,
+        };
+    }
     Ok(p)
+}
+
+// ---------------------------------------------------------------------------
+// The incremental engine
+// ---------------------------------------------------------------------------
+
+/// Hash-consing arena of signatures, flat CSR layout: signature `i` is
+/// `pairs[offsets[i]..offsets[i+1]]`. Ids are assigned in interning order,
+/// which the engine keeps deterministic (sequential, worklists in state
+/// order), and two sig-ids are equal iff their pair vectors are equal — the
+/// split can compare two `u32`s instead of re-hashing vectors.
+struct SigArena {
+    offsets: Vec<u32>,
+    pairs: Vec<(u32, u32)>,
+    /// Hash of a pair slice → candidate sig-ids with that hash.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+impl SigArena {
+    fn new() -> Self {
+        SigArena {
+            offsets: vec![0],
+            pairs: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn get(&self, id: u32) -> &[(u32, u32)] {
+        &self.pairs[self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize]
+    }
+
+    fn hash_of(sig: &[(u32, u32)]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        sig.hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns the id of `sig`, appending it to the arena if unseen.
+    fn intern(&mut self, sig: &[(u32, u32)]) -> u32 {
+        let h = Self::hash_of(sig);
+        if let Some(ids) = self.buckets.get(&h) {
+            for &id in ids {
+                if self.get(id) == sig {
+                    bb_obs::hot::SIG_CACHE_HITS.incr();
+                    return id;
+                }
+            }
+        }
+        let id = self.len() as u32;
+        debug_assert!(id < NO_SIG, "sig-id space exhausted");
+        self.pairs.extend_from_slice(sig);
+        self.offsets.push(self.pairs.len() as u32);
+        self.buckets.entry(h).or_default().push(id);
+        id
+    }
+
+    /// True footprint of the flat signature storage (pair payload plus the
+    /// CSR offsets), charged against the memory budget.
+    fn bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<(u32, u32)>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The inert-τ SCC condensation maintained across rounds by the branching
+/// engines. `order`/`pos` keep an explicit reverse-topological order
+/// (successor components at smaller positions) that stays valid as
+/// components split: refinement only removes inertness, so SCCs only ever
+/// split, and the sub-SCCs of a split component can be spliced into the old
+/// component's position.
+struct CondState {
+    /// For each state, the id of its inert-τ SCC.
+    scc_of: Vec<u32>,
+    /// Member states of each SCC, in state order. Empty for dead (split)
+    /// SCCs.
+    members: Vec<Vec<StateId>>,
+    /// Whether the SCC contains an inert-τ cycle (divergence seed).
+    cyclic: Vec<bool>,
+    /// Live SCC ids, successors first (reverse topological).
+    order: Vec<u32>,
+    /// Position of each SCC in `order` (stale for dead SCCs).
+    pos: Vec<u32>,
+    /// Interned signature of each SCC (`NO_SIG` before first computation).
+    scc_sig: Vec<u32>,
+    /// Divergence flag of each SCC.
+    scc_div: Vec<bool>,
+}
+
+/// State of an incremental refinement run.
+///
+/// Block ids are *stable*: when a block splits, the group containing its
+/// first member keeps the old id and the other groups get fresh ids, so
+/// unmoved states keep their label and their interned signatures stay valid.
+/// [`Incremental::canonical`] renumbers by first occurrence in state order,
+/// which reproduces the full engine's per-round ids exactly (the full split
+/// assigns ids by first occurrence, and block groupings agree because
+/// signature equality is invariant under the injective relabeling between
+/// the two id spaces).
+struct Incremental<'c, 'a> {
+    ctx: &'c Ctx<'a>,
+    /// Flat reverse adjacency, built once per run.
+    preds: PredecessorTable,
+    /// Stable block label of each state.
+    block_of: Vec<u32>,
+    num_blocks: usize,
+    /// Member states of each block, in state order.
+    members: Vec<Vec<StateId>>,
+    arena: SigArena,
+    /// Interned signature of each state (`NO_SIG` before round 0).
+    sig_id: Vec<u32>,
+    /// States whose sig-id changed this round (input to the split).
+    changed: Vec<StateId>,
+    /// States whose block label changed in the last split (input to the
+    /// next round's worklist).
+    moved: Vec<StateId>,
+    /// Condensation state, branching engines only.
+    cond: Option<CondState>,
+    divergence: bool,
+}
+
+impl<'c, 'a> Incremental<'c, 'a> {
+    fn new(ctx: &'c Ctx<'a>) -> Self {
+        let lts = ctx.lts;
+        let n = lts.num_states();
+        Incremental {
+            ctx,
+            preds: lts.predecessor_table(),
+            block_of: vec![0u32; n],
+            num_blocks: usize::from(n != 0),
+            members: if n == 0 {
+                Vec::new()
+            } else {
+                vec![(0..n as u32).map(StateId).collect()]
+            },
+            arena: SigArena::new(),
+            sig_id: vec![NO_SIG; n],
+            changed: Vec::new(),
+            moved: Vec::new(),
+            cond: None,
+            divergence: matches!(ctx.eq, Equivalence::BranchingDiv),
+        }
+    }
+
+    /// Runs one round: recompute dirty signatures, then split the affected
+    /// blocks. Returns `(dirty_states, recomputed_states)`.
+    fn round(&mut self, meter: &mut Meter, round: usize) -> Result<(u64, u64), Exhausted> {
+        let counts = match self.ctx.eq {
+            Equivalence::Strong | Equivalence::Weak => self.round_flat(meter, round)?,
+            Equivalence::Branching | Equivalence::BranchingDiv => {
+                self.round_branching(meter, round)?
+            }
+        };
+        self.split(meter)?;
+        Ok(counts)
+    }
+
+    /// The canonical (full-engine-identical) partition for the current
+    /// stable labels.
+    fn canonical(&self) -> Partition {
+        canonical_from_labels(&self.block_of, self.num_blocks)
+    }
+
+    // ------------------------------------------------ strong/weak rounds
+
+    fn round_flat(&mut self, meter: &mut Meter, round: usize) -> Result<(u64, u64), Exhausted> {
+        let lts = self.ctx.lts;
+        let worklist: Vec<StateId> = if round == 0 {
+            (0..lts.num_states() as u32).map(StateId).collect()
+        } else if self.ctx.eq == Equivalence::Weak {
+            self.weak_worklist()
+        } else {
+            self.strong_worklist()
+        };
+        let edges: usize = worklist.iter().map(|&s| lts.successors(s).len()).sum();
+        meter.add_transitions(edges)?;
+        let sigs = self.flat_sigs(&worklist);
+        for (i, &s) in worklist.iter().enumerate() {
+            meter.tick()?;
+            let sid = self.arena.intern(&sigs[i]);
+            if self.sig_id[s.index()] != sid {
+                self.sig_id[s.index()] = sid;
+                self.changed.push(s);
+            }
+        }
+        let len = worklist.len() as u64;
+        Ok((len, len))
+    }
+
+    /// Dirty states for strong bisimulation: a signature references only the
+    /// blocks of direct successors, so exactly the moved states and their
+    /// predecessors can change.
+    fn strong_worklist(&self) -> Vec<StateId> {
+        let n = self.ctx.lts.num_states();
+        let mut seen = vec![false; n];
+        let mut out: Vec<StateId> = Vec::new();
+        for &m in &self.moved {
+            if !seen[m.index()] {
+                seen[m.index()] = true;
+                out.push(m);
+            }
+            for &(u, _) in self.preds.of(m) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    out.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Dirty states for weak bisimulation. A weak signature of `s` reads the
+    /// blocks of everything in `⇒ →a ⇒` reach of `s`, so with `A` the
+    /// τ-backward closure of the moved set, the dirty set is the τ-backward
+    /// closure of `moved ∪ pred(A)`: a moved state `m` can sit behind a
+    /// visible step (`w →a t ⇒ m` with `w` τ-reachable backwards) — the
+    /// inner closure before taking predecessors is what catches `t`.
+    fn weak_worklist(&self) -> Vec<StateId> {
+        let ctx = self.ctx;
+        let n = ctx.lts.num_states();
+        let mut seen = vec![false; n];
+        let mut out: Vec<StateId> = Vec::new();
+        let mut stack: Vec<StateId> = Vec::new();
+        for &m in &self.moved {
+            if !seen[m.index()] {
+                seen[m.index()] = true;
+                out.push(m);
+                stack.push(m);
+            }
+        }
+        // A = τ-backward closure of the moved set.
+        while let Some(s) = stack.pop() {
+            for &(u, a) in self.preds.of(s) {
+                if ctx.is_tau(a) && !seen[u.index()] {
+                    seen[u.index()] = true;
+                    out.push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        // Predecessors of A (any action), then τ-backward close the
+        // additions as well.
+        let a_len = out.len();
+        for i in 0..a_len {
+            let s = out[i];
+            for &(u, _) in self.preds.of(s) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    out.push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &(u, a) in self.preds.of(s) {
+                if ctx.is_tau(a) && !seen[u.index()] {
+                    seen[u.index()] = true;
+                    out.push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Computes raw signatures for a worklist, sharding across workers when
+    /// the list is large. Each item is independent, so the result is
+    /// identical at any worker count; interning stays sequential.
+    fn flat_sigs(&self, worklist: &[StateId]) -> Vec<Vec<(u32, u32)>> {
+        let workers = self.ctx.jobs.for_items(worklist.len(), SIG_MIN_CHUNK);
+        if workers == 1 {
+            return worklist.iter().map(|&s| self.flat_sig_of(s)).collect();
+        }
+        let chunk = worklist.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = worklist
+                .chunks(chunk)
+                .map(|piece| scope.spawn(move || piece.iter().map(|&s| self.flat_sig_of(s)).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+
+    fn flat_sig_of(&self, s: StateId) -> Vec<(u32, u32)> {
+        let ctx = self.ctx;
+        let lts = ctx.lts;
+        let mut sig: Vec<(u32, u32)> = Vec::new();
+        match ctx.eq {
+            Equivalence::Strong => {
+                for t in lts.successors(s) {
+                    sig.push((ctx.letters[t.action.index()], self.block_of[t.target.index()]));
+                }
+            }
+            Equivalence::Weak => {
+                let closure = ctx
+                    .closure
+                    .as_ref()
+                    .expect("weak signatures require the τ-closure");
+                let bs = self.block_of[s.index()];
+                for &w in closure.of(s) {
+                    let bw = self.block_of[w.index()];
+                    if bw != bs {
+                        sig.push((TAU_LETTER, bw));
+                    }
+                    for t in lts.successors(w) {
+                        if !ctx.is_tau(t.action) {
+                            let letter = ctx.letters[t.action.index()];
+                            for &v in closure.of(t.target) {
+                                sig.push((letter, self.block_of[v.index()]));
+                            }
+                        }
+                    }
+                }
+            }
+            Equivalence::Branching | Equivalence::BranchingDiv => {
+                unreachable!("branching signatures go through the SCC sweep")
+            }
+        }
+        sig.sort_unstable();
+        sig.dedup();
+        sig
+    }
+
+    // ------------------------------------------------- branching rounds
+
+    fn round_branching(
+        &mut self,
+        meter: &mut Meter,
+        round: usize,
+    ) -> Result<(u64, u64), Exhausted> {
+        let n = self.ctx.lts.num_states();
+        let mut pending: Vec<u32> = Vec::new();
+        let mut rebuilt = round == 0;
+        if round == 0 {
+            self.rebuild_condensation();
+        } else {
+            let affected = self.affected_sccs();
+            if affected.is_empty() {
+                bb_obs::hot::SIG_CONDENSATION_REUSES.incr();
+            } else {
+                let cond = self.cond.as_ref().expect("condensation exists");
+                let affected_states: usize = affected
+                    .iter()
+                    .map(|&k| cond.members[k as usize].len())
+                    .sum();
+                // Pure, jobs-independent threshold: when the flipped region
+                // covers a large share of the LTS, a fresh Tarjan pass is
+                // cheaper than many regional ones.
+                if affected_states * 2 > n {
+                    self.rebuild_condensation();
+                    rebuilt = true;
+                } else {
+                    self.recondense_regions(&affected, &mut pending);
+                }
+            }
+        }
+        let cond = self.cond.as_ref().expect("condensation exists");
+        if rebuilt {
+            pending = (0..cond.members.len() as u32).collect();
+        } else {
+            // Seed SCCs: moved states and their predecessors (any action —
+            // a visible or non-inert τ edge into a moved state changes the
+            // `(letter, block)` pair it contributes).
+            for &m in &self.moved {
+                pending.push(cond.scc_of[m.index()]);
+                for &(u, _) in self.preds.of(m) {
+                    pending.push(cond.scc_of[u.index()]);
+                }
+            }
+            pending.sort_unstable();
+            pending.dedup();
+        }
+        let dirty: u64 = pending
+            .iter()
+            .map(|&k| cond.members[k as usize].len() as u64)
+            .sum();
+        let recomputed = self.sweep(pending, meter)?;
+        Ok((dirty, recomputed))
+    }
+
+    /// Rebuilds the inert-τ condensation from scratch for the current
+    /// labels. All signatures are reset to `NO_SIG`, so the following sweep
+    /// recomputes every SCC (per-state sig-ids still detect no-ops exactly).
+    fn rebuild_condensation(&mut self) {
+        let ctx = self.ctx;
+        let lts = ctx.lts;
+        let block_of = &self.block_of;
+        let c = tarjan_scc(lts.num_states(), |s, out| {
+            for t in lts.successors(s) {
+                if ctx.is_tau(t.action) && block_of[s.index()] == block_of[t.target.index()] {
+                    out.push(t.target);
+                }
+            }
+        });
+        let members = c.members();
+        let num = c.num_sccs;
+        self.cond = Some(CondState {
+            scc_of: c.scc_of.iter().map(|scc| scc.0).collect(),
+            members,
+            cyclic: c.cyclic,
+            order: (0..num as u32).collect(),
+            pos: (0..num as u32).collect(),
+            scc_sig: vec![NO_SIG; num],
+            scc_div: vec![false; num],
+        });
+    }
+
+    /// SCCs containing a τ-edge whose inertness flipped in the last split.
+    ///
+    /// Every intra-SCC edge was inert by construction (an inert-τ SCC lies
+    /// inside one block), and refinement only removes inertness, so a flip
+    /// is exactly an intra-SCC τ-edge whose endpoints now carry different
+    /// labels — and every such edge has a moved endpoint, so scanning the
+    /// moved states' τ-edges (both directions) finds them all.
+    fn affected_sccs(&self) -> Vec<u32> {
+        let ctx = self.ctx;
+        let lts = ctx.lts;
+        let cond = self.cond.as_ref().expect("condensation exists");
+        let mut out: Vec<u32> = Vec::new();
+        for &m in &self.moved {
+            let km = cond.scc_of[m.index()];
+            let bm = self.block_of[m.index()];
+            for t in lts.successors(m) {
+                if ctx.is_tau(t.action)
+                    && cond.scc_of[t.target.index()] == km
+                    && self.block_of[t.target.index()] != bm
+                {
+                    out.push(km);
+                }
+            }
+            for &(u, a) in self.preds.of(m) {
+                if ctx.is_tau(a)
+                    && cond.scc_of[u.index()] == km
+                    && self.block_of[u.index()] != bm
+                {
+                    out.push(km);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Recondenses each affected SCC in isolation and splices the resulting
+    /// sub-SCCs into the old component's slot in the reverse-topological
+    /// order. Valid because a sub-SCC's external inert successors were the
+    /// old SCC's successors (at smaller positions), and the regional Tarjan
+    /// orders the sub-SCCs among themselves. Fresh ids are appended to
+    /// `fresh` so the caller marks them pending (`NO_SIG` forces their
+    /// recomputation and the conservative predecessor propagation).
+    fn recondense_regions(&mut self, affected: &[u32], fresh: &mut Vec<u32>) {
+        let ctx = self.ctx;
+        let lts = ctx.lts;
+        let block_of = &self.block_of;
+        let cond = self.cond.as_mut().expect("condensation exists");
+        let mut replacement: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &k in affected {
+            let mem = std::mem::take(&mut cond.members[k as usize]);
+            let subs = tarjan_scc_region(&mem, |s, out| {
+                for t in lts.successors(s) {
+                    if ctx.is_tau(t.action) && block_of[s.index()] == block_of[t.target.index()]
+                    {
+                        out.push(t.target);
+                    }
+                }
+            });
+            let mut ids = Vec::with_capacity(subs.len());
+            for (sub_members, cyclic) in subs {
+                let id = cond.members.len() as u32;
+                for &s in &sub_members {
+                    cond.scc_of[s.index()] = id;
+                }
+                cond.members.push(sub_members);
+                cond.cyclic.push(cyclic);
+                cond.scc_sig.push(NO_SIG);
+                cond.scc_div.push(false);
+                ids.push(id);
+                fresh.push(id);
+            }
+            replacement.insert(k, ids);
+        }
+        let mut new_order: Vec<u32> = Vec::with_capacity(cond.order.len() + fresh.len());
+        for &id in &cond.order {
+            match replacement.get(&id) {
+                Some(subs) => new_order.extend_from_slice(subs),
+                None => new_order.push(id),
+            }
+        }
+        cond.order = new_order;
+        cond.pos = vec![0; cond.members.len()];
+        for (i, &id) in cond.order.iter().enumerate() {
+            cond.pos[id as usize] = i as u32;
+        }
+    }
+
+    /// Recomputes the pending SCCs in reverse-topological position order,
+    /// propagating to inert-τ predecessor SCCs when a signature changed.
+    /// Processing in ascending position guarantees every inert successor of
+    /// a popped SCC is already final for this round: initial pending SCCs
+    /// enter the heap up front, and propagation only pushes strictly larger
+    /// positions. Returns the number of member states recomputed.
+    fn sweep(&mut self, pending: Vec<u32>, meter: &mut Meter) -> Result<u64, Exhausted> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let ctx = self.ctx;
+        let lts = ctx.lts;
+        let cond = self.cond.as_mut().expect("condensation exists");
+        let mut queued = vec![false; cond.members.len()];
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        for k in pending {
+            if !queued[k as usize] {
+                queued[k as usize] = true;
+                heap.push(Reverse((cond.pos[k as usize], k)));
+            }
+        }
+        let mut recomputed = 0u64;
+        let mut acc: Vec<(u32, u32)> = Vec::new();
+        while let Some(Reverse((_, k))) = heap.pop() {
+            let k = k as usize;
+            meter.tick()?;
+            let edges: usize = cond.members[k]
+                .iter()
+                .map(|&s| lts.successors(s).len())
+                .sum();
+            meter.add_transitions(edges)?;
+            recomputed += cond.members[k].len() as u64;
+            acc.clear();
+            let mut div = cond.cyclic[k];
+            for &s in &cond.members[k] {
+                let bs = self.block_of[s.index()];
+                for t in lts.successors(s) {
+                    let bt = self.block_of[t.target.index()];
+                    if ctx.is_tau(t.action) && bt == bs {
+                        let ks = cond.scc_of[t.target.index()] as usize;
+                        if ks != k {
+                            debug_assert_ne!(
+                                cond.scc_sig[ks], NO_SIG,
+                                "inert successors are final before their predecessors"
+                            );
+                            acc.extend_from_slice(self.arena.get(cond.scc_sig[ks]));
+                            div |= cond.scc_div[ks];
+                        }
+                    } else {
+                        acc.push((ctx.letters[t.action.index()], bt));
+                    }
+                }
+            }
+            if self.divergence && div {
+                acc.push((DIV_LETTER, 0));
+            }
+            acc.sort_unstable();
+            acc.dedup();
+            let sid = self.arena.intern(&acc);
+            let sig_changed = sid != cond.scc_sig[k];
+            cond.scc_sig[k] = sid;
+            cond.scc_div[k] = div;
+            for &s in &cond.members[k] {
+                if self.sig_id[s.index()] != sid {
+                    self.sig_id[s.index()] = sid;
+                    self.changed.push(s);
+                }
+            }
+            if sig_changed {
+                for &s in &cond.members[k] {
+                    let bs = self.block_of[s.index()];
+                    for &(u, a) in self.preds.of(s) {
+                        if ctx.is_tau(a) && self.block_of[u.index()] == bs {
+                            let ku = cond.scc_of[u.index()] as usize;
+                            if ku != k && !queued[ku] {
+                                queued[ku] = true;
+                                heap.push(Reverse((cond.pos[ku], ku as u32)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(recomputed)
+    }
+
+    // ------------------------------------------------------------ split
+
+    /// Splits every block containing a state whose sig-id changed. Within a
+    /// block, states group by sig-id in member (= state) order; the group of
+    /// the first member keeps the block's id, the rest get fresh labels and
+    /// become the next round's moved set.
+    fn split(&mut self, meter: &mut Meter) -> Result<(), Exhausted> {
+        self.moved.clear();
+        if self.changed.is_empty() {
+            return Ok(());
+        }
+        let mut blocks: Vec<u32> = self
+            .changed
+            .iter()
+            .map(|s| self.block_of[s.index()])
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        self.changed.clear();
+        for b in blocks {
+            let mem = std::mem::take(&mut self.members[b as usize]);
+            if mem.len() == 1 {
+                self.members[b as usize] = mem;
+                continue;
+            }
+            let mut groups: Vec<Vec<StateId>> = Vec::new();
+            let mut index: HashMap<u32, usize> = HashMap::new();
+            for &s in &mem {
+                meter.tick()?;
+                let sid = self.sig_id[s.index()];
+                let gi = *index.entry(sid).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[gi].push(s);
+            }
+            if groups.len() == 1 {
+                self.members[b as usize] = mem;
+                continue;
+            }
+            let mut iter = groups.into_iter();
+            self.members[b as usize] = iter.next().expect("at least one group");
+            for g in iter {
+                let nb = self.num_blocks as u32;
+                self.num_blocks += 1;
+                for &s in &g {
+                    self.block_of[s.index()] = nb;
+                    self.moved.push(s);
+                }
+                self.members.push(g);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The incremental engine (see the module docs and DESIGN.md § "Incremental
+/// refinement").
+fn run_incremental(
+    lts: &Lts,
+    eq: Equivalence,
+    mut history: Option<&mut Vec<Partition>>,
+    wd: &Watchdog,
+    jobs: Jobs,
+    stats: Option<&mut RefineStats>,
+) -> Result<Partition, Exhausted> {
+    let n = lts.num_states();
+    let span = bb_obs::span("bisim")
+        .with("eq", format!("{eq:?}"))
+        .with("states", n)
+        .with("transitions", lts.num_transitions());
+    let mut meter = wd.meter(Stage::Bisim);
+    meter.add_states(n)?;
+    let ctx = Ctx::with_jobs(lts, eq, jobs);
+    let mut eng = Incremental::new(&ctx);
+    let mut rounds: Vec<Partition> = Vec::new();
+    if history.is_some() {
+        rounds.push(Partition::universal(n));
+    }
+    let mut mem_accounted = 0usize;
+    let mut round = 0usize;
+    let mut total_recomputed = 0u64;
+    let mut total_dirty = 0u64;
+    loop {
+        let round_span = bb_obs::span("bisim.round")
+            .with("round", round)
+            .with("blocks_before", eng.num_blocks);
+        let (dirty, recomputed) = eng.round(&mut meter, round)?;
+        bb_obs::hot::SIG_ROUNDS.incr();
+        bb_obs::hot::SIG_STATE_RECOMPUTES.add(recomputed);
+        bb_obs::hot::SIG_DIRTY_STATES.add(dirty);
+        total_recomputed += recomputed;
+        total_dirty += dirty;
+        round_span.record("blocks_after", eng.num_blocks);
+        round_span.record("dirty", dirty);
+        drop(round_span);
+        round += 1;
+        // The arena only ever grows, so the peak is the current footprint:
+        // the flat pair storage plus the per-state sig-id table.
+        let sig_bytes = eng.arena.bytes() + 4 * n;
+        if sig_bytes > mem_accounted {
+            meter.add_memory(sig_bytes - mem_accounted)?;
+            mem_accounted = sig_bytes;
+        }
+        if history.is_some() {
+            rounds.push(eng.canonical());
+        }
+        // A round with no moved states is exactly the full engine's stable
+        // round (no block split), so the round counts and histories match.
+        if eng.moved.is_empty() {
+            break;
+        }
+    }
+    let p = eng.canonical();
+    span.record("rounds", round);
+    span.record("blocks", p.num_blocks());
+    span.record("mem_bytes", meter.stats().memory_bytes);
+    if let Some(h) = history.take() {
+        *h = rounds;
+    }
+    if let Some(st) = stats {
+        *st = RefineStats {
+            rounds: round,
+            sig_recomputes: total_recomputed,
+            dirty_states: total_dirty,
+            peak_sig_bytes: mem_accounted,
+        };
+    }
+    Ok(p)
+}
+
+fn run_governed_opts(
+    lts: &Lts,
+    eq: Equivalence,
+    history: Option<&mut Vec<Partition>>,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+    stats: Option<&mut RefineStats>,
+) -> Result<Partition, Exhausted> {
+    match opts.mode {
+        RefineMode::Full => run_full(lts, eq, history, wd, opts.jobs, stats),
+        RefineMode::Incremental => run_incremental(lts, eq, history, wd, opts.jobs, stats),
+    }
 }
 
 /// Computes the coarsest partition of `lts` under the given equivalence.
@@ -489,12 +1348,20 @@ fn run_governed_jobs(
 /// equivalence classes by Theorem 4.3); for [`Equivalence::BranchingDiv`]
 /// the classes of `≈div`.
 pub fn partition(lts: &Lts, eq: Equivalence) -> Partition {
-    run(lts, eq, None)
+    partition_opts(lts, eq, PartitionOptions::default())
+}
+
+/// [`partition`] with explicit [`PartitionOptions`] (worker count and
+/// refinement engine). Every option combination computes the same partition,
+/// block ids included.
+pub fn partition_opts(lts: &Lts, eq: Equivalence, opts: PartitionOptions) -> Partition {
+    run_governed_opts(lts, eq, None, &Watchdog::unlimited(), opts, None)
+        .expect("an unlimited watchdog never trips")
 }
 
 /// Budget-governed [`partition`]: the refinement loop charges the input
-/// size against the state cap, each round's transition scan against the
-/// transition cap, and its signature storage against the memory cap, and
+/// size against the state cap, each round's signature recomputations against
+/// the transition cap, and its signature storage against the memory cap, and
 /// observes the watchdog's deadline and cancellation token.
 ///
 /// # Errors
@@ -506,16 +1373,29 @@ pub fn partition_governed(
     eq: Equivalence,
     wd: &Watchdog,
 ) -> Result<Partition, Exhausted> {
-    run_governed(lts, eq, None, wd)
+    partition_governed_opts(lts, eq, wd, PartitionOptions::default())
+}
+
+/// [`partition_governed`] with explicit [`PartitionOptions`].
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Bisim`]) when the budget trips.
+pub fn partition_governed_opts(
+    lts: &Lts,
+    eq: Equivalence,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+) -> Result<Partition, Exhausted> {
+    run_governed_opts(lts, eq, None, wd, opts, None)
 }
 
 /// [`partition`] with `jobs` worker threads for the per-round signature
 /// passes (the split/assignment step stays sequential). The computed
 /// partition — block ids included — is identical to the sequential run at
-/// any worker count; `Jobs::serial()` is exactly today's code path.
+/// any worker count; `Jobs::serial()` is exactly the sequential code path.
 pub fn partition_jobs(lts: &Lts, eq: Equivalence, jobs: Jobs) -> Partition {
-    run_governed_jobs(lts, eq, None, &Watchdog::unlimited(), jobs)
-        .expect("an unlimited watchdog never trips")
+    partition_opts(lts, eq, PartitionOptions::default().with_jobs(jobs))
 }
 
 /// [`partition_governed`] with `jobs` worker threads (see [`partition_jobs`]
@@ -530,21 +1410,45 @@ pub fn partition_governed_jobs(
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<Partition, Exhausted> {
-    run_governed_jobs(lts, eq, None, wd, jobs)
+    partition_governed_opts(lts, eq, wd, PartitionOptions::default().with_jobs(jobs))
 }
 
 /// Like [`partition`], additionally returning the per-round history for
 /// diagnostics (distinguishing formulas).
 pub fn partition_with_history(lts: &Lts, eq: Equivalence) -> (Partition, RefinementHistory) {
+    partition_with_history_opts(lts, eq, PartitionOptions::default())
+}
+
+/// [`partition_with_history`] with explicit [`PartitionOptions`]. Both
+/// engines produce the same history, round for round.
+pub fn partition_with_history_opts(
+    lts: &Lts,
+    eq: Equivalence,
+    opts: PartitionOptions,
+) -> (Partition, RefinementHistory) {
     let mut rounds = Vec::new();
-    let p = run(lts, eq, Some(&mut rounds));
+    let p = run_governed_opts(lts, eq, Some(&mut rounds), &Watchdog::unlimited(), opts, None)
+        .expect("an unlimited watchdog never trips");
     (p, RefinementHistory { rounds })
+}
+
+/// Like [`partition_opts`], additionally returning the work accounting of
+/// the run — the basis of the `tables perf` full-vs-incremental comparison.
+pub fn partition_with_stats(
+    lts: &Lts,
+    eq: Equivalence,
+    opts: PartitionOptions,
+) -> (Partition, RefineStats) {
+    let mut stats = RefineStats::default();
+    let p = run_governed_opts(lts, eq, None, &Watchdog::unlimited(), opts, Some(&mut stats))
+        .expect("an unlimited watchdog never trips");
+    (p, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bb_lts::{Action, LtsBuilder, ThreadId};
+    use bb_lts::{random_lts, Action, LtsBuilder, RandomLtsConfig, ThreadId};
 
     fn tau(b: &mut LtsBuilder) -> bb_lts::ActionId {
         b.intern_action(Action::tau(ThreadId(1)))
@@ -752,5 +1656,162 @@ mod tests {
             let p = partition(&lts, eq);
             assert_eq!(p.num_blocks(), 1);
         }
+    }
+
+    // ------------------------------------------ incremental vs full engine
+
+    const ALL_EQS: [Equivalence; 4] = [
+        Equivalence::Strong,
+        Equivalence::Branching,
+        Equivalence::BranchingDiv,
+        Equivalence::Weak,
+    ];
+
+    #[test]
+    fn refine_mode_parses_and_displays() {
+        assert_eq!("full".parse::<RefineMode>(), Ok(RefineMode::Full));
+        assert_eq!(
+            "incremental".parse::<RefineMode>(),
+            Ok(RefineMode::Incremental)
+        );
+        assert!("fast".parse::<RefineMode>().is_err());
+        assert_eq!(RefineMode::Full.to_string(), "full");
+        assert_eq!(RefineMode::Incremental.to_string(), "incremental");
+        assert_eq!(RefineMode::default(), RefineMode::Incremental);
+    }
+
+    /// Full and incremental engines agree — partitions (block ids included)
+    /// and per-round histories — for every equivalence at 1 and 4 workers.
+    fn assert_engines_agree(lts: &Lts, tag: &str) {
+        for eq in ALL_EQS {
+            let full = PartitionOptions::default().with_mode(RefineMode::Full);
+            let (pf, hf) = partition_with_history_opts(lts, eq, full);
+            for jobs in [Jobs::serial(), Jobs::new(4)] {
+                let inc = PartitionOptions::default()
+                    .with_jobs(jobs)
+                    .with_mode(RefineMode::Incremental);
+                let (pi, hi) = partition_with_history_opts(lts, eq, inc);
+                assert_eq!(
+                    pf.assignment(),
+                    pi.assignment(),
+                    "{tag}: {eq:?} jobs={} block ids differ",
+                    jobs.get()
+                );
+                assert_eq!(
+                    hf.rounds.len(),
+                    hi.rounds.len(),
+                    "{tag}: {eq:?} jobs={} round counts differ",
+                    jobs.get()
+                );
+                for (r, (a, b)) in hf.rounds.iter().zip(&hi.rounds).enumerate() {
+                    assert_eq!(a, b, "{tag}: {eq:?} jobs={} round {r} differs", jobs.get());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_handcrafted_systems() {
+        // Reuse the shapes of the semantic tests above: inert τ, τ-cycles,
+        // effectful τ, divergence, weak-vs-branching.
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        b.add_transition(s0, t, s1);
+        b.add_transition(s1, a, s2);
+        b.add_transition(s1, t, s0);
+        b.add_transition(s2, t, s2);
+        assert_engines_agree(&b.build(s0), "tau-cycle-with-divergence");
+
+        let mut b = LtsBuilder::new();
+        let states: Vec<_> = (0..8).map(|_| b.add_state()).collect();
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        let c = vis(&mut b, "c");
+        for w in states.windows(2) {
+            b.add_transition(w[0], a, w[1]);
+        }
+        b.add_transition(states[3], t, states[1]);
+        b.add_transition(states[5], c, states[0]);
+        b.add_transition(states[7], t, states[7]);
+        assert_engines_agree(&b.build(states[0]), "chain-with-backedges");
+    }
+
+    #[test]
+    fn engines_agree_on_random_systems() {
+        for case in 0..24u64 {
+            let lts = random_lts(
+                1000 + case,
+                RandomLtsConfig {
+                    num_states: 3 + (case % 17) as usize,
+                    num_transitions: 2 + (case * 7 % 43) as usize,
+                    num_visible_letters: 1 + (case % 3) as usize,
+                    tau_percent: (case * 13 % 95) as u8,
+                },
+            );
+            assert_engines_agree(&lts, &format!("random-{case}"));
+        }
+    }
+
+    /// On a visible chain the refinement peels one state per round, so the
+    /// full engine recomputes Θ(n²) signatures while the incremental engine
+    /// touches only the frontier — strictly fewer than rounds × n.
+    #[test]
+    fn incremental_recomputes_fewer_signatures() {
+        let mut b = LtsBuilder::new();
+        let n = 40usize;
+        let states: Vec<_> = (0..n).map(|_| b.add_state()).collect();
+        let a = vis(&mut b, "a");
+        for w in states.windows(2) {
+            b.add_transition(w[0], a, w[1]);
+        }
+        let lts = b.build(states[0]);
+        let (pf, full) = partition_with_stats(
+            &lts,
+            Equivalence::Strong,
+            PartitionOptions::default().with_mode(RefineMode::Full),
+        );
+        let (pi, inc) = partition_with_stats(&lts, Equivalence::Strong, PartitionOptions::default());
+        assert_eq!(pf.assignment(), pi.assignment());
+        assert_eq!(full.rounds, inc.rounds);
+        assert_eq!(full.sig_recomputes, (full.rounds * n) as u64);
+        assert!(
+            inc.sig_recomputes < (inc.rounds * n) as u64,
+            "incremental must beat rounds × n: {} vs {}",
+            inc.sig_recomputes,
+            inc.rounds * n
+        );
+        assert!(inc.peak_sig_bytes > 0);
+    }
+
+    /// Branching condensation reuse: moved-block rounds with no inertness
+    /// flip must not rebuild the Tarjan condensation.
+    #[test]
+    fn stats_are_populated_for_branching() {
+        let mut b = LtsBuilder::new();
+        let states: Vec<_> = (0..12).map(|_| b.add_state()).collect();
+        let t = tau(&mut b);
+        let a = vis(&mut b, "a");
+        for w in states.windows(2) {
+            b.add_transition(w[0], a, w[1]);
+        }
+        b.add_transition(states[4], t, states[2]);
+        b.add_transition(states[2], t, states[4]);
+        let lts = b.build(states[0]);
+        let (p, st) = partition_with_stats(&lts, Equivalence::Branching, PartitionOptions::default());
+        assert!(st.rounds >= 2);
+        assert!(st.sig_recomputes >= lts.num_states() as u64);
+        assert_eq!(
+            p.assignment(),
+            partition_opts(
+                &lts,
+                Equivalence::Branching,
+                PartitionOptions::default().with_mode(RefineMode::Full)
+            )
+            .assignment()
+        );
     }
 }

@@ -46,11 +46,12 @@ pub use bb_lts::budget;
 
 pub use linearizability::{
     verify_linearizability, verify_linearizability_governed,
-    verify_linearizability_governed_jobs, verify_linearizability_jobs, LinReport,
+    verify_linearizability_governed_jobs, verify_linearizability_jobs,
+    verify_linearizability_opts, LinReport,
 };
 pub use lockfree::{
     verify_lock_freedom, verify_lock_freedom_governed, verify_lock_freedom_governed_jobs,
-    verify_lock_freedom_jobs, verify_lock_freedom_via_abstraction,
+    verify_lock_freedom_jobs, verify_lock_freedom_opts, verify_lock_freedom_via_abstraction,
     verify_lock_freedom_via_abstraction_jobs, AbstractionReport, LockFreeReport,
 };
 pub use progress::{

@@ -1,7 +1,7 @@
 //! Linearizability checking on branching-bisimulation quotients
 //! (Theorem 5.3).
 
-use bb_bisim::{partition_governed_jobs, quotient, Equivalence};
+use bb_bisim::{partition_governed_opts, quotient, Equivalence, PartitionOptions};
 use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::{Jobs, Lts};
 use bb_refine::{trace_refines_governed, RefineOptions, Violation};
@@ -83,13 +83,30 @@ pub fn verify_linearizability_governed_jobs(
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<LinReport, Exhausted> {
+    verify_linearizability_opts(imp, spec, wd, PartitionOptions::default().with_jobs(jobs))
+}
+
+/// [`verify_linearizability_governed`] with explicit [`PartitionOptions`]
+/// (worker count and refinement engine) for the quotient computations; the
+/// report is identical for every option combination.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict; an aborted
+/// check must be treated as *unknown*, never as a violation.
+pub fn verify_linearizability_opts(
+    imp: &Lts,
+    spec: &Lts,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+) -> Result<LinReport, Exhausted> {
     let span = bb_obs::span("lin")
         .with("impl_states", imp.num_states())
         .with("spec_states", spec.num_states());
     let start = Instant::now();
-    let p_imp = partition_governed_jobs(imp, Equivalence::Branching, wd, jobs)?;
+    let p_imp = partition_governed_opts(imp, Equivalence::Branching, wd, opts)?;
     let q_imp = quotient(imp, &p_imp);
-    let p_spec = partition_governed_jobs(spec, Equivalence::Branching, wd, jobs)?;
+    let p_spec = partition_governed_opts(spec, Equivalence::Branching, wd, opts)?;
     let q_spec = quotient(spec, &p_spec);
     let refinement =
         trace_refines_governed(&q_imp.lts, &q_spec.lts, RefineOptions::default(), wd)?;

@@ -2,8 +2,8 @@
 //! (Theorems 5.8 and 5.9).
 
 use bb_bisim::{
-    bisimilar_governed_jobs, divergence_witness_governed, partition_governed_jobs, quotient,
-    Equivalence, Lasso,
+    bisimilar_governed_jobs, bisimilar_opts, divergence_witness_governed, partition_governed_opts,
+    quotient, Equivalence, Lasso, PartitionOptions,
 };
 use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::{Jobs, Lts};
@@ -85,11 +85,27 @@ pub fn verify_lock_freedom_governed_jobs(
     wd: &Watchdog,
     jobs: Jobs,
 ) -> Result<LockFreeReport, Exhausted> {
+    verify_lock_freedom_opts(imp, wd, PartitionOptions::default().with_jobs(jobs))
+}
+
+/// [`verify_lock_freedom_governed`] with explicit [`PartitionOptions`]
+/// (worker count and refinement engine) for the partition refinements; the
+/// report is identical for every option combination.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict; an aborted
+/// check says nothing about lock-freedom.
+pub fn verify_lock_freedom_opts(
+    imp: &Lts,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+) -> Result<LockFreeReport, Exhausted> {
     let span = bb_obs::span("lockfree").with("impl_states", imp.num_states());
     let start = Instant::now();
-    let p = partition_governed_jobs(imp, Equivalence::Branching, wd, jobs)?;
+    let p = partition_governed_opts(imp, Equivalence::Branching, wd, opts)?;
     let q = quotient(imp, &p);
-    let div_bisim = bisimilar_governed_jobs(imp, &q.lts, Equivalence::BranchingDiv, wd, jobs)?;
+    let div_bisim = bisimilar_opts(imp, &q.lts, Equivalence::BranchingDiv, wd, opts)?;
     let divergence = if div_bisim {
         None
     } else {

@@ -1,8 +1,9 @@
 //! One-call verification pipeline for an algorithm/specification pair.
 
-use crate::linearizability::{verify_linearizability_jobs, LinReport};
-use bb_bisim::Lasso;
-use crate::lockfree::{verify_lock_freedom_jobs, LockFreeReport};
+use crate::linearizability::{verify_linearizability_opts, LinReport};
+use bb_bisim::{Lasso, PartitionOptions, RefineMode};
+use crate::lockfree::{verify_lock_freedom_opts, LockFreeReport};
+use bb_lts::budget::Watchdog;
 use bb_lts::{ExploreError, ExploreLimits, Jobs, Lts};
 use bb_lts::ExploreOptions;
 use bb_sim::{explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec};
@@ -20,6 +21,9 @@ pub struct VerifyConfig {
     /// Worker threads for the parallel exploration and refinement passes.
     /// Deterministic: the report is identical at any count.
     pub jobs: Jobs,
+    /// Which partition-refinement engine to run. Deterministic: the report
+    /// is identical for either engine.
+    pub refine: RefineMode,
 }
 
 impl VerifyConfig {
@@ -31,6 +35,7 @@ impl VerifyConfig {
             limits: ExploreLimits::default(),
             check_lock_freedom: true,
             jobs: Jobs::serial(),
+            refine: RefineMode::default(),
         }
     }
 
@@ -43,6 +48,12 @@ impl VerifyConfig {
     /// Use `jobs` worker threads for exploration and refinement.
     pub fn with_jobs(mut self, jobs: Jobs) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Select the partition-refinement engine.
+    pub fn with_refine(mut self, refine: RefineMode) -> Self {
+        self.refine = refine;
         self
     }
 }
@@ -120,10 +131,15 @@ pub fn verify_case_lts(
     imp: &Lts,
     spec: &Lts,
 ) -> CaseReport {
-    let linearizability = verify_linearizability_jobs(imp, spec, config.jobs);
-    let lock_freedom = config
-        .check_lock_freedom
-        .then(|| verify_lock_freedom_jobs(imp, config.jobs));
+    let popts = PartitionOptions::default()
+        .with_jobs(config.jobs)
+        .with_mode(config.refine);
+    let wd = Watchdog::unlimited();
+    let linearizability = verify_linearizability_opts(imp, spec, &wd, popts)
+        .expect("an unlimited watchdog never trips");
+    let lock_freedom = config.check_lock_freedom.then(|| {
+        verify_lock_freedom_opts(imp, &wd, popts).expect("an unlimited watchdog never trips")
+    });
     CaseReport {
         name,
         bound: config.bound,

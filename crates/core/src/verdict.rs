@@ -22,9 +22,10 @@
 //! ladder — a blown deadline fails the remaining rungs fast — while
 //! state/transition/memory caps are per stage and reset on every rung.
 
-use crate::linearizability::verify_linearizability_governed_jobs;
-use crate::lockfree::verify_lock_freedom_governed_jobs;
+use crate::linearizability::verify_linearizability_opts;
+use crate::lockfree::verify_lock_freedom_opts;
 use crate::report::CaseReport;
+use bb_bisim::PartitionOptions;
 use bb_lts::budget::{Budget, Exhausted, Watchdog};
 use bb_lts::{Jobs, Lts};
 use bb_lts::ExploreOptions;
@@ -129,6 +130,9 @@ pub struct GovernedConfig {
     /// Worker threads for the parallel exploration and refinement passes.
     /// Deterministic: verdicts and reports are identical at any count.
     pub jobs: Jobs,
+    /// Which partition-refinement engine to run. Deterministic: verdicts
+    /// and reports are identical for either engine.
+    pub refine: bb_bisim::RefineMode,
 }
 
 impl GovernedConfig {
@@ -141,6 +145,7 @@ impl GovernedConfig {
             check_lock_freedom: true,
             fallback: true,
             jobs: Jobs::serial(),
+            refine: bb_bisim::RefineMode::default(),
         }
     }
 
@@ -159,6 +164,12 @@ impl GovernedConfig {
     /// Use `jobs` worker threads for exploration and refinement.
     pub fn with_jobs(mut self, jobs: Jobs) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Select the partition-refinement engine.
+    pub fn with_refine(mut self, refine: bb_bisim::RefineMode) -> Self {
+        self.refine = refine;
         self
     }
 }
@@ -272,11 +283,11 @@ fn pipeline_lts(
     imp: &Lts,
     spec: &Lts,
     wd: &Watchdog,
-    jobs: Jobs,
+    opts: PartitionOptions,
 ) -> Result<CaseReport, Exhausted> {
-    let linearizability = verify_linearizability_governed_jobs(imp, spec, wd, jobs)?;
+    let linearizability = verify_linearizability_opts(imp, spec, wd, opts)?;
     let lock_freedom = if check_lock_freedom {
-        Some(verify_lock_freedom_governed_jobs(imp, wd, jobs)?)
+        Some(verify_lock_freedom_opts(imp, wd, opts)?)
     } else {
         None
     };
@@ -289,8 +300,8 @@ fn pipeline_lts(
 }
 
 /// Strong-bisimulation pre-reduction: replace `lts` by its strong quotient.
-fn strong_reduce(lts: &Lts, wd: &Watchdog, jobs: Jobs) -> Result<Lts, Exhausted> {
-    let p = bb_bisim::partition_governed_jobs(lts, bb_bisim::Equivalence::Strong, wd, jobs)?;
+fn strong_reduce(lts: &Lts, wd: &Watchdog, opts: PartitionOptions) -> Result<Lts, Exhausted> {
+    let p = bb_bisim::partition_governed_opts(lts, bb_bisim::Equivalence::Strong, wd, opts)?;
     Ok(bb_bisim::quotient(lts, &p).lts)
 }
 
@@ -335,6 +346,9 @@ pub fn verify_case_governed_with(
 ) -> GovernedReport {
     let start = Instant::now();
     let wd = Watchdog::new(config.budget.clone());
+    let popts = PartitionOptions::default()
+        .with_jobs(config.jobs)
+        .with_mode(config.refine);
     let mut attempts: Vec<Attempt> = Vec::new();
     // Explored systems are cached per bound so later rungs don't redo a
     // successful exploration.
@@ -382,7 +396,7 @@ pub fn verify_case_governed_with(
             &imp,
             &sp,
             &wd,
-            config.jobs,
+            popts,
         )
     });
     rung_span.record("ok", u64::from(direct.is_ok()));
@@ -418,8 +432,8 @@ pub fn verify_case_governed_with(
                 .with("threads", config.bound.threads as u64)
                 .with("ops", config.bound.ops_per_thread as u64);
             let strong = explore_pair(config.bound, &mut cache, &wd).and_then(|(imp, sp)| {
-                let imp_r = strong_reduce(&imp, &wd, config.jobs)?;
-                let sp_r = strong_reduce(&sp, &wd, config.jobs)?;
+                let imp_r = strong_reduce(&imp, &wd, popts)?;
+                let sp_r = strong_reduce(&sp, &wd, popts)?;
                 pipeline_lts(
                     name,
                     config.bound,
@@ -427,7 +441,7 @@ pub fn verify_case_governed_with(
                     &imp_r,
                     &sp_r,
                     &wd,
-                    config.jobs,
+                    popts,
                 )
             });
             rung_span.record("ok", u64::from(strong.is_ok()));
@@ -476,7 +490,7 @@ pub fn verify_case_governed_with(
                     &imp,
                     &sp,
                     &wd,
-                    config.jobs,
+                    popts,
                 )
             });
             rung_span.record("ok", u64::from(reduced.is_ok()));

@@ -49,7 +49,7 @@ pub use dot::to_dot;
 pub use explore::{explore_governed, explore_governed_jobs, explore_jobs};
 pub use explore::{explore, explore_with, ExploreError, ExploreLimits, ExploreOptions, Semantics};
 pub use jobs::Jobs;
-pub use lts::{Lts, StateId, Transition};
+pub use lts::{Lts, PredecessorTable, StateId, Transition};
 pub use random::{random_lts, RandomLtsConfig};
-pub use scc::{condensation, tarjan_scc, Condensation, SccId};
+pub use scc::{condensation, tarjan_scc, tarjan_scc_region, Condensation, SccId};
 pub use union::{disjoint_union, DisjointUnion};

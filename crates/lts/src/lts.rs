@@ -195,6 +195,52 @@ impl Lts {
         }
         preds
     }
+
+    /// Builds the reverse adjacency as a flat CSR table: two allocations for
+    /// the whole LTS instead of one `Vec` per state. Entry order per target
+    /// matches [`Lts::predecessors`] (transition-array order), so analyses
+    /// that iterate incoming edges are deterministic either way.
+    pub fn predecessor_table(&self) -> PredecessorTable {
+        let n = self.num_states();
+        let mut offsets = vec![0u32; n + 1];
+        for (_, _, dst) in self.iter_transitions() {
+            offsets[dst.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut entries = vec![(StateId(0), ActionId(0)); self.num_transitions()];
+        for (src, act, dst) in self.iter_transitions() {
+            let at = cursor[dst.index()] as usize;
+            entries[at] = (src, act);
+            cursor[dst.index()] += 1;
+        }
+        PredecessorTable { offsets, entries }
+    }
+}
+
+/// Flat (CSR-shaped) reverse adjacency of an [`Lts`]: `offsets` indexes a
+/// single `(source, action)` entry array by target state. Built once by
+/// [`Lts::predecessor_table`] and shared by analyses that repeatedly walk
+/// incoming edges, e.g. the incremental refinement worklists in `bb-bisim`.
+#[derive(Debug, Clone)]
+pub struct PredecessorTable {
+    offsets: Vec<u32>,
+    entries: Vec<(StateId, ActionId)>,
+}
+
+impl PredecessorTable {
+    /// The `(source, action)` pairs of transitions into `s`.
+    #[inline]
+    pub fn of(&self, s: StateId) -> &[(StateId, ActionId)] {
+        &self.entries[self.offsets[s.index()] as usize..self.offsets[s.index() + 1] as usize]
+    }
+
+    /// Total number of entries (= number of transitions).
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
 }
 
 #[cfg(test)]
@@ -253,5 +299,16 @@ mod tests {
         let preds = lts.predecessors();
         assert_eq!(preds[1].len(), 2);
         assert_eq!(preds[0].len(), 0);
+    }
+
+    #[test]
+    fn predecessor_table_matches_nested_predecessors() {
+        let lts = tiny();
+        let nested = lts.predecessors();
+        let flat = lts.predecessor_table();
+        assert_eq!(flat.num_entries(), lts.num_transitions());
+        for s in lts.states() {
+            assert_eq!(flat.of(s), nested[s.index()].as_slice());
+        }
     }
 }

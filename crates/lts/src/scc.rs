@@ -153,6 +153,41 @@ where
     }
 }
 
+/// SCC decomposition of the subgraph induced by `region` (a set of states in
+/// ascending id order): successors produced by `succ` that fall outside the
+/// region are ignored. Returns `(members, cyclic)` pairs in *reverse
+/// topological order* (successor components first), with each member list in
+/// region order — the same contracts as [`tarjan_scc`], restricted to the
+/// region. Used by the incremental refinement engine to recondense only the
+/// components whose inert-τ edges changed.
+pub fn tarjan_scc_region<F>(region: &[StateId], mut succ: F) -> Vec<(Vec<StateId>, bool)>
+where
+    F: FnMut(StateId, &mut Vec<StateId>),
+{
+    // Map global ids to dense local indices, build the local adjacency once,
+    // then reuse the iterative Tarjan above on the local graph.
+    let local: std::collections::HashMap<u32, u32> = region
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.0, i as u32))
+        .collect();
+    let mut adj: Vec<Vec<StateId>> = vec![Vec::new(); region.len()];
+    let mut buf: Vec<StateId> = Vec::new();
+    for (i, &s) in region.iter().enumerate() {
+        buf.clear();
+        succ(s, &mut buf);
+        adj[i].extend(buf.iter().filter_map(|t| local.get(&t.0).map(|&l| StateId(l))));
+    }
+    let c = tarjan_scc(region.len(), |s, out| out.extend_from_slice(&adj[s.index()]));
+    let mut out: Vec<(Vec<StateId>, bool)> = (0..c.num_sccs)
+        .map(|k| (Vec::new(), c.cyclic[k]))
+        .collect();
+    for (i, scc) in c.scc_of.iter().enumerate() {
+        out[scc.index()].0.push(region[i]);
+    }
+    out
+}
+
 /// Convenience wrapper: SCCs of the subrelation of `lts` consisting of the
 /// transitions accepted by `filter`.
 pub fn condensation<F>(lts: &crate::Lts, mut filter: F) -> Condensation
@@ -223,6 +258,34 @@ mod tests {
         assert_eq!(c.scc_of[0], c.scc_of[1]);
         assert_eq!(c.scc_of[2], c.scc_of[3]);
         assert_ne!(c.scc_of[0], c.scc_of[2]);
+    }
+
+    #[test]
+    fn region_restriction_matches_full_tarjan() {
+        // 0 <-> 1 -> 2 <-> 3, region = {1, 2, 3}: the 0<->1 cycle is cut by
+        // the region boundary, so 1 is a singleton and {2, 3} stays a cycle.
+        let edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)];
+        let region: Vec<StateId> = [1u32, 2, 3].iter().map(|&s| StateId(s)).collect();
+        let comps = tarjan_scc_region(&region, |s, out| {
+            for &(a, b) in &edges {
+                if a == s.0 {
+                    out.push(StateId(b));
+                }
+            }
+        });
+        assert_eq!(comps.len(), 2);
+        // Reverse topological order: the {2,3} cycle (successor) first.
+        assert_eq!(comps[0].0, vec![StateId(2), StateId(3)]);
+        assert!(comps[0].1);
+        assert_eq!(comps[1].0, vec![StateId(1)]);
+        assert!(!comps[1].1);
+    }
+
+    #[test]
+    fn region_self_loop_is_cyclic() {
+        let comps = tarjan_scc_region(&[StateId(5)], |s, out| out.push(s));
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].1);
     }
 
     #[test]

@@ -189,6 +189,16 @@ pub struct HistogramSnapshot {
 pub static SIG_STATE_RECOMPUTES: Counter = Counter::new("bisim.signature_recomputes");
 /// Completed signature-refinement rounds across all partition calls.
 pub static SIG_ROUNDS: Counter = Counter::new("bisim.rounds");
+/// States on the incremental refinement worklist at round start (moved
+/// states plus their predecessors, closed as the equivalence requires),
+/// summed over rounds. Full-mode rounds count every state.
+pub static SIG_DIRTY_STATES: Counter = Counter::new("bisim.dirty_states");
+/// Signature-interning lookups that found the signature already in the
+/// hash-consing arena (the split then compares two `u32`s, no re-hash).
+pub static SIG_CACHE_HITS: Counter = Counter::new("bisim.sig_cache_hits");
+/// Refinement rounds that reused the inert-τ SCC condensation unchanged
+/// (no τ-edge in any component changed inertness).
+pub static SIG_CONDENSATION_REUSES: Counter = Counter::new("bisim.condensation_reuses");
 /// τ-closure (condensed SCC reachability) constructions.
 pub static TAU_CLOSURE_BUILDS: Counter = Counter::new("lts.tau_closure_builds");
 /// States where a singleton ample set was taken (POR hit).
@@ -217,9 +227,12 @@ pub static ORBIT_SIZE: Histogram = Histogram::new("reduce.sym.orbit_size");
 /// mean_chunk` for each level fan-out (100 = perfectly balanced).
 pub static SHARD_IMBALANCE: Histogram = Histogram::new("explore.shard_imbalance_pct");
 
-static COUNTERS: [&Counter; 11] = [
+static COUNTERS: [&Counter; 14] = [
     &SIG_STATE_RECOMPUTES,
     &SIG_ROUNDS,
+    &SIG_DIRTY_STATES,
+    &SIG_CACHE_HITS,
+    &SIG_CONDENSATION_REUSES,
     &TAU_CLOSURE_BUILDS,
     &AMPLE_HITS,
     &AMPLE_MISSES,

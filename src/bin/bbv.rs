@@ -19,12 +19,12 @@ use bbverify::algorithms::{
     newcas::NewCas, optimistic_list::OptimisticList, rdcss::Rdcss, specs::*, treiber::Treiber,
     treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu, two_lock_queue::TwoLockQueue,
 };
-use bbverify::bisim::{quotient, Equivalence};
+use bbverify::bisim::{quotient, Equivalence, PartitionOptions, RefineMode};
 use bbverify::core::{
     run_isolated, verify_case_governed, verify_case_lts, verify_wait_freedom, GovernedConfig,
     Verdict, VerifyConfig,
 };
-use bbverify::bisim::partition_jobs;
+use bbverify::bisim::partition_opts;
 use bbverify::lts::{to_aut, to_dot, Budget, ExploreLimits, Jobs, Lts, Watchdog};
 use bbverify::lts::ExploreOptions;
 use bbverify::reduce::{
@@ -77,6 +77,7 @@ struct Options {
     max_memory: Option<usize>,
     no_fallback: bool,
     jobs: Jobs,
+    refine: RefineMode,
     reduce: ReduceMode,
     metrics: Option<String>,
     trace: Option<String>,
@@ -101,6 +102,7 @@ impl Default for Options {
             max_memory: None,
             no_fallback: false,
             jobs: Jobs::available(),
+            refine: RefineMode::default(),
             reduce: ReduceMode::None,
             metrics: None,
             trace: None,
@@ -236,6 +238,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 opts.jobs = Jobs::new(n);
             }
+            "--refine" => {
+                opts.refine = it
+                    .next()
+                    .ok_or("--refine needs a mode: full or incremental")?
+                    .parse()?;
+            }
             "--reduce" => {
                 opts.reduce = it
                     .next()
@@ -260,6 +268,8 @@ fn print_usage() {
     eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
     eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
     eprintln!("           --jobs N   (worker threads; default = all cores, output identical)");
+    eprintln!("           --refine full|incremental   (partition-refinement engine; default");
+    eprintln!("           incremental — dirty-state worklists, identical output either way)");
     eprintln!("           --reduce none|sym|por|full   (state-space reduction; ≈div-preserving)");
     eprintln!("           `reduce-check <algorithm|all>` cross-checks the reduction: the");
     eprintln!("           reduced LTS must be ≈div the full one with identical verdicts");
@@ -518,7 +528,12 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
         };
         // Model check on the divergence-preserving quotient: it is
         // ≈div-bisimilar to the object, so all next-free LTL carries over.
-        let q = bbverify::bisim::div_quotient(&imp);
+        let q = bbverify::bisim::div_quotient_opts(
+            &imp,
+            PartitionOptions::default()
+                .with_jobs(opts.jobs)
+                .with_mode(opts.refine),
+        );
         let result = match bbverify::ltl::check_governed(&q.lts, &formula, &wd) {
             Ok(r) => r,
             Err(e) => {
@@ -544,7 +559,13 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     }
 
     if mode == Mode::Quotient {
-        let p = partition_jobs(&imp, Equivalence::Branching, opts.jobs);
+        let p = partition_opts(
+            &imp,
+            Equivalence::Branching,
+            PartitionOptions::default()
+                .with_jobs(opts.jobs)
+                .with_mode(opts.refine),
+        );
         let q = quotient(&imp, &p);
         println!("algorithm : {}", alg.name());
         println!("bound     : {}-{}", bound.threads, bound.ops_per_thread);
@@ -575,7 +596,9 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
         Ok(l) => l,
         Err(c) => return c,
     };
-    let mut cfg = VerifyConfig::new(bound).with_jobs(opts.jobs);
+    let mut cfg = VerifyConfig::new(bound)
+        .with_jobs(opts.jobs)
+        .with_refine(opts.refine);
     if !opts.check_lock_freedom || !non_blocking {
         cfg = cfg.linearizability_only();
     }
@@ -651,7 +674,9 @@ fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
     bound: Bound,
     non_blocking: bool,
 ) -> i32 {
-    let mut config = GovernedConfig::new(bound, opts.budget()).with_jobs(opts.jobs);
+    let mut config = GovernedConfig::new(bound, opts.budget())
+        .with_jobs(opts.jobs)
+        .with_refine(opts.refine);
     if !opts.check_lock_freedom || !non_blocking {
         config = config.linearizability_only();
     }
