@@ -52,6 +52,7 @@ mod divergence;
 mod partition;
 mod quotient;
 mod signatures;
+pub mod snapshot;
 
 pub use compare::{
     bisimilar, bisimilar_governed, bisimilar_governed_jobs, bisimilar_opts, bisimilar_states,

@@ -26,9 +26,47 @@
 //!   determinism argument.
 
 use crate::partition::{canonical_from_labels, BlockId, Partition};
+use crate::snapshot;
 use bb_lts::budget::{Exhausted, Meter, Stage, Watchdog};
 use bb_lts::{tarjan_scc, tarjan_scc_region, Jobs, Lts, PredecessorTable, StateId, TauClosure};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Connection of one governed refinement call to the installed checkpoint
+/// sink: the sink plus the call's structural fingerprint (see
+/// [`snapshot::refine_fingerprint`]). Built by [`run_governed_opts`] only
+/// when a sink is installed, so the common path pays one atomic load.
+struct PersistHook {
+    sink: Arc<dyn bb_obs::PersistSink>,
+    fingerprint: u64,
+}
+
+impl PersistHook {
+    /// Offers the completed round `round` (1-based) with partition `p` to
+    /// the sink; encoding happens only if the sink decides to persist.
+    fn offer(&self, round: usize, stable: bool, p: &dyn Fn() -> Partition) {
+        self.sink
+            .offer_round(self.fingerprint, round as u64, stable, &mut || {
+                snapshot::encode_round(&p(), round as u64)
+            });
+    }
+}
+
+/// Injected hard-crash faults at the top of a refinement round. `mid-round`
+/// panics (exercised by `run_isolated`-style catch paths and the governed
+/// ladder); `round-abort` kills the process outright — the checkpoint cut
+/// after round `k-1` must then be enough to resume.
+fn round_fault(round: usize) {
+    if !bb_obs::fault::enabled() {
+        return;
+    }
+    if bb_obs::fault::hit("mid-round") {
+        panic!("injected mid-round fault at bisim round {round}");
+    }
+    if bb_obs::fault::hit("round-abort") {
+        std::process::abort();
+    }
+}
 
 /// Minimum states per worker before a signature pass is fanned out.
 const SIG_MIN_CHUNK: usize = 256;
@@ -531,6 +569,7 @@ fn refine_once(
 
 /// The reference engine: every round recomputes all signatures and splits
 /// every block.
+#[allow(clippy::too_many_arguments)]
 fn run_full(
     lts: &Lts,
     eq: Equivalence,
@@ -538,6 +577,8 @@ fn run_full(
     wd: &Watchdog,
     jobs: Jobs,
     stats: Option<&mut RefineStats>,
+    persist: Option<&PersistHook>,
+    seed: Option<(Partition, u64)>,
 ) -> Result<Partition, Exhausted> {
     let n = lts.num_states();
     let span = bb_obs::span("bisim")
@@ -550,6 +591,19 @@ fn run_full(
     meter.add_states(n)?;
     let ctx = Ctx::with_jobs(lts, eq, jobs);
     let mut p = Partition::universal(n);
+    let mut round = 0usize;
+    // A checkpoint seed replaces the universal start: each round is a pure
+    // function of the current partition, so re-entering at the checkpointed
+    // round converges to the identical fixpoint, block ids included.
+    // Seeding is disabled on history runs (the coarser prefix would be
+    // missing) — run_governed_opts never passes one then.
+    if let Some((sp, sr)) = seed {
+        debug_assert_eq!(sp.num_states(), n);
+        bb_obs::hot::CKPT_SEED_HITS.incr();
+        meter.note_refinement(sr, sp.num_blocks() as u64);
+        p = sp;
+        round = sr as usize;
+    }
     let mut sigs: Vec<Signature> = vec![Vec::new(); n];
     let mut rounds: Vec<Partition> = Vec::new();
     if history.is_some() {
@@ -557,8 +611,8 @@ fn run_full(
     }
     // Peak live signature storage accounted so far.
     let mut mem_accounted = 0usize;
-    let mut round = 0usize;
     loop {
+        round_fault(round + 1);
         let round_span = bb_obs::span("bisim.round")
             .with("round", round)
             .with("blocks_before", p.num_blocks());
@@ -583,6 +637,10 @@ fn run_full(
         debug_assert!(next.refines(&p), "refinement must be monotone");
         let stable = next.num_blocks() == p.num_blocks();
         p = next;
+        meter.note_refinement(round as u64, p.num_blocks() as u64);
+        if let Some(h) = persist {
+            h.offer(round, stable, &|| p.clone());
+        }
         if history.is_some() {
             rounds.push(p.clone());
         }
@@ -1261,6 +1319,7 @@ fn run_incremental(
     wd: &Watchdog,
     jobs: Jobs,
     stats: Option<&mut RefineStats>,
+    persist: Option<&PersistHook>,
 ) -> Result<Partition, Exhausted> {
     let n = lts.num_states();
     let span = bb_obs::span("bisim")
@@ -1280,6 +1339,7 @@ fn run_incremental(
     let mut total_recomputed = 0u64;
     let mut total_dirty = 0u64;
     loop {
+        round_fault(round + 1);
         let round_span = bb_obs::span("bisim.round")
             .with("round", round)
             .with("blocks_before", eng.num_blocks);
@@ -1305,7 +1365,14 @@ fn run_incremental(
         }
         // A round with no moved states is exactly the full engine's stable
         // round (no block split), so the round counts and histories match.
-        if eng.moved.is_empty() {
+        let stable = eng.moved.is_empty();
+        meter.note_refinement(round as u64, eng.num_blocks as u64);
+        if let Some(h) = persist {
+            // canonical() renumbers to the full engine's id scheme, so the
+            // checkpoint seeds the full engine on resume.
+            h.offer(round, stable, &|| eng.canonical());
+        }
+        if stable {
             break;
         }
     }
@@ -1335,9 +1402,35 @@ fn run_governed_opts(
     opts: PartitionOptions,
     stats: Option<&mut RefineStats>,
 ) -> Result<Partition, Exhausted> {
+    // Every governed refinement call in the workspace funnels through here,
+    // so this is the one place checkpointing hooks in. `begin_refine` is
+    // called exactly once per call — even when its seed is unusable — so
+    // the sink's call counter stays aligned with the pre-crash run.
+    let hook = bb_obs::persist_sink().map(|sink| PersistHook {
+        sink,
+        fingerprint: snapshot::refine_fingerprint(lts, eq),
+    });
+    let seed = hook.as_ref().and_then(|h| {
+        let payload = h.sink.begin_refine(h.fingerprint)?;
+        // History runs need the full coarsest-first prefix, which a seeded
+        // run skips — never seed those.
+        if history.is_some() {
+            return None;
+        }
+        snapshot::decode_round(&payload).filter(|(p, _)| p.num_states() == lts.num_states())
+    });
+    // A seeded call always runs the full engine: the incremental engine's
+    // worklists describe *which states just moved*, which a checkpoint does
+    // not record. Both engines produce bit-identical partitions, so the
+    // verdict and every artifact are unaffected by the reroute.
+    if seed.is_some() {
+        return run_full(lts, eq, history, wd, opts.jobs, stats, hook.as_ref(), seed);
+    }
     match opts.mode {
-        RefineMode::Full => run_full(lts, eq, history, wd, opts.jobs, stats),
-        RefineMode::Incremental => run_incremental(lts, eq, history, wd, opts.jobs, stats),
+        RefineMode::Full => run_full(lts, eq, history, wd, opts.jobs, stats, hook.as_ref(), None),
+        RefineMode::Incremental => {
+            run_incremental(lts, eq, history, wd, opts.jobs, stats, hook.as_ref())
+        }
     }
 }
 

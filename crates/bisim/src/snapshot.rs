@@ -1,0 +1,139 @@
+//! Snapshot codec for refinement checkpoints.
+//!
+//! A refinement checkpoint is the pair `(round, partition)` after a
+//! *completed* round. Because each round of signature refinement is a pure
+//! function of the current partition, re-entering the loop at a checkpointed
+//! partition converges to the exact fixpoint an uninterrupted run reaches —
+//! block ids included, since the split hands out ids in state order. That
+//! argument only holds for a partition of the *same* refinement call, so
+//! every payload travels with the [`refine_fingerprint`] of the system and
+//! equivalence it belongs to, and `bb-persist` refuses to return a seed
+//! whose fingerprint does not match.
+//!
+//! Encoding is little-endian with a leading tag, mirroring
+//! `bb_lts::snapshot`; all decode paths are bounds-checked and return
+//! `None` on malformed input (the persistence layer recomputes then).
+
+use crate::partition::{BlockId, Partition};
+use crate::signatures::Equivalence;
+use bb_lts::snapshot::{encode_lts, fnv1a};
+use bb_lts::Lts;
+
+/// Codec tag + revision for round payloads.
+const TAG: &[u8; 4] = b"RND1";
+
+/// Serializes a completed refinement round.
+pub fn encode_round(p: &Partition, round: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + p.num_states() * 4);
+    out.extend_from_slice(TAG);
+    out.extend_from_slice(&round.to_le_bytes());
+    out.extend_from_slice(&(p.num_blocks() as u32).to_le_bytes());
+    out.extend_from_slice(&(p.num_states() as u32).to_le_bytes());
+    for b in p.assignment() {
+        out.extend_from_slice(&b.0.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a round payload written by [`encode_round`]. Rejects anything
+/// that does not form a valid partition (out-of-range block ids, empty
+/// blocks, truncation, trailing bytes).
+pub fn decode_round(bytes: &[u8]) -> Option<(Partition, u64)> {
+    let rest = bytes.strip_prefix(TAG)?;
+    if rest.len() < 16 {
+        return None;
+    }
+    let round = u64::from_le_bytes(rest[0..8].try_into().ok()?);
+    let num_blocks = u32::from_le_bytes(rest[8..12].try_into().ok()?) as usize;
+    let num_states = u32::from_le_bytes(rest[12..16].try_into().ok()?) as usize;
+    let body = &rest[16..];
+    if body.len() != num_states.checked_mul(4)? || num_blocks > num_states {
+        return None;
+    }
+    let mut seen = vec![false; num_blocks];
+    let mut block_of = Vec::with_capacity(num_states);
+    for chunk in body.chunks_exact(4) {
+        let b = u32::from_le_bytes(chunk.try_into().ok()?);
+        if b as usize >= num_blocks {
+            return None;
+        }
+        seen[b as usize] = true;
+        block_of.push(BlockId(b));
+    }
+    if !seen.into_iter().all(|s| s) {
+        return None;
+    }
+    Some((Partition::new(block_of, num_blocks), round))
+}
+
+/// Stable identity of a governed refinement call: a hash of the full LTS
+/// content plus the equivalence being computed. Two calls share a
+/// fingerprint exactly when they would run the identical refinement, which
+/// is the precondition for seeding one from the other's checkpoint.
+pub fn refine_fingerprint(lts: &Lts, eq: Equivalence) -> u64 {
+    let tag: &[u8] = match eq {
+        Equivalence::Strong => b"strong",
+        Equivalence::Branching => b"branching",
+        Equivalence::BranchingDiv => b"branching-div",
+        Equivalence::Weak => b"weak",
+    };
+    fnv1a(fnv1a(0, &encode_lts(lts)), tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_lts::{Action, LtsBuilder, ThreadId};
+
+    fn part() -> Partition {
+        Partition::new(
+            vec![BlockId(0), BlockId(1), BlockId(0), BlockId(2)],
+            3,
+        )
+    }
+
+    #[test]
+    fn round_roundtrip() {
+        let p = part();
+        let enc = encode_round(&p, 7);
+        let (dec, round) = decode_round(&enc).expect("decodes");
+        assert_eq!(round, 7);
+        assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn malformed_rounds_are_rejected() {
+        let enc = encode_round(&part(), 3);
+        assert!(decode_round(&enc[..enc.len() - 1]).is_none(), "truncated");
+        let mut extra = enc.clone();
+        extra.push(0);
+        assert!(decode_round(&extra).is_none(), "trailing bytes");
+        let mut bad_block = enc.clone();
+        let last = bad_block.len() - 4;
+        bad_block[last..].copy_from_slice(&9u32.to_le_bytes());
+        assert!(decode_round(&bad_block).is_none(), "block id out of range");
+        // Claiming 3 blocks but only using 2 leaves an empty block.
+        let empty_block =
+            encode_round(&Partition::new(vec![BlockId(0), BlockId(2)], 3), 1);
+        assert!(decode_round(&empty_block).is_none(), "empty block");
+    }
+
+    #[test]
+    fn fingerprint_separates_equivalences_and_systems() {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let a = b.intern_action(Action::call(ThreadId(1), "a", None));
+        b.add_transition(s0, a, s1);
+        let lts = b.build(s0);
+        let fp_b = refine_fingerprint(&lts, Equivalence::Branching);
+        assert_eq!(fp_b, refine_fingerprint(&lts, Equivalence::Branching));
+        assert_ne!(fp_b, refine_fingerprint(&lts, Equivalence::BranchingDiv));
+        let mut b2 = LtsBuilder::new();
+        let t0 = b2.add_state();
+        let a2 = b2.intern_action(Action::call(ThreadId(1), "a", None));
+        b2.add_transition(t0, a2, t0);
+        let other = b2.build(t0);
+        assert_ne!(fp_b, refine_fingerprint(&other, Equivalence::Branching));
+    }
+}

@@ -361,7 +361,27 @@ pub fn verify_case_governed_with(
                     return Ok((imp.clone(), sp.clone()));
                 }
             }
+            // Completed explorations are the coarsest checkpoint unit: a
+            // resumed run reloads them from the session instead of
+            // re-exploring. Section names encode the pipeline position;
+            // the session's config tag pins everything else (case, reduce
+            // mode, ...), so a section can never seed a different setup.
+            let persist = bb_persist::active();
+            let tag = format!("{name}/b{}-{}", bound.threads, bound.ops_per_thread);
+            if let Some(p) = persist.as_ref() {
+                let seeded = p
+                    .seed_lts(&format!("{tag}/imp"))
+                    .zip(p.seed_lts(&format!("{tag}/spec")));
+                if let Some((imp, sp)) = seeded {
+                    *cache = Some((bound, imp.clone(), sp.clone()));
+                    return Ok((imp, sp));
+                }
+            }
             let (imp, sp) = explorer(bound, wd)?;
+            if let Some(p) = persist.as_ref() {
+                p.offer_lts(&format!("{tag}/imp"), &imp);
+                p.offer_lts(&format!("{tag}/spec"), &sp);
+            }
             *cache = Some((bound, imp.clone(), sp.clone()));
             Ok((imp, sp))
         };

@@ -105,6 +105,10 @@ pub struct PartialStats {
     pub memory_bytes: usize,
     /// Wall-clock time since the watchdog started.
     pub elapsed: Duration,
+    /// For refinement stages: `(rounds, blocks)` of the last *completed*
+    /// round, so a budget-tripped run reports how far the partition got
+    /// rather than discarding that history.
+    pub refinement: Option<(u64, u64)>,
 }
 
 impl fmt::Display for PartialStats {
@@ -118,7 +122,11 @@ impl fmt::Display for PartialStats {
             self.transitions,
             bb_obs::format_bytes(self.memory_bytes as u64),
             self.elapsed
-        )
+        )?;
+        if let Some((rounds, blocks)) = self.refinement {
+            write!(f, "; last completed round {rounds} had {blocks} blocks")?;
+        }
+        Ok(())
     }
 }
 
@@ -319,6 +327,7 @@ impl Watchdog {
             states: 0,
             transitions: 0,
             memory_bytes: 0,
+            refinement: None,
             ticks_until_check: CHECK_INTERVAL,
         }
     }
@@ -333,6 +342,7 @@ pub struct Meter {
     states: usize,
     transitions: usize,
     memory_bytes: usize,
+    refinement: Option<(u64, u64)>,
     ticks_until_check: u64,
 }
 
@@ -349,7 +359,14 @@ impl Meter {
             transitions: self.transitions,
             memory_bytes: self.memory_bytes,
             elapsed: self.wd.elapsed(),
+            refinement: self.refinement,
         }
+    }
+
+    /// Records the last *completed* refinement round so that an exhaustion
+    /// mid-round still reports the furthest stable point reached.
+    pub fn note_refinement(&mut self, rounds: u64, blocks: u64) {
+        self.refinement = Some((rounds, blocks));
     }
 
     /// Builds the exhaustion error for `reason` at the current progress.
@@ -442,6 +459,9 @@ impl Meter {
     pub fn add_memory(&mut self, bytes: usize) -> Result<(), Exhausted> {
         self.memory_bytes = self.memory_bytes.saturating_add(bytes);
         if self.memory_bytes > self.wd.budget.max_memory_bytes {
+            return Err(self.exhausted(ExhaustReason::Memory));
+        }
+        if bb_obs::fault::enabled() && bb_obs::fault::hit("alloc-cap") {
             return Err(self.exhausted(ExhaustReason::Memory));
         }
         Ok(())
@@ -560,11 +580,24 @@ mod tests {
             transitions: 12,
             memory_bytes: 3 * 1024 * 1024,
             elapsed: Duration::from_millis(1500),
+            refinement: None,
         };
         let text = stats.to_string();
         assert!(text.contains("7 states"), "{text}");
         assert!(text.contains("12 transitions"), "{text}");
         assert!(text.contains("3.0 MiB peak"), "{text}");
         assert!(text.contains("elapsed"), "{text}");
+        assert!(!text.contains("round"), "{text}");
+    }
+
+    #[test]
+    fn partial_stats_carry_refinement_progress() {
+        let wd = Watchdog::new(Budget::unlimited().with_max_states(0));
+        let mut m = wd.meter(Stage::Bisim);
+        m.note_refinement(4, 117);
+        let err = m.add_state().unwrap_err();
+        assert_eq!(err.partial.refinement, Some((4, 117)));
+        let text = err.to_string();
+        assert!(text.contains("last completed round 4 had 117 blocks"), "{text}");
     }
 }

@@ -94,6 +94,7 @@ impl ExploreError {
                 transitions: self.transitions_seen,
                 memory_bytes: self.memory_bytes,
                 elapsed: self.elapsed,
+                refinement: None,
             },
         }
     }

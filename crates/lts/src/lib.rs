@@ -35,6 +35,7 @@ mod jobs;
 mod lts;
 mod random;
 mod scc;
+pub mod snapshot;
 mod union;
 
 pub use action::{Action, ActionId, ActionKind, Observation, ThreadId};

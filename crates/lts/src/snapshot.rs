@@ -1,0 +1,298 @@
+//! Binary snapshot codec for [`Lts`] values.
+//!
+//! The persistence layer (`bb-persist`) checkpoints completed exploration
+//! sections so a killed or budget-tripped run can resume without redoing
+//! them. The codec lives here because reconstructing an `Lts` requires the
+//! crate-private constructor: a decoded system must be *indistinguishable*
+//! from the freshly explored one — same state numbering, same action
+//! interning order, same transition order — so every downstream pass
+//! (refinement, quotienting, `.aut` export) produces byte-identical output
+//! from either source.
+//!
+//! The format is a plain little-endian field sequence with no framing;
+//! versioning and checksums are the container's job (`bb-persist::format`).
+//! A leading codec tag still guards against feeding this decoder something
+//! that merely *looks* like a section payload.
+
+use crate::action::{Action, ActionKind, ThreadId};
+use crate::lts::{Lts, StateId, Transition};
+use crate::ActionId;
+
+/// Codec tag + revision. Bump when the field layout changes; the decoder
+/// rejects any other tag, which the persistence layer treats as corruption
+/// (recompute, never crash).
+const TAG: &[u8; 4] = b"LTS1";
+
+/// Appends `v` as little-endian bytes.
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an optional UTF-8 string as `len:u32` + bytes (`u32::MAX` =
+/// absent, distinguishing `None` from the empty string).
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => put_u32(out, u32::MAX),
+        Some(s) => {
+            put_u32(out, s.len() as u32);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Cursor over a snapshot payload; every read is bounds-checked so a
+/// truncated or corrupted payload decodes to `None`, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        let len = self.u32()?;
+        if len == u32::MAX {
+            return Some(None);
+        }
+        let bytes = self.take(len as usize)?;
+        Some(Some(String::from_utf8(bytes.to_vec()).ok()?))
+    }
+
+    /// Pre-allocation capacity for `claimed` items of at least
+    /// `min_item_bytes` each: never trust a corrupted length field to size
+    /// an allocation beyond what the remaining input could possibly encode.
+    fn capacity(&self, claimed: usize, min_item_bytes: usize) -> usize {
+        claimed.min((self.buf.len() - self.at) / min_item_bytes.max(1))
+    }
+}
+
+/// Serializes `lts` to the snapshot byte layout.
+pub fn encode_lts(lts: &Lts) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + lts.num_actions() * 16 + lts.num_transitions() * 8);
+    out.extend_from_slice(TAG);
+    put_u32(&mut out, lts.num_actions() as u32);
+    for a in lts.actions() {
+        out.push(match a.kind {
+            ActionKind::Call => 0,
+            ActionKind::Ret => 1,
+            ActionKind::Tau => 2,
+        });
+        out.push(a.thread.0);
+        put_opt_str(&mut out, a.method.as_deref());
+        match a.value {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                put_i64(&mut out, v);
+            }
+        }
+        put_opt_str(&mut out, a.tag.as_deref());
+    }
+    put_u32(&mut out, lts.num_states() as u32);
+    put_u32(&mut out, lts.initial().0);
+    put_u32(&mut out, lts.num_transitions() as u32);
+    for s in lts.states() {
+        put_u32(&mut out, lts.successors(s).len() as u32);
+        for t in lts.successors(s) {
+            put_u32(&mut out, t.action.0);
+            put_u32(&mut out, t.target.0);
+        }
+    }
+    out
+}
+
+/// Decodes a snapshot produced by [`encode_lts`]. Returns `None` on any
+/// malformed input (wrong tag, truncation, out-of-range indices) — the
+/// persistence layer maps that to "recompute".
+pub fn decode_lts(bytes: &[u8]) -> Option<Lts> {
+    let mut c = Cursor { buf: bytes, at: 0 };
+    if c.take(4)? != TAG {
+        return None;
+    }
+    let num_actions = c.u32()? as usize;
+    // Minimum encoded action: kind + thread + two absent strings + no value.
+    let mut actions = Vec::with_capacity(c.capacity(num_actions, 11));
+    for _ in 0..num_actions {
+        let kind = match c.take(1)?[0] {
+            0 => ActionKind::Call,
+            1 => ActionKind::Ret,
+            2 => ActionKind::Tau,
+            _ => return None,
+        };
+        let thread = ThreadId(c.take(1)?[0]);
+        let method = c.opt_str()?.map(Into::into);
+        let value = match c.take(1)?[0] {
+            0 => None,
+            1 => Some(c.i64()?),
+            _ => return None,
+        };
+        let tag = c.opt_str()?.map(Into::into);
+        actions.push(Action {
+            kind,
+            thread,
+            method,
+            value,
+            tag,
+        });
+    }
+    let num_states = c.u32()? as usize;
+    let initial = c.u32()?;
+    let num_transitions = c.u32()? as usize;
+    if (initial as usize) >= num_states {
+        return None;
+    }
+    let mut adjacency: Vec<Vec<Transition>> = Vec::with_capacity(c.capacity(num_states, 4));
+    let mut total = 0usize;
+    for _ in 0..num_states {
+        let deg = c.u32()? as usize;
+        total = total.checked_add(deg)?;
+        if total > num_transitions {
+            return None;
+        }
+        let mut row = Vec::with_capacity(c.capacity(deg, 8));
+        for _ in 0..deg {
+            let action = c.u32()?;
+            let target = c.u32()?;
+            if action as usize >= num_actions || target as usize >= num_states {
+                return None;
+            }
+            row.push(Transition {
+                action: ActionId(action),
+                target: StateId(target),
+            });
+        }
+        adjacency.push(row);
+    }
+    if total != num_transitions || c.at != bytes.len() {
+        return None;
+    }
+    Some(Lts::from_parts(actions, adjacency, StateId(initial)))
+}
+
+/// 64-bit FNV-1a — the workspace's stable structural hash. Unlike
+/// `DefaultHasher`, the result is specified bytes-in/bytes-out, so
+/// fingerprints agree between the run that wrote a checkpoint and the run
+/// that resumes it, across process and compiler boundaries.
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 { 0xcbf2_9ce4_8422_2325 } else { seed };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Structural fingerprint of an LTS: stable across runs, sensitive to every
+/// field the verification pipeline can observe (actions, transition order,
+/// initial state). Checkpoint seeds are only applied when the fingerprint
+/// recorded at write time matches the system being refined, so a resumed
+/// run can never seed a refinement with a partition of some *other* system.
+pub fn fingerprint_lts(lts: &Lts) -> u64 {
+    // Hashing the canonical encoding keeps the two definitions of "same
+    // system" (decodes equal / fingerprints equal) trivially aligned.
+    fnv1a(0, &encode_lts(lts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, LtsBuilder, ThreadId};
+
+    fn sample() -> Lts {
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        let call = b.intern_action(Action::call(ThreadId(1), "Enq", Some(10)));
+        let tau = b.intern_action(Action::tau_tagged(ThreadId(2), "L28"));
+        let ret = b.intern_action(Action::ret(ThreadId(1), "Deq", None));
+        b.add_transition(s0, call, s1);
+        b.add_transition(s1, tau, s1);
+        b.add_transition(s1, ret, s2);
+        b.build(s0)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let lts = sample();
+        let enc = encode_lts(&lts);
+        let dec = decode_lts(&enc).expect("decodes");
+        assert_eq!(dec.num_states(), lts.num_states());
+        assert_eq!(dec.num_transitions(), lts.num_transitions());
+        assert_eq!(dec.initial(), lts.initial());
+        assert_eq!(dec.actions(), lts.actions());
+        for s in lts.states() {
+            assert_eq!(dec.successors(s), lts.successors(s));
+        }
+        // The canonical encoding is a fixpoint: re-encoding the decoded
+        // system is byte-identical, so fingerprints agree too.
+        assert_eq!(encode_lts(&dec), enc);
+        assert_eq!(fingerprint_lts(&dec), fingerprint_lts(&lts));
+    }
+
+    #[test]
+    fn truncation_and_garbage_decode_to_none() {
+        let enc = encode_lts(&sample());
+        for cut in [0, 3, 7, enc.len() / 2, enc.len() - 1] {
+            assert!(decode_lts(&enc[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut bad_tag = enc.clone();
+        bad_tag[0] = b'X';
+        assert!(decode_lts(&bad_tag).is_none());
+        let mut trailing = enc;
+        trailing.push(0);
+        assert!(decode_lts(&trailing).is_none());
+    }
+
+    #[test]
+    fn corrupted_index_is_rejected_not_panicking() {
+        let lts = sample();
+        let enc = encode_lts(&lts);
+        // Flip every single byte in turn: decode must never panic, and when
+        // it succeeds the result must re-encode consistently.
+        for i in 0..enc.len() {
+            let mut m = enc.clone();
+            m[i] ^= 0xFF;
+            if let Some(dec) = decode_lts(&m) {
+                assert_eq!(encode_lts(&dec), m);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_structures() {
+        let lts = sample();
+        let mut b = LtsBuilder::new();
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let call = b.intern_action(Action::call(ThreadId(1), "Enq", Some(10)));
+        b.add_transition(s0, call, s1);
+        let other = b.build(s0);
+        assert_ne!(fingerprint_lts(&lts), fingerprint_lts(&other));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vector: FNV-1a 64 of "bbv".
+        assert_eq!(fnv1a(0, b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(0, b"bbv"), fnv1a(0, b"bvb"));
+    }
+}

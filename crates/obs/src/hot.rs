@@ -217,6 +217,20 @@ pub static REFINE_PRODUCT_STATES: Counter = Counter::new("refine.product_states"
 pub static REFINE_SUBSETS: Counter = Counter::new("refine.spec_subsets");
 /// Product states expanded by the Büchi LTL check.
 pub static LTL_PRODUCT_STATES: Counter = Counter::new("ltl.product_states");
+/// Checkpoint sections submitted to the persistence sink.
+pub static CKPT_SECTIONS: Counter = Counter::new("persist.checkpoint_sections");
+/// Bytes written by checkpoint persists (payloads, before framing).
+pub static CKPT_BYTES: Counter = Counter::new("persist.checkpoint_bytes");
+/// Pipeline stages that skipped work by consuming a checkpoint seed.
+pub static CKPT_SEED_HITS: Counter = Counter::new("persist.seed_hits");
+/// Result-cache lookups that replayed a stored entry.
+pub static CACHE_HITS: Counter = Counter::new("persist.cache_hits");
+/// Result-cache lookups that fell through to a recompute.
+pub static CACHE_MISSES: Counter = Counter::new("persist.cache_misses");
+/// Cache entries rejected by checksum/format validation (then recomputed).
+pub static CACHE_CORRUPT: Counter = Counter::new("persist.cache_corrupt");
+/// Faults fired by the deterministic `BB_FAULT` plan.
+pub static FAULTS_INJECTED: Counter = Counter::new("fault.injected");
 
 /// Current BFS frontier depth (undiscovered tail of the exploration queue).
 pub static EXPLORE_FRONTIER: Gauge = Gauge::new("explore.frontier_depth");
@@ -227,7 +241,7 @@ pub static ORBIT_SIZE: Histogram = Histogram::new("reduce.sym.orbit_size");
 /// mean_chunk` for each level fan-out (100 = perfectly balanced).
 pub static SHARD_IMBALANCE: Histogram = Histogram::new("explore.shard_imbalance_pct");
 
-static COUNTERS: [&Counter; 14] = [
+static COUNTERS: [&Counter; 21] = [
     &SIG_STATE_RECOMPUTES,
     &SIG_ROUNDS,
     &SIG_DIRTY_STATES,
@@ -242,6 +256,13 @@ static COUNTERS: [&Counter; 14] = [
     &REFINE_PRODUCT_STATES,
     &REFINE_SUBSETS,
     &LTL_PRODUCT_STATES,
+    &CKPT_SECTIONS,
+    &CKPT_BYTES,
+    &CKPT_SEED_HITS,
+    &CACHE_HITS,
+    &CACHE_MISSES,
+    &CACHE_CORRUPT,
+    &FAULTS_INJECTED,
 ];
 
 static GAUGES: [&Gauge; 1] = [&EXPLORE_FRONTIER];

@@ -34,8 +34,12 @@
 //! diagnostics, which happen O(phases + rounds) times per run, never per
 //! state.
 
+pub mod fault;
 pub mod hot;
 pub mod json;
+pub mod sink;
+
+pub use sink::{clear_persist_sink, persist_sink, set_persist_sink, PersistSink};
 
 use std::cell::RefCell;
 use std::fmt;

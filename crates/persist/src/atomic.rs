@@ -1,0 +1,124 @@
+//! Atomic file writes: temp file + rename.
+//!
+//! Every artifact the workspace writes — checkpoints, cache entries, but
+//! also `--metrics`/`--trace` JSON, `.aut`/`.dot` exports, and the bench
+//! tables — goes through [`write_atomic`], so a kill at any instant leaves
+//! either the complete old file or the complete new file, never a
+//! truncated one. The temp file lives in the destination's directory (same
+//! filesystem, so the rename is atomic) under a `.tmp.<pid>` suffix that a
+//! concurrent process cannot collide with.
+//!
+//! The `checkpoint-write` fault point aborts between writing the temp file
+//! and the rename — the crash window the design must survive: tests assert
+//! the destination is untouched and a stale `.tmp` file is ignored (and
+//! cleaned up) by every reader.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically. On return the file is fully
+/// written and renamed into place; on any failure (or a kill mid-write)
+/// the previous contents of `path` are intact.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Durability before visibility: the rename must not make a
+        // half-flushed file observable after a power cut.
+        f.sync_all()?;
+        drop(f);
+        if bb_obs::fault::enabled() && bb_obs::fault::hit("checkpoint-write") {
+            // The injected crash window: temp file written, rename pending.
+            std::process::abort();
+        }
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Removes stale temp files left by killed writers in `dir`. Readers call
+/// this opportunistically; it never fails the caller.
+pub fn sweep_temp_files(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') && name.contains(".tmp.") {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bb-persist-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn creates_missing_parent_dirs() {
+        let dir = tmp_dir("parents");
+        let path = dir.join("a/b/out.bin");
+        write_atomic(&path, b"deep").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"deep");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_temp_residue_after_success() {
+        let dir = tmp_dir("residue");
+        write_atomic(&dir.join("out.bin"), b"x").unwrap();
+        let names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["out.bin"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_removes_only_temp_files() {
+        let dir = tmp_dir("sweep");
+        fs::write(dir.join(".out.bin.tmp.12345"), b"stale").unwrap();
+        fs::write(dir.join("keep.bin"), b"live").unwrap();
+        sweep_temp_files(&dir);
+        assert!(!dir.join(".out.bin.tmp.12345").exists());
+        assert!(dir.join("keep.bin").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,192 @@
+//! The framed on-disk container shared by checkpoints and cache entries.
+//!
+//! Every file this crate writes is one *frame*:
+//!
+//! ```text
+//! magic "BBPS" | version u32 | payload_len u64 | payload | fnv1a-64 trailer
+//! ```
+//!
+//! all integers little-endian; the trailer hashes everything before it. A
+//! frame that fails any check — wrong magic, unknown version, length
+//! mismatch, checksum mismatch — unframes to `None`, which callers uniformly
+//! treat as "this file does not exist": recompute, never crash. Version
+//! bumps therefore invalidate old files implicitly (they stop unframing)
+//! and `cache gc` removes them explicitly.
+//!
+//! Payload contents are built with the [`Enc`]/[`Dec`] primitives so every
+//! reader is bounds-checked the same way.
+
+use bb_lts::snapshot::fnv1a;
+
+/// File magic of every `bb-persist` artifact.
+pub const MAGIC: &[u8; 4] = b"BBPS";
+
+/// Current format version. Bump on any payload layout change — old files
+/// then fail to unframe and are recomputed (checkpoints) or collected
+/// (cache entries).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Wraps `payload` in the framed container.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv1a(0, &out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates a frame and returns its payload slice. `None` on any
+/// corruption or version mismatch.
+pub fn unframe(bytes: &[u8]) -> Option<&[u8]> {
+    if peek_version(bytes)? != FORMAT_VERSION {
+        return None;
+    }
+    let len = u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?) as usize;
+    let body_end = 16usize.checked_add(len)?;
+    if bytes.len() != body_end.checked_add(8)? {
+        return None;
+    }
+    let sum = u64::from_le_bytes(bytes[body_end..].try_into().ok()?);
+    if fnv1a(0, &bytes[..body_end]) != sum {
+        return None;
+    }
+    Some(&bytes[16..body_end])
+}
+
+/// Reads the version field of a frame without validating the rest. Used by
+/// `cache gc` to distinguish "old format" (collectable) from garbage.
+pub fn peek_version(bytes: &[u8]) -> Option<u32> {
+    if bytes.get(..4)? != MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(bytes.get(4..8)?.try_into().ok()?))
+}
+
+/// Payload encoder: length-prefixed fields, little-endian.
+#[derive(Default)]
+pub struct Enc(pub Vec<u8>);
+
+impl Enc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i32(&mut self, v: i32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.0.extend_from_slice(b);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked payload decoder; any overrun returns `None`.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    pub fn i32(&mut self) -> Option<i32> {
+        Some(i32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u64()?;
+        self.take(usize::try_from(len).ok()?)
+    }
+
+    pub fn str(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?.to_vec()).ok()
+    }
+
+    /// Asserts the payload is fully consumed (trailing bytes = corruption).
+    pub fn finish(self) -> Option<()> {
+        (self.at == self.buf.len()).then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut e = Enc::new();
+        e.u32(7);
+        e.str("hello");
+        e.bytes(&[1, 2, 3]);
+        let f = frame(&e.0);
+        let payload = unframe(&f).expect("valid frame");
+        let mut d = Dec::new(payload);
+        assert_eq!(d.u32(), Some(7));
+        assert_eq!(d.str().as_deref(), Some("hello"));
+        assert_eq!(d.bytes(), Some(&[1u8, 2, 3][..]));
+        assert!(d.finish().is_some());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let f = frame(b"some payload");
+        for i in 0..f.len() {
+            let mut m = f.clone();
+            m[i] ^= 0x01;
+            assert!(unframe(&m).is_none(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_detected() {
+        let f = frame(b"payload");
+        for cut in 0..f.len() {
+            assert!(unframe(&f[..cut]).is_none());
+        }
+        let mut ext = f.clone();
+        ext.push(0);
+        assert!(unframe(&ext).is_none());
+    }
+
+    #[test]
+    fn future_versions_do_not_unframe_but_peek() {
+        let mut f = frame(b"x");
+        f[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(unframe(&f).is_none());
+        assert_eq!(peek_version(&f), Some(99));
+        assert_eq!(peek_version(b"notmagic"), None);
+    }
+}

@@ -7,6 +7,10 @@
 //! bbv verify hm-list-buggy --threads 2 --ops 2      # shows the counterexample
 //! bbv quotient treiber --threads 2 --ops 1 --dot out.dot
 //! bbv check hw-queue --formula "G F (ret | done)"   # arbitrary next-free LTL
+//! bbv verify ms-queue --ops 3 --timeout 1h --checkpoint ckpt/   # crash-safe
+//! bbv resume ckpt/                                  # continue a killed run
+//! bbv verify treiber --cache .bbv-cache             # memoize the verdict
+//! bbv cache stats .bbv-cache
 //! ```
 //!
 //! Exit codes: `0` every checked property was proved, `1` a property was
@@ -33,6 +37,8 @@ use bbverify::reduce::{
 use bbverify::sim::{
     explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec,
 };
+use bb_persist::{Cache, CacheEntry};
+use std::path::Path;
 use std::time::Duration;
 
 const EXIT_PROVED: i32 = 0;
@@ -83,6 +89,9 @@ struct Options {
     trace: Option<String>,
     progress: bool,
     quiet: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: u64,
+    cache: Option<String>,
 }
 
 impl Default for Options {
@@ -108,6 +117,9 @@ impl Default for Options {
             trace: None,
             progress: false,
             quiet: false,
+            checkpoint: None,
+            checkpoint_every: 8,
+            cache: None,
         }
     }
 }
@@ -256,6 +268,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone()),
             "--progress" => opts.progress = true,
             "--quiet" => opts.quiet = true,
+            "--checkpoint" => {
+                opts.checkpoint = Some(it.next().ok_or("--checkpoint needs a directory")?.clone())
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every =
+                    parse_count(it.next().ok_or("--checkpoint-every needs a round count")?)? as u64
+            }
+            "--cache" => {
+                opts.cache = Some(it.next().ok_or("--cache needs a directory")?.clone())
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -264,6 +286,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn print_usage() {
     eprintln!("usage: bbv <list|verify|quotient|check|reduce-check> [algorithm|all] [options]");
+    eprintln!("       bbv resume <checkpoint-dir> [extra options]");
+    eprintln!("       bbv cache <stats|verify|gc> <cache-dir>");
     eprintln!("  options: --threads N  --ops N  --domain 1,2");
     eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
     eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
@@ -284,13 +308,26 @@ fn print_usage() {
     eprintln!("           with a budget, `verify` degrades gracefully: on exhaustion it");
     eprintln!("           retries with strong-bisimulation pre-reduction, then a smaller");
     eprintln!("           bound, and reports which rung answered");
+    eprintln!("  persist: --checkpoint DIR       (cut crash-safe checkpoints; `bbv resume DIR`");
+    eprintln!("           replays the recorded invocation, seeds every completed section and");
+    eprintln!("           converges to the byte-identical verdict of an uninterrupted run)");
+    eprintln!("           --checkpoint-every N   (also cut every N refinement rounds; default 8)");
+    eprintln!("           --cache DIR            (content-addressed result cache: conclusive");
+    eprintln!("           verdicts and quotient artifacts replay byte-identically on a hit;");
+    eprintln!("           corrupt entries are detected and recomputed, never trusted)");
     eprintln!("  exit codes: 0 proved   1 refuted   2 inconclusive (budget/internal fault)");
     eprintln!("              3 usage or parse error");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match args.first().map(String::as_str) {
+    std::process::exit(main_dispatch(&args));
+}
+
+/// Top-level command dispatch; `bbv resume` re-enters it with the replayed
+/// argv, so it must stay free of process-global side effects of its own.
+fn main_dispatch(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
         Some("list") => {
             println!("available algorithms:");
             for (name, desc) in ALGORITHMS {
@@ -302,6 +339,8 @@ fn main() {
             print_usage();
             EXIT_PROVED
         }
+        Some("resume") => resume(&args[1..]),
+        Some("cache") => cache_admin(&args[1..]),
         Some(cmd @ ("verify" | "quotient" | "check" | "reduce-check")) => {
             let mode = match cmd {
                 "verify" => Mode::Verify,
@@ -327,8 +366,81 @@ fn main() {
             print_usage();
             EXIT_USAGE
         }
+    }
+}
+
+/// `bbv resume <dir> [overrides]`: replay the argv recorded in the
+/// checkpoint at `dir`. The re-run installs the same checkpoint session,
+/// seeds every completed section, and converges to the byte-identical
+/// verdict of an uninterrupted run. Overrides are appended after the
+/// recorded flags, so later occurrences win (`bbv resume ckpt --timeout 60s`
+/// raises the budget that tripped the original run).
+fn resume(args: &[String]) -> i32 {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: bbv resume <checkpoint-dir> [extra options]");
+        return EXIT_USAGE;
     };
-    std::process::exit(code);
+    let Some(mut argv) = bb_persist::recorded_argv(Path::new(dir)) else {
+        eprintln!("error: no readable checkpoint in `{dir}` (nothing to resume)");
+        return EXIT_USAGE;
+    };
+    if argv.first().map(String::as_str) == Some("resume") {
+        eprintln!("error: checkpoint in `{dir}` records a recursive resume; refusing");
+        return EXIT_USAGE;
+    }
+    argv.extend(args[1..].iter().cloned());
+    // Stderr only: the resumed run's stdout must stay byte-identical.
+    eprintln!("resuming from {dir}: bbv {}", argv.join(" "));
+    main_dispatch(&argv)
+}
+
+/// `bbv cache <stats|verify|gc> <dir>`: inspect and maintain a result
+/// cache. `verify` exits 1 when corrupt entries exist (for CI); `gc`
+/// removes corrupt and old-format entries.
+fn cache_admin(args: &[String]) -> i32 {
+    let (Some(op), Some(dir)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bbv cache <stats|verify|gc> <cache-dir>");
+        return EXIT_USAGE;
+    };
+    let cache = match Cache::open(Path::new(dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: could not open cache directory {dir}: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    match op.as_str() {
+        "stats" => {
+            let s = cache.stats();
+            println!("cache   : {dir}");
+            println!("entries : {}", s.entries);
+            println!("bytes   : {}", s.bytes);
+            println!("corrupt : {}", s.corrupt);
+            EXIT_PROVED
+        }
+        "verify" => {
+            let (ok, corrupt) = cache.verify();
+            println!("intact  : {}", ok.len());
+            println!("corrupt : {}", corrupt.len());
+            for p in &corrupt {
+                println!("  {}", p.display());
+            }
+            if corrupt.is_empty() {
+                EXIT_PROVED
+            } else {
+                EXIT_REFUTED
+            }
+        }
+        "gc" => {
+            let removed = cache.gc();
+            println!("removed : {removed}");
+            EXIT_PROVED
+        }
+        other => {
+            eprintln!("unknown cache operation `{other}`; try stats, verify or gc");
+            EXIT_USAGE
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -368,6 +480,97 @@ fn mode_str(mode: Mode) -> &'static str {
     }
 }
 
+/// Buffered stdout plus named artifacts (`dot`, `aut`) of one command run.
+/// Buffering is what lets the result cache replay the complete observable
+/// outcome byte-for-byte.
+#[derive(Default)]
+struct RunOutput {
+    stdout: String,
+    artifacts: Vec<(String, Vec<u8>)>,
+}
+
+/// `println!` into a [`RunOutput`] buffer.
+macro_rules! outln {
+    ($out:expr $(, $($arg:tt)*)?) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out.stdout $(, $($arg)*)?);
+    }};
+}
+
+/// The checkpoint configuration tag: a hash of everything that determines
+/// the *shape* of the pipeline (which LTSs are explored, which refinement
+/// calls run, in what order). Budgets, `--jobs`, checkpoint cadence and
+/// output paths are deliberately excluded — a resume with a raised budget
+/// or a different worker count must still seed the recorded sections.
+fn config_tag(mode: Mode, canon: &str, opts: &Options) -> u64 {
+    let desc = format!(
+        "bbp{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}",
+        bb_persist::FORMAT_VERSION,
+        mode_str(mode),
+        canon,
+        opts.threads,
+        opts.ops,
+        opts.domain,
+        opts.check_lock_freedom,
+        opts.wait_freedom,
+        opts.formula,
+        opts.reduce,
+        opts.refine,
+    );
+    bbverify::lts::snapshot::fnv1a(0, desc.as_bytes())
+}
+
+/// The result-cache key: everything that determines the command's stdout,
+/// artifacts and exit code — including budgets, since the governed report
+/// names the rung and bound that answered. `--jobs` is excluded: results
+/// are bit-identical at any worker count, so a `-j 4` run hits the entry a
+/// `-j 1` run stored.
+fn cache_key(mode: Mode, canon: &str, opts: &Options) -> String {
+    format!(
+        "bbc{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}|budget=({:?},{:?},{:?},{:?},nf{})",
+        bb_persist::FORMAT_VERSION,
+        mode_str(mode),
+        canon,
+        opts.threads,
+        opts.ops,
+        opts.domain,
+        opts.check_lock_freedom,
+        opts.wait_freedom,
+        opts.formula,
+        opts.reduce,
+        opts.refine,
+        opts.timeout,
+        opts.max_states,
+        opts.max_transitions,
+        opts.max_memory,
+        opts.no_fallback,
+    )
+}
+
+/// Writes the artifacts the current flags ask for (quotient `--dot`/`--aut`)
+/// through the atomic writer. Called for live and cache-replayed runs alike,
+/// so a hit honours the paths of *this* invocation, not the recorded one.
+fn write_requested_artifacts(artifacts: &[(String, Vec<u8>)], opts: &Options, code: i32) -> i32 {
+    let mut code = code;
+    let find = |name: &str| artifacts.iter().find(|(n, _)| n == name).map(|(_, b)| b);
+    let requests: [(&Option<String>, &str, &str); 2] = [
+        (&opts.dot, "dot", "Graphviz DOT"),
+        (&opts.aut, "aut", "Aldebaran .aut, CADP-compatible"),
+    ];
+    for (path, name, desc) in requests {
+        let Some(path) = path else { continue };
+        let Some(bytes) = find(name) else { continue };
+        match bb_persist::write_atomic(Path::new(path), bytes) {
+            Ok(()) => println!("quotient written to {path} ({desc})"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                code = EXIT_USAGE;
+            }
+        }
+    }
+    code
+}
+
 /// Writes the `--metrics` / `--trace` exports after a run. Failures go to
 /// stderr only: observability never changes the verification exit code.
 fn write_obs_outputs(session: &bb_obs::Session, opts: &Options, algorithm: &str, mode: Mode) {
@@ -380,12 +583,14 @@ fn write_obs_outputs(session: &bb_obs::Session, opts: &Options, algorithm: &str,
         ("reduce", opts.reduce.to_string().into()),
     ];
     if let Some(path) = &opts.metrics {
-        if let Err(e) = std::fs::write(path, session.metrics_json(&meta)) {
+        let json = session.metrics_json(&meta);
+        if let Err(e) = bb_persist::write_atomic(Path::new(path), json.as_bytes()) {
             eprintln!("could not write metrics to {path}: {e}");
         }
     }
     if let Some(path) = &opts.trace {
-        if let Err(e) = std::fs::write(path, session.trace_ndjson()) {
+        let ndjson = session.trace_ndjson();
+        if let Err(e) = bb_persist::write_atomic(Path::new(path), ndjson.as_bytes()) {
             eprintln!("could not write trace to {path}: {e}");
         }
     }
@@ -418,8 +623,10 @@ fn run(args: &[String], mode: Mode) -> i32 {
         let _root = bb_obs::span("bbv")
             .with("command", mode_str(mode))
             .with("algorithm", canon.as_str());
-        dispatch_named(&canon, &opts, mode)
+        run_command(&canon, &opts, mode, args)
     };
+    // Final checkpoint flush + sink teardown (no-op when none installed).
+    bb_persist::clear();
     if recording {
         if let Some(session) = bb_obs::finish() {
             write_obs_outputs(&session, &opts, &canon, mode);
@@ -428,37 +635,95 @@ fn run(args: &[String], mode: Mode) -> i32 {
     code
 }
 
-fn dispatch_named(canon: &str, opts: &Options, mode: Mode) -> i32 {
+/// Runs one parsed command: installs the checkpoint session, consults the
+/// result cache, dispatches, and stores conclusive outcomes back.
+fn run_command(canon: &str, opts: &Options, mode: Mode, argv_tail: &[String]) -> i32 {
+    if let Some(dir) = &opts.checkpoint {
+        let mut argv = vec![mode_str(mode).to_string()];
+        argv.extend(argv_tail.iter().cloned());
+        if let Err(e) = bb_persist::install(
+            Path::new(dir),
+            opts.checkpoint_every,
+            argv,
+            config_tag(mode, canon, opts),
+        ) {
+            eprintln!("error: could not open checkpoint directory {dir}: {e}");
+            return EXIT_USAGE;
+        }
+    }
+    let cache = match &opts.cache {
+        Some(dir) => match Cache::open(Path::new(dir)) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("error: could not open cache directory {dir}: {e}");
+                return EXIT_USAGE;
+            }
+        },
+        None => None,
+    };
+    // Only whole verdicts and quotients are memoized; `check`/`reduce-check`
+    // always run (they are the harnesses that *establish* trust).
+    let cacheable = matches!(mode, Mode::Verify | Mode::Quotient);
+    let key = cache_key(mode, canon, opts);
+    if cacheable {
+        if let Some(entry) = cache.as_ref().and_then(|c| c.lookup(&key)) {
+            print!("{}", entry.stdout);
+            return write_requested_artifacts(&entry.artifacts, opts, entry.exit_code);
+        }
+    }
+    let mut out = RunOutput::default();
+    let code = dispatch_named(canon, opts, mode, &mut out);
+    print!("{}", out.stdout);
+    // Inconclusive outcomes are never cached: they depend on wall-clock
+    // budgets and a retry might do better. Usage errors likewise.
+    if cacheable && (code == EXIT_PROVED || code == EXIT_REFUTED) {
+        if let Some(c) = &cache {
+            let entry = CacheEntry {
+                key,
+                stdout: out.stdout.clone(),
+                exit_code: code,
+                artifacts: out.artifacts.clone(),
+            };
+            if let Err(e) = c.store(&entry) {
+                bb_obs::diag!("persist: cache store failed: {e}");
+            }
+        }
+    }
+    write_requested_artifacts(&out.artifacts, opts, code)
+}
+
+fn dispatch_named(canon: &str, opts: &Options, mode: Mode, out: &mut RunOutput) -> i32 {
     let d = &opts.domain;
     let dsize = d.len() as i64;
     let th = opts.threads;
     let ops = opts.ops;
     match canon {
-        "treiber" => dispatch(&Treiber::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
-        "treiber-hp" => dispatch(&TreiberHp::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
-        "treiber-hp-fu" => dispatch(&TreiberHpFu::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
-        "ms-queue" => dispatch(&MsQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true),
-        "dglm-queue" => dispatch(&DglmQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true),
+        "treiber" => dispatch(&Treiber::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
+        "treiber-hp" => dispatch(&TreiberHp::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
+        "treiber-hp-fu" => dispatch(&TreiberHpFu::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
+        "ms-queue" => dispatch(&MsQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true, out),
+        "dglm-queue" => dispatch(&DglmQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true, out),
         "hw-queue" => dispatch(
             &HwQueue::for_bound(d, th, ops),
             &AtomicSpec::new(SeqQueue::new(d)),
             opts,
             mode,
             true,
+            out,
         ),
-        "ccas" => dispatch(&Ccas::new(dsize), &AtomicSpec::new(SeqCcas::new(dsize)), opts, mode, true),
-        "rdcss" => dispatch(&Rdcss::new(dsize), &AtomicSpec::new(SeqRdcss::new(dsize)), opts, mode, true),
-        "newcas" => dispatch(&NewCas::new(dsize), &AtomicSpec::new(SeqRegister::new(dsize)), opts, mode, true),
-        "hm-list" => dispatch(&HmList::revised(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true),
-        "hm-list-buggy" => dispatch(&HmList::buggy(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true),
-        "hsy-stack" => dispatch(&HsyStack::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true),
-        "lazy-list" => dispatch(&LazyList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
-        "optimistic-list" => dispatch(&OptimisticList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
-        "fine-list" => dispatch(&FineList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
-        "two-lock-queue" => dispatch(&TwoLockQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false),
-        "coarse-stack" => dispatch(&CoarseLocked::new(SeqStack::new(d)), &AtomicSpec::new(SeqStack::new(d)), opts, mode, false),
-        "coarse-queue" => dispatch(&CoarseLocked::new(SeqQueue::new(d)), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false),
-        "coarse-set" => dispatch(&CoarseLocked::new(SeqSet::new(d)), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false),
+        "ccas" => dispatch(&Ccas::new(dsize), &AtomicSpec::new(SeqCcas::new(dsize)), opts, mode, true, out),
+        "rdcss" => dispatch(&Rdcss::new(dsize), &AtomicSpec::new(SeqRdcss::new(dsize)), opts, mode, true, out),
+        "newcas" => dispatch(&NewCas::new(dsize), &AtomicSpec::new(SeqRegister::new(dsize)), opts, mode, true, out),
+        "hm-list" => dispatch(&HmList::revised(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true, out),
+        "hm-list-buggy" => dispatch(&HmList::buggy(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true, out),
+        "hsy-stack" => dispatch(&HsyStack::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
+        "lazy-list" => dispatch(&LazyList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
+        "optimistic-list" => dispatch(&OptimisticList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
+        "fine-list" => dispatch(&FineList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
+        "two-lock-queue" => dispatch(&TwoLockQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false, out),
+        "coarse-stack" => dispatch(&CoarseLocked::new(SeqStack::new(d)), &AtomicSpec::new(SeqStack::new(d)), opts, mode, false, out),
+        "coarse-queue" => dispatch(&CoarseLocked::new(SeqQueue::new(d)), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false, out),
+        "coarse-set" => dispatch(&CoarseLocked::new(SeqSet::new(d)), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
         other => {
             eprintln!("unknown algorithm `{other}`; try `bbv list`");
             EXIT_USAGE
@@ -471,12 +736,23 @@ fn dispatch_named(canon: &str, opts: &Options, mode: Mode) -> i32 {
 ///
 /// With `--reduce`, exploration unfolds the reduced system instead and the
 /// reducer counters go to stderr (stdout stays diffable across modes).
+///
+/// With a checkpoint session installed, a previously completed section
+/// seeds the LTS directly, and a freshly explored one is offered back
+/// (stage boundaries are always cut points).
 fn explore_or_inconclusive<A: ObjectAlgorithm>(
     alg: &A,
     bound: Bound,
     wd: &Watchdog,
     opts: &Options,
 ) -> Result<Lts, i32> {
+    let persist = bb_persist::active();
+    let section = format!("{}/b{}-{}", alg.name(), bound.threads, bound.ops_per_thread);
+    if let Some(p) = persist.as_ref() {
+        if let Some(lts) = p.seed_lts(&section) {
+            return Ok(lts);
+        }
+    }
     let eo = ExploreOptions::governed(wd).with_jobs(opts.jobs);
     let result = if opts.reduce == ReduceMode::None {
         explore_system_with(alg, bound, &eo)
@@ -486,10 +762,18 @@ fn explore_or_inconclusive<A: ObjectAlgorithm>(
             lts
         })
     };
-    result.map_err(|e| {
-        eprintln!("inconclusive: {e}");
-        EXIT_INCONCLUSIVE
-    })
+    match result {
+        Ok(lts) => {
+            if let Some(p) = persist.as_ref() {
+                p.offer_lts(&section, &lts);
+            }
+            Ok(lts)
+        }
+        Err(e) => {
+            eprintln!("inconclusive: {e}");
+            Err(EXIT_INCONCLUSIVE)
+        }
+    }
 }
 
 fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
@@ -498,14 +782,15 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     opts: &Options,
     mode: Mode,
     non_blocking: bool,
+    out: &mut RunOutput,
 ) -> i32 {
     let bound = Bound::new(opts.threads, opts.ops);
 
     if mode == Mode::ReduceCheck {
-        return reduce_check(alg, spec, opts, bound, non_blocking);
+        return reduce_check(alg, spec, opts, bound, non_blocking, out);
     }
     if mode == Mode::Verify && opts.budgeted() {
-        return verify_governed(alg, spec, opts, bound, non_blocking);
+        return verify_governed(alg, spec, opts, bound, non_blocking, out);
     }
 
     let wd = Watchdog::new(opts.budget());
@@ -541,18 +826,19 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
                 return EXIT_INCONCLUSIVE;
             }
         };
-        println!("algorithm : {}", alg.name());
-        println!("formula   : {formula}");
-        println!(
+        outln!(out, "algorithm : {}", alg.name());
+        outln!(out, "formula   : {formula}");
+        outln!(
+            out,
             "checked on: divergence-preserving quotient ({} of {} states)",
             q.lts.num_states(),
             imp.num_states()
         );
-        println!("holds     : {}", result.holds);
+        outln!(out, "holds     : {}", result.holds);
         if let Some(ce) = &result.counterexample {
-            println!("counterexample:");
+            outln!(out, "counterexample:");
             for line in ce.to_pretty().lines() {
-                println!("  {line}");
+                outln!(out, "  {line}");
             }
         }
         return if result.holds { EXIT_PROVED } else { EXIT_REFUTED };
@@ -567,28 +853,20 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
                 .with_mode(opts.refine),
         );
         let q = quotient(&imp, &p);
-        println!("algorithm : {}", alg.name());
-        println!("bound     : {}-{}", bound.threads, bound.ops_per_thread);
-        println!("|Δ|       : {}", imp.num_states());
-        println!("|Δ/≈|     : {}", q.lts.num_states());
-        println!(
+        outln!(out, "algorithm : {}", alg.name());
+        outln!(out, "bound     : {}-{}", bound.threads, bound.ops_per_thread);
+        outln!(out, "|Δ|       : {}", imp.num_states());
+        outln!(out, "|Δ/≈|     : {}", q.lts.num_states());
+        outln!(
+            out,
             "reduction : ×{:.1}",
             imp.num_states() as f64 / q.lts.num_states() as f64
         );
-        if let Some(path) = &opts.dot {
-            if let Err(e) = std::fs::write(path, to_dot(&q.lts, alg.name())) {
-                eprintln!("could not write {path}: {e}");
-                return EXIT_USAGE;
-            }
-            println!("quotient written to {path} (Graphviz DOT)");
-        }
-        if let Some(path) = &opts.aut {
-            if let Err(e) = std::fs::write(path, to_aut(&q.lts)) {
-                eprintln!("could not write {path}: {e}");
-                return EXIT_USAGE;
-            }
-            println!("quotient written to {path} (Aldebaran .aut, CADP-compatible)");
-        }
+        // Both artifacts are always rendered: the cache stores them so a
+        // later hit can honour paths the original invocation did not ask
+        // for, and the requested subset is written after dispatch.
+        out.artifacts.push(("dot".into(), to_dot(&q.lts, alg.name()).into_bytes()));
+        out.artifacts.push(("aut".into(), to_aut(&q.lts).into_bytes()));
         return EXIT_PROVED;
     }
 
@@ -603,25 +881,25 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
         cfg = cfg.linearizability_only();
     }
     let report = verify_case_lts(alg.name(), cfg, &imp, &sp);
-    println!("{}", report.summary());
+    outln!(out, "{}", report.summary());
     if let Some(v) = &report.linearizability.violation {
-        println!("non-linearizable history:");
-        println!("  {}", v.to_pretty());
+        outln!(out, "non-linearizable history:");
+        outln!(out, "  {}", v.to_pretty());
     }
     if let Some(lf) = &report.lock_freedom {
         if let Some(lasso) = &lf.divergence {
-            println!("lock-freedom violation (τ-loop):");
+            outln!(out, "lock-freedom violation (τ-loop):");
             for line in bbverify::core::format_lasso(&imp, lasso).lines() {
-                println!("  {line}");
+                outln!(out, "  {line}");
             }
         }
     }
     if opts.wait_freedom {
         let wf = verify_wait_freedom(&imp, opts.threads);
         if wf.wait_free() {
-            println!("starvation : none under the bounded client");
+            outln!(out, "starvation : none under the bounded client");
         } else {
-            println!("starvation : threads {:?} can spin forever", wf.starving_threads());
+            outln!(out, "starvation : threads {:?} can spin forever", wf.starving_threads());
         }
     }
     let failed = !report.linearizable()
@@ -642,6 +920,7 @@ fn reduce_check<A: ObjectAlgorithm, S: SequentialSpec>(
     opts: &Options,
     bound: Bound,
     non_blocking: bool,
+    out: &mut RunOutput,
 ) -> i32 {
     let mode = if opts.reduce == ReduceMode::None {
         ReduceMode::Full
@@ -651,7 +930,7 @@ fn reduce_check<A: ObjectAlgorithm, S: SequentialSpec>(
     let lock_freedom = opts.check_lock_freedom && non_blocking;
     match differential_check(alg, spec, bound, mode, opts.jobs, lock_freedom) {
         Ok(r) => {
-            println!("{}", r.render());
+            outln!(out, "{}", r.render());
             if r.passed() {
                 EXIT_PROVED
             } else {
@@ -673,6 +952,7 @@ fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
     opts: &Options,
     bound: Bound,
     non_blocking: bool,
+    out: &mut RunOutput,
 ) -> i32 {
     let mut config = GovernedConfig::new(bound, opts.budget())
         .with_jobs(opts.jobs)
@@ -688,16 +968,20 @@ fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
     } else {
         verify_case_reduced_governed(alg, spec, opts.reduce, &config)
     };
-    print!("{}", report.render());
+    {
+        use std::fmt::Write as _;
+        let _ = write!(out.stdout, "{}", report.render());
+    }
     if let Some(details) = &report.details {
-        println!("{}", details.summary());
+        outln!(out, "{}", details.summary());
         if let Some(v) = &details.linearizability.violation {
-            println!("non-linearizable history:");
-            println!("  {}", v.to_pretty());
+            outln!(out, "non-linearizable history:");
+            outln!(out, "  {}", v.to_pretty());
         }
         if let Some(lf) = &details.lock_freedom {
             if let Some(lasso) = &lf.divergence {
-                println!(
+                outln!(
+                    out,
                     "lock-freedom violation: τ-loop of {} step(s) after a {}-step prefix",
                     lasso.cycle.len(),
                     lasso.prefix.len()
