@@ -19,11 +19,11 @@
 
 use bb_bench::{check, lts_of_jobs, mark, try_lts_of_jobs};
 use bb_bisim::{
-    bisimilar_governed_jobs, partition_jobs, partition_with_stats, quotient, Equivalence,
-    PartitionOptions, RefineMode,
+    bisimilar_governed_jobs, partition_jobs, partition_with_stats, partition_with_stats_pre,
+    quotient, Equivalence, PartitionOptions, RefineMode,
 };
 use bb_core::{
-    verify_case_lts, verify_linearizability_jobs, verify_lock_freedom_jobs,
+    verify_case_lts, verify_case_lts_pre, verify_linearizability_jobs, verify_lock_freedom_jobs,
     verify_lock_freedom_via_abstraction_jobs, VerifyConfig,
 };
 use bb_ktrace::{classify_tau_edges, KtraceLimits};
@@ -73,10 +73,14 @@ fn main() {
             std::process::exit(3);
         }
     };
+    // `--fuse`: stream exploration into refinement (`verdicts`) and add the
+    // fused+sharded column (`perf`). Output lines are byte-identical with
+    // fusion on or off — the fusion CI job diffs exactly that.
+    let fuse = args.iter().any(|a| a == "--fuse");
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
         "reduce" => guarded("reduce", || reduce_table(large, jobs)),
-        "verdicts" => guarded("verdicts", || verdicts(reduce, refine, jobs, cache)),
+        "verdicts" => guarded("verdicts", || verdicts(reduce, refine, jobs, cache, fuse)),
         "perf" => guarded("perf", || perf(&parse_out(&args))),
         "phases" => phases(jobs),
         "table1" => guarded("table1", || table1(jobs)),
@@ -102,7 +106,7 @@ fn main() {
             eprintln!(
                 "usage: tables [table1..table7|fig10|reduce|verdicts|phases|perf|all] \
                  [--large] [--jobs N] [--reduce none|sym|por|full] \
-                 [--refine full|incremental] [--out FILE] [--cache DIR]"
+                 [--refine full|incremental] [--fuse] [--out FILE] [--cache DIR]"
             );
             std::process::exit(3);
         }
@@ -686,7 +690,13 @@ fn phases(jobs: Jobs) {
 /// With `--cache DIR`, each conclusive verdict line is memoized per case; a
 /// second sweep replays every line byte-identically from the cache (CI runs
 /// the roster twice and requires the second pass to be all hits).
-fn verdicts(reduce: ReduceMode, refine: RefineMode, jobs: Jobs, cache: Option<Cache>) {
+///
+/// With `--fuse`, exploration streams straight into refinement: predecessor
+/// tables are accumulated during the BFS merge and handed to the verifier,
+/// skipping the separate counting pass. The flag is deliberately *excluded*
+/// from the cache key — fused and staged runs print byte-identical lines, and
+/// the fusion CI job diffs the two sweeps to enforce exactly that.
+fn verdicts(reduce: ReduceMode, refine: RefineMode, jobs: Jobs, cache: Option<Cache>, fuse: bool) {
     let (mut hits, mut misses) = (0u32, 0u32);
     macro_rules! case {
         ($name:expr, $alg:expr, $spec:expr, $th:expr, $op:expr, $lf:expr) => {{
@@ -708,23 +718,53 @@ fn verdicts(reduce: ReduceMode, refine: RefineMode, jobs: Jobs, cache: Option<Ca
                     ExploreOptions::limits(bb_lts::ExploreLimits::default()).with_jobs(jobs);
                 let outcome =
                     bb_core::run_isolated(|| -> Result<String, bb_lts::budget::Exhausted> {
-                        let (imp, spec) = if reduce == ReduceMode::None {
-                            (
-                                bb_sim::explore_system_with(&$alg, bound, &opts)?,
-                                bb_sim::explore_system_with(&AtomicSpec::new($spec), bound, &opts)?,
-                            )
+                        // Reduced exploration rebuilds the LTS, so fusion
+                        // only applies to the unreduced sweep (same rule as
+                        // `bbv --fuse`).
+                        let (imp, spec, imp_preds, spec_preds) = if reduce == ReduceMode::None {
+                            if fuse {
+                                let (i, ip) = bb_sim::explore_system_fused(&$alg, bound, &opts)?;
+                                let (s, sp) = bb_sim::explore_system_fused(
+                                    &AtomicSpec::new($spec),
+                                    bound,
+                                    &opts,
+                                )?;
+                                (i, s, Some(ip), Some(sp))
+                            } else {
+                                (
+                                    bb_sim::explore_system_with(&$alg, bound, &opts)?,
+                                    bb_sim::explore_system_with(
+                                        &AtomicSpec::new($spec),
+                                        bound,
+                                        &opts,
+                                    )?,
+                                    None,
+                                    None,
+                                )
+                            }
                         } else {
                             (
                                 explore_reduced(&$alg, bound, reduce, &opts)?.0,
                                 explore_reduced(&AtomicSpec::new($spec), bound, reduce, &opts)?.0,
+                                None,
+                                None,
                             )
                         };
-                        let mut cfg =
-                            VerifyConfig::new(bound).with_jobs(jobs).with_refine(refine);
+                        let mut cfg = VerifyConfig::new(bound)
+                            .with_jobs(jobs)
+                            .with_refine(refine)
+                            .with_fuse(fuse);
                         if !$lf {
                             cfg = cfg.linearizability_only();
                         }
-                        let r = verify_case_lts($name, cfg, &imp, &spec);
+                        let r = verify_case_lts_pre(
+                            $name,
+                            cfg,
+                            &imp,
+                            &spec,
+                            imp_preds.as_ref(),
+                            spec_preds.as_ref(),
+                        );
                         let lf_mark = match &r.lock_freedom {
                             None => "—".to_string(),
                             Some(l) => check(l.lock_free).to_string(),
@@ -795,6 +835,13 @@ fn verdicts(reduce: ReduceMode, refine: RefineMode, jobs: Jobs, cache: Option<Ca
 
 // --------------------------------------------------- refinement engine perf
 
+/// Worker count for the fused+sharded `perf` column (and `BENCH_7.json`):
+/// one shard per available hardware thread — forcing more shards than cores
+/// only adds spawn/join overhead to the measurement.
+fn fused_jobs() -> Jobs {
+    Jobs::available()
+}
+
 /// One `perf` roster entry: full vs incremental refinement on the same LTS.
 struct PerfRow {
     name: &'static str,
@@ -809,21 +856,33 @@ struct PerfRow {
     inc_dirty_states: u64,
     inc_us: u128,
     inc_peak_sig_bytes: usize,
+    fused_recomputes: u64,
+    fused_us: u128,
 }
 
-/// Measures one roster case under both refinement engines. The partitions
-/// are asserted equal (block ids included); the statistics are deterministic
-/// and taken from the last sample, while the wall-clock is the best of
-/// `samples` runs.
+/// Measures one roster case under both refinement engines, plus the fused
+/// configuration (incremental + worklists sharded across available cores,
+/// fed a pre-built predecessor table as pipeline fusion would). All three
+/// partitions are asserted equal (block ids included); the statistics are
+/// deterministic and taken from the last sample, while the wall-clock is the
+/// best of `samples` runs.
 fn perf_row(name: &'static str, th: u8, op: u32, lts: &Lts, samples: u32) -> PerfRow {
     let eq = Equivalence::Branching;
     let full_opts = PartitionOptions::default().with_mode(RefineMode::Full);
     let inc_opts = PartitionOptions::default().with_mode(RefineMode::Incremental);
+    let fused_opts = PartitionOptions::default()
+        .with_mode(RefineMode::Incremental)
+        .with_jobs(fused_jobs());
+    // Fusion hands refinement the predecessor table built during exploration;
+    // here the table is prebuilt outside the timed region to model that.
+    let preds = lts.predecessor_table();
 
     let mut full_us = u128::MAX;
     let mut inc_us = u128::MAX;
+    let mut fused_us = u128::MAX;
     let (mut p_full, mut full_stats) = partition_with_stats(lts, eq, full_opts);
     let (mut p_inc, mut inc_stats) = partition_with_stats(lts, eq, inc_opts);
+    let (mut p_fused, mut fused_stats) = partition_with_stats_pre(lts, eq, fused_opts, Some(&preds));
     for _ in 0..samples {
         let t0 = Instant::now();
         let (p, s) = partition_with_stats(lts, eq, full_opts);
@@ -833,12 +892,21 @@ fn perf_row(name: &'static str, th: u8, op: u32, lts: &Lts, samples: u32) -> Per
         let (p, s) = partition_with_stats(lts, eq, inc_opts);
         inc_us = inc_us.min(t0.elapsed().as_micros());
         (p_inc, inc_stats) = (p, s);
+        let t0 = Instant::now();
+        let (p, s) = partition_with_stats_pre(lts, eq, fused_opts, Some(&preds));
+        fused_us = fused_us.min(t0.elapsed().as_micros());
+        (p_fused, fused_stats) = (p, s);
     }
     assert_eq!(
         p_full, p_inc,
         "{name} {th}-{op}: full and incremental partitions must be identical"
     );
+    assert_eq!(
+        p_full, p_fused,
+        "{name} {th}-{op}: fused+sharded partition must match the serial engines"
+    );
     assert_eq!(full_stats.rounds, inc_stats.rounds);
+    assert_eq!(full_stats.rounds, fused_stats.rounds);
     PerfRow {
         name,
         bound: format!("{th}-{op}"),
@@ -852,21 +920,26 @@ fn perf_row(name: &'static str, th: u8, op: u32, lts: &Lts, samples: u32) -> Per
         inc_dirty_states: inc_stats.dirty_states,
         inc_us,
         inc_peak_sig_bytes: inc_stats.peak_sig_bytes,
+        fused_recomputes: fused_stats.sig_recomputes,
+        fused_us,
     }
 }
 
-/// `perf` — full vs incremental partition refinement on a fixed seeded
-/// roster. Writes a machine-readable JSON report (schema `bb-bench/perf-v1`,
-/// default `BENCH_5.json`); the counters are deterministic, only the
-/// wall-clock columns vary run to run.
+/// `perf` — full vs incremental vs fused+sharded partition refinement on a
+/// fixed seeded roster. Writes a machine-readable JSON report (schema
+/// `bb-bench/perf-v2`, default `BENCH_5.json`); the counters are
+/// deterministic, only the wall-clock columns vary run to run. The `fused`
+/// column is the incremental engine with worklists sharded across
+/// `FUSED_JOBS` threads and the predecessor table inherited from exploration
+/// (what `--fuse` produces end to end).
 fn perf(out: &str) {
     const SAMPLES: u32 = 3;
-    println!("\n=== Refinement engine — full vs incremental (branching, serial) ===");
+    println!("\n=== Refinement engine — full vs incremental vs fused (branching) ===");
     println!("(best of {SAMPLES} runs; counters deterministic, partitions asserted equal)\n");
     println!(
-        "{:<12} {:>5} {:>9} {:>10} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "{:<12} {:>5} {:>9} {:>10} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
         "Object", "#T-#O", "states", "trans", "rounds", "full recomp", "inc recomp", "dirty/n",
-        "full time", "inc time"
+        "full time", "inc time", "fused time"
     );
 
     let jobs = Jobs::serial();
@@ -877,8 +950,9 @@ fn perf(out: &str) {
         perf_row("ms-queue", 2, 2, &lts_of_jobs(&MsQueue::new(&[1, 2]), 2, 2, jobs), SAMPLES),
     ];
 
-    let mut json = String::from("{\n  \"schema\": \"bb-bench/perf-v1\",\n");
+    let mut json = String::from("{\n  \"schema\": \"bb-bench/perf-v2\",\n");
     json.push_str("  \"equivalence\": \"branching\",\n  \"jobs\": 1,\n");
+    json.push_str(&format!("  \"fused_jobs\": {},\n", fused_jobs().get()));
     json.push_str(&format!("  \"samples\": {SAMPLES},\n  \"entries\": [\n"));
     for (i, r) in rows.iter().enumerate() {
         let full_work = r.rounds as u64 * r.states as u64;
@@ -889,7 +963,7 @@ fn perf(out: &str) {
             r.bound
         );
         println!(
-            "{:<12} {:>5} {:>9} {:>10} {:>7} {:>12} {:>12} {:>7.1}% {:>8}µs {:>8}µs",
+            "{:<12} {:>5} {:>9} {:>10} {:>7} {:>12} {:>12} {:>7.1}% {:>8}µs {:>8}µs {:>8}µs",
             r.name,
             r.bound,
             r.states,
@@ -900,6 +974,7 @@ fn perf(out: &str) {
             100.0 * r.inc_dirty_states as f64 / full_work.max(1) as f64,
             r.full_us,
             r.inc_us,
+            r.fused_us,
         );
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"bound\": \"{}\", \"states\": {}, \"transitions\": {}, \
@@ -907,6 +982,7 @@ fn perf(out: &str) {
              \"full\": {{\"sig_recomputes\": {}, \"peak_sig_bytes\": {}, \"min_wall_us\": {}}}, \
              \"incremental\": {{\"sig_recomputes\": {}, \"dirty_states\": {}, \
              \"peak_sig_bytes\": {}, \"min_wall_us\": {}}}, \
+             \"fused\": {{\"jobs\": {}, \"sig_recomputes\": {}, \"min_wall_us\": {}}}, \
              \"partitions_equal\": true}}{}\n",
             r.name,
             r.bound,
@@ -920,6 +996,9 @@ fn perf(out: &str) {
             r.inc_dirty_states,
             r.inc_peak_sig_bytes,
             r.inc_us,
+            fused_jobs().get(),
+            r.fused_recomputes,
+            r.fused_us,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }

@@ -27,8 +27,9 @@
 
 use crate::partition::{canonical_from_labels, BlockId, Partition};
 use crate::snapshot;
-use bb_lts::budget::{Exhausted, Meter, Stage, Watchdog};
+use bb_lts::budget::{ExhaustReason, Exhausted, Meter, Stage, Watchdog};
 use bb_lts::{tarjan_scc, tarjan_scc_region, Jobs, Lts, PredecessorTable, StateId, TauClosure};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -73,8 +74,18 @@ const SIG_MIN_CHUNK: usize = 256;
 /// Minimum SCCs per worker before a branching topological layer is fanned
 /// out (per-SCC work is heavier than per-state work).
 const SCC_MIN_CHUNK: usize = 64;
+/// Minimum split candidate blocks per worker before the grouping pass of
+/// the incremental split is fanned out.
+const SPLIT_MIN_CHUNK: usize = 64;
 /// Sentinel sig-id for "no signature computed yet".
 const NO_SIG: u32 = u32::MAX;
+
+/// Hard cap on refinable inputs: state indices, stable block labels and
+/// interned sig-ids all live in `u32` with reserved sentinels (`NO_SIG`,
+/// `DIV_LETTER`), and the `.aut` importer enforces the same `2^28` bound.
+/// Larger programmatic inputs surface as a state-cap budget trip instead of
+/// silently truncating the `as u32` casts in the engines below.
+const MAX_STATES: usize = 1 << 28;
 
 /// The equivalence relation to compute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -589,6 +600,9 @@ fn run_full(
     // Input size counts against the state cap; each refinement round's scan
     // counts its transition visits (work-proportional accounting).
     meter.add_states(n)?;
+    if n > MAX_STATES {
+        return Err(meter.exhausted(ExhaustReason::StateCap));
+    }
     let ctx = Ctx::with_jobs(lts, eq, jobs);
     let mut p = Partition::universal(n);
     let mut round = 0usize;
@@ -625,6 +639,11 @@ fn run_full(
         round_span.record("sig_pairs", pairs);
         drop(round_span);
         round += 1;
+        // Record the just-completed round *before* the memory charge below:
+        // a budget trip exactly on a round boundary must still report this
+        // round, while a trip inside `refine_once` above leaves the previous
+        // round's note in place (and none at all before round 1 completes).
+        meter.note_refinement(round as u64, next.num_blocks() as u64);
         // Incremental byte count from the pair total the signature writers
         // already tracked — no extra O(n) rescan per round. The formula
         // matches the old per-signature scan: `len * 8` payload plus 24
@@ -637,7 +656,6 @@ fn run_full(
         debug_assert!(next.refines(&p), "refinement must be monotone");
         let stable = next.num_blocks() == p.num_blocks();
         p = next;
-        meter.note_refinement(round as u64, p.num_blocks() as u64);
         if let Some(h) = persist {
             h.offer(round, stable, &|| p.clone());
         }
@@ -677,8 +695,28 @@ fn run_full(
 struct SigArena {
     offsets: Vec<u32>,
     pairs: Vec<(u32, u32)>,
-    /// Hash of a pair slice → candidate sig-ids with that hash.
-    buckets: HashMap<u64, Vec<u32>>,
+    /// Hash of a pair slice → candidate sig-ids with that hash. Keyed by the
+    /// already-mixed [`SigArena::hash_of`] value, so the map's own hasher is
+    /// a passthrough.
+    buckets: HashMap<u64, Vec<u32>, std::hash::BuildHasherDefault<PrehashedKey>>,
+}
+
+/// Hasher that forwards an already-mixed `u64` key unchanged. The interning
+/// buckets are keyed by [`SigArena::hash_of`] output; re-dispersing those
+/// keys through SipHash was a measurable share of every refinement round.
+#[derive(Default)]
+struct PrehashedKey(u64);
+
+impl std::hash::Hasher for PrehashedKey {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("bucket keys are written as u64")
+    }
+    fn write_u64(&mut self, key: u64) {
+        self.0 = key;
+    }
 }
 
 impl SigArena {
@@ -686,7 +724,7 @@ impl SigArena {
         SigArena {
             offsets: vec![0],
             pairs: Vec::new(),
-            buckets: HashMap::new(),
+            buckets: HashMap::default(),
         }
     }
 
@@ -699,16 +737,34 @@ impl SigArena {
         &self.pairs[self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize]
     }
 
+    /// Deterministic 64-bit mix of a pair slice. Interning sits on the hot
+    /// path of every round (each recomputed signature is hashed once), so
+    /// this is a hand-rolled multiply-xorshift rather than `DefaultHasher`'s
+    /// SipHash — a collision only costs an extra slice compare in the bucket
+    /// chain, never correctness, and the mix is a pure function of the
+    /// pairs, so results stay identical across runs and worker counts.
     fn hash_of(sig: &[(u32, u32)]) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        sig.hash(&mut h);
-        h.finish()
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ (sig.len() as u64);
+        for &(a, b) in sig {
+            let mut x = ((a as u64) << 32) | b as u64;
+            x = x.wrapping_mul(0xA24B_AED4_963E_E407);
+            x ^= x >> 32;
+            h = (h ^ x).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+            h ^= h >> 28;
+        }
+        h
     }
 
     /// Returns the id of `sig`, appending it to the arena if unseen.
     fn intern(&mut self, sig: &[(u32, u32)]) -> u32 {
-        let h = Self::hash_of(sig);
+        self.intern_hashed(sig, Self::hash_of(sig))
+    }
+
+    /// [`Self::intern`] with the hash precomputed — the sharded branching
+    /// sweep hashes signatures on the workers so the sequential merge only
+    /// pays the bucket probe.
+    fn intern_hashed(&mut self, sig: &[(u32, u32)], h: u64) -> u32 {
+        debug_assert_eq!(h, Self::hash_of(sig));
         if let Some(ids) = self.buckets.get(&h) {
             for &id in ids {
                 if self.get(id) == sig {
@@ -718,7 +774,11 @@ impl SigArena {
             }
         }
         let id = self.len() as u32;
-        debug_assert!(id < NO_SIG, "sig-id space exhausted");
+        // Release-mode assert: a wrapped id would silently alias `NO_SIG`
+        // and corrupt every later split. Unreachable below `MAX_STATES`
+        // (at most one fresh signature per state per round), but cheap
+        // relative to the hash above.
+        assert!(id < NO_SIG, "sig-id space exhausted");
         self.pairs.extend_from_slice(sig);
         self.offsets.push(self.pairs.len() as u32);
         self.buckets.entry(h).or_default().push(id);
@@ -733,6 +793,16 @@ impl SigArena {
     }
 }
 
+/// Per-worker scratch for the split's grouping pass: a direct index from
+/// dense sig-ids to the group slot within the current block, invalidated in
+/// O(1) by bumping `epoch` instead of clearing.
+struct SplitScratch {
+    /// `stamp[sid] == epoch` ⇔ `slot[sid]` is valid for the current block.
+    stamp: Vec<u32>,
+    slot: Vec<u32>,
+    epoch: u32,
+}
+
 /// The inert-τ SCC condensation maintained across rounds by the branching
 /// engines. `order`/`pos` keep an explicit reverse-topological order
 /// (successor components at smaller positions) that stays valid as
@@ -742,9 +812,14 @@ impl SigArena {
 struct CondState {
     /// For each state, the id of its inert-τ SCC.
     scc_of: Vec<u32>,
-    /// Member states of each SCC, in state order. Empty for dead (split)
-    /// SCCs.
-    members: Vec<Vec<StateId>>,
+    /// CSR member lists: SCC `k`'s states, in state order, are
+    /// `mem_flat[mem_off[k].0..mem_off[k].1]`. Dead (split) SCCs have an
+    /// empty range; replacement sub-SCC lists are appended at the end. One
+    /// flat array instead of a `Vec` per SCC — the per-SCC allocations (and
+    /// their scattered reads in every sweep) were a measurable share of each
+    /// round.
+    mem_off: Vec<(usize, usize)>,
+    mem_flat: Vec<StateId>,
     /// Whether the SCC contains an inert-τ cycle (divergence seed).
     cyclic: Vec<bool>,
     /// Live SCC ids, successors first (reverse topological).
@@ -755,6 +830,21 @@ struct CondState {
     scc_sig: Vec<u32>,
     /// Divergence flag of each SCC.
     scc_div: Vec<bool>,
+}
+
+impl CondState {
+    /// Member states of SCC `k`, in state order (empty for dead SCCs).
+    #[inline]
+    fn members_of(&self, k: usize) -> &[StateId] {
+        let (a, b) = self.mem_off[k];
+        &self.mem_flat[a..b]
+    }
+
+    /// Number of SCC slots, dead ones included (ids index this range).
+    #[inline]
+    fn num_sccs(&self) -> usize {
+        self.mem_off.len()
+    }
 }
 
 /// State of an incremental refinement run.
@@ -769,8 +859,9 @@ struct CondState {
 /// the two id spaces).
 struct Incremental<'c, 'a> {
     ctx: &'c Ctx<'a>,
-    /// Flat reverse adjacency, built once per run.
-    preds: PredecessorTable,
+    /// Flat reverse adjacency: borrowed from the fused pipeline when
+    /// exploration already accumulated it, built once per run otherwise.
+    preds: Cow<'c, PredecessorTable>,
     /// Stable block label of each state.
     block_of: Vec<u32>,
     num_blocks: usize,
@@ -790,12 +881,18 @@ struct Incremental<'c, 'a> {
 }
 
 impl<'c, 'a> Incremental<'c, 'a> {
-    fn new(ctx: &'c Ctx<'a>) -> Self {
+    fn new(ctx: &'c Ctx<'a>, preds: Option<&'c PredecessorTable>) -> Self {
         let lts = ctx.lts;
         let n = lts.num_states();
+        if let Some(p) = preds {
+            debug_assert_eq!(p.num_entries(), lts.num_transitions());
+        }
         Incremental {
             ctx,
-            preds: lts.predecessor_table(),
+            preds: match preds {
+                Some(p) => Cow::Borrowed(p),
+                None => Cow::Owned(lts.predecessor_table()),
+            },
             block_of: vec![0u32; n],
             num_blocks: usize::from(n != 0),
             members: if n == 0 {
@@ -860,23 +957,46 @@ impl<'c, 'a> Incremental<'c, 'a> {
     /// Dirty states for strong bisimulation: a signature references only the
     /// blocks of direct successors, so exactly the moved states and their
     /// predecessors can change.
+    ///
+    /// Sharded by id range over the moved set: each worker emits its chunk's
+    /// states plus their predecessors without global deduplication, and the
+    /// ordered merge (sort + dedup) reproduces `moved ∪ pred(moved)` in
+    /// ascending state order — the exact sequential result at any worker
+    /// count.
     fn strong_worklist(&self) -> Vec<StateId> {
-        let n = self.ctx.lts.num_states();
-        let mut seen = vec![false; n];
-        let mut out: Vec<StateId> = Vec::new();
-        for &m in &self.moved {
-            if !seen[m.index()] {
-                seen[m.index()] = true;
-                out.push(m);
+        let workers = self.ctx.jobs.for_items(self.moved.len(), SIG_MIN_CHUNK);
+        let mut out: Vec<StateId> = if workers == 1 {
+            let mut local: Vec<StateId> = Vec::with_capacity(self.moved.len());
+            for &m in &self.moved {
+                local.push(m);
+                local.extend(self.preds.of(m).iter().map(|&(u, _)| u));
             }
-            for &(u, _) in self.preds.of(m) {
-                if !seen[u.index()] {
-                    seen[u.index()] = true;
-                    out.push(u);
-                }
-            }
-        }
+            local
+        } else {
+            let chunk = self.moved.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .moved
+                    .chunks(chunk)
+                    .map(|piece| {
+                        scope.spawn(move || {
+                            let mut local: Vec<StateId> = Vec::with_capacity(piece.len());
+                            for &m in piece {
+                                local.push(m);
+                                local.extend(self.preds.of(m).iter().map(|&(u, _)| u));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        };
         out.sort_unstable();
+        out.dedup();
         out
     }
 
@@ -887,12 +1007,41 @@ impl<'c, 'a> Incremental<'c, 'a> {
     /// visible step (`w →a t ⇒ m` with `w` τ-reachable backwards) — the
     /// inner closure before taking predecessors is what catches `t`.
     fn weak_worklist(&self) -> Vec<StateId> {
+        let workers = self.ctx.jobs.for_items(self.moved.len(), SIG_MIN_CHUNK);
+        if workers == 1 {
+            return self.weak_worklist_from(&self.moved);
+        }
+        // Backward closures distribute over unions, so each worker runs the
+        // full three-phase closure on its own id-range shard of the moved
+        // set; the ordered merge (sort + dedup) of the per-shard closures is
+        // exactly the closure of the whole set, independent of the worker
+        // count.
+        let chunk = self.moved.len().div_ceil(workers);
+        let mut out: Vec<StateId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .moved
+                .chunks(chunk)
+                .map(|piece| scope.spawn(move || self.weak_worklist_from(piece)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The three-phase τ-backward closure of one moved-set shard (see
+    /// [`Self::weak_worklist`] for the set being computed).
+    fn weak_worklist_from(&self, moved: &[StateId]) -> Vec<StateId> {
         let ctx = self.ctx;
         let n = ctx.lts.num_states();
         let mut seen = vec![false; n];
         let mut out: Vec<StateId> = Vec::new();
         let mut stack: Vec<StateId> = Vec::new();
-        for &m in &self.moved {
+        for &m in moved {
             if !seen[m.index()] {
                 seen[m.index()] = true;
                 out.push(m);
@@ -1016,7 +1165,7 @@ impl<'c, 'a> Incremental<'c, 'a> {
                 let cond = self.cond.as_ref().expect("condensation exists");
                 let affected_states: usize = affected
                     .iter()
-                    .map(|&k| cond.members[k as usize].len())
+                    .map(|&k| cond.members_of(k as usize).len())
                     .sum();
                 // Pure, jobs-independent threshold: when the flipped region
                 // covers a large share of the LTS, a fresh Tarjan pass is
@@ -1031,7 +1180,7 @@ impl<'c, 'a> Incremental<'c, 'a> {
         }
         let cond = self.cond.as_ref().expect("condensation exists");
         if rebuilt {
-            pending = (0..cond.members.len() as u32).collect();
+            pending = (0..cond.num_sccs() as u32).collect();
         } else {
             // Seed SCCs: moved states and their predecessors (any action —
             // a visible or non-inert τ edge into a moved state changes the
@@ -1047,7 +1196,7 @@ impl<'c, 'a> Incremental<'c, 'a> {
         }
         let dirty: u64 = pending
             .iter()
-            .map(|&k| cond.members[k as usize].len() as u64)
+            .map(|&k| cond.members_of(k as usize).len() as u64)
             .sum();
         let recomputed = self.sweep(pending, meter)?;
         Ok((dirty, recomputed))
@@ -1067,11 +1216,30 @@ impl<'c, 'a> Incremental<'c, 'a> {
                 }
             }
         });
-        let members = c.members();
         let num = c.num_sccs;
+        let n = lts.num_states();
+        // Counting sort straight into the CSR arrays: states iterate in
+        // ascending order, so each member list comes out in state order.
+        let mut counts = vec![0usize; num];
+        for &scc in &c.scc_of {
+            counts[scc.0 as usize] += 1;
+        }
+        let mut mem_off: Vec<(usize, usize)> = Vec::with_capacity(num);
+        let mut acc = 0usize;
+        for &cnt in &counts {
+            mem_off.push((acc, acc));
+            acc += cnt;
+        }
+        let mut mem_flat: Vec<StateId> = vec![StateId(0); n];
+        for (i, &scc) in c.scc_of.iter().enumerate() {
+            let end = &mut mem_off[scc.0 as usize].1;
+            mem_flat[*end] = StateId(i as u32);
+            *end += 1;
+        }
         self.cond = Some(CondState {
             scc_of: c.scc_of.iter().map(|scc| scc.0).collect(),
-            members,
+            mem_off,
+            mem_flat,
             cyclic: c.cyclic,
             order: (0..num as u32).collect(),
             pos: (0..num as u32).collect(),
@@ -1131,7 +1299,9 @@ impl<'c, 'a> Incremental<'c, 'a> {
         let cond = self.cond.as_mut().expect("condensation exists");
         let mut replacement: HashMap<u32, Vec<u32>> = HashMap::new();
         for &k in affected {
-            let mem = std::mem::take(&mut cond.members[k as usize]);
+            let (a, b) = cond.mem_off[k as usize];
+            cond.mem_off[k as usize] = (a, a); // dead slot, empty range
+            let mem = cond.mem_flat[a..b].to_vec();
             let subs = tarjan_scc_region(&mem, |s, out| {
                 for t in lts.successors(s) {
                     if ctx.is_tau(t.action) && block_of[s.index()] == block_of[t.target.index()]
@@ -1142,11 +1312,13 @@ impl<'c, 'a> Incremental<'c, 'a> {
             });
             let mut ids = Vec::with_capacity(subs.len());
             for (sub_members, cyclic) in subs {
-                let id = cond.members.len() as u32;
+                let id = cond.mem_off.len() as u32;
                 for &s in &sub_members {
                     cond.scc_of[s.index()] = id;
                 }
-                cond.members.push(sub_members);
+                let start = cond.mem_flat.len();
+                cond.mem_flat.extend_from_slice(&sub_members);
+                cond.mem_off.push((start, cond.mem_flat.len()));
                 cond.cyclic.push(cyclic);
                 cond.scc_sig.push(NO_SIG);
                 cond.scc_div.push(false);
@@ -1163,7 +1335,7 @@ impl<'c, 'a> Incremental<'c, 'a> {
             }
         }
         cond.order = new_order;
-        cond.pos = vec![0; cond.members.len()];
+        cond.pos = vec![0; cond.mem_off.len()];
         for (i, &id) in cond.order.iter().enumerate() {
             cond.pos[id as usize] = i as u32;
         }
@@ -1171,80 +1343,258 @@ impl<'c, 'a> Incremental<'c, 'a> {
 
     /// Recomputes the pending SCCs in reverse-topological position order,
     /// propagating to inert-τ predecessor SCCs when a signature changed.
-    /// Processing in ascending position guarantees every inert successor of
-    /// a popped SCC is already final for this round: initial pending SCCs
-    /// enter the heap up front, and propagation only pushes strictly larger
-    /// positions. Returns the number of member states recomputed.
+    ///
+    /// The heap is drained in *batches*: each batch is the longest
+    /// dependency-free prefix of the heap in ascending position order — an
+    /// SCC joins only when none of its external inert successors is already
+    /// in the batch, so every batch member reads exclusively signatures
+    /// finalized before the batch started. Batch signature computation is a
+    /// pure read of that finalized state and fans out across `jobs` workers;
+    /// the merge (metering, interning, sig-id updates, propagation) runs
+    /// sequentially in position order. The batch boundary is a pure function
+    /// of the heap contents, and `jobs` only parallelizes the computation
+    /// *within* a batch, so partitions, histories, and meter accounting are
+    /// bit-identical at any worker count.
+    ///
+    /// One wrinkle the serial drain did not have: a batch can finalize an
+    /// SCC at position `q` while a later propagation wakes an SCC at a
+    /// position `p < q` that `q` reads. The merge detects that out-of-order
+    /// wake-up (`done` already set on a propagation target) and re-queues
+    /// the stale reader, which converges to the serial fixpoint because the
+    /// inert-successor DAG is acyclic and each recomputation reads strictly
+    /// fresher successor signatures. Returns the number of member states
+    /// recomputed.
     fn sweep(&mut self, pending: Vec<u32>, meter: &mut Meter) -> Result<u64, Exhausted> {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
         let ctx = self.ctx;
         let lts = ctx.lts;
-        let cond = self.cond.as_mut().expect("condensation exists");
-        let mut queued = vec![false; cond.members.len()];
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        for k in pending {
-            if !queued[k as usize] {
-                queued[k as usize] = true;
-                heap.push(Reverse((cond.pos[k as usize], k)));
+        let num_sccs = self.cond.as_ref().expect("condensation exists").num_sccs();
+        let mut done = vec![false; num_sccs];
+        let mut in_batch = vec![false; num_sccs];
+        // The queue, indexed by reverse-topological *position*: positions
+        // are dense and fixed for the duration of one sweep, so a bitset
+        // plus an ascending cursor replaces the former binary heap (whose
+        // pops dominated round profiles at ~25%). The cursor only moves
+        // backwards on an out-of-order wake-up, so the drain order — and
+        // with it every batch boundary, merge order, and meter charge — is
+        // exactly the heap's ascending-position order.
+        let order_len = self.cond.as_ref().expect("condensation exists").order.len();
+        let mut pending_pos = vec![false; order_len];
+        let mut cursor = order_len;
+        {
+            let cond = self.cond.as_ref().expect("condensation exists");
+            for k in pending {
+                let pp = cond.pos[k as usize] as usize;
+                if !pending_pos[pp] {
+                    pending_pos[pp] = true;
+                    cursor = cursor.min(pp);
+                }
             }
         }
         let mut recomputed = 0u64;
-        let mut acc: Vec<(u32, u32)> = Vec::new();
-        while let Some(Reverse((_, k))) = heap.pop() {
-            let k = k as usize;
-            meter.tick()?;
-            let edges: usize = cond.members[k]
-                .iter()
-                .map(|&s| lts.successors(s).len())
-                .sum();
-            meter.add_transitions(edges)?;
-            recomputed += cond.members[k].len() as u64;
-            acc.clear();
-            let mut div = cond.cyclic[k];
-            for &s in &cond.members[k] {
-                let bs = self.block_of[s.index()];
-                for t in lts.successors(s) {
-                    let bt = self.block_of[t.target.index()];
-                    if ctx.is_tau(t.action) && bt == bs {
-                        let ks = cond.scc_of[t.target.index()] as usize;
-                        if ks != k {
-                            debug_assert_ne!(
-                                cond.scc_sig[ks], NO_SIG,
-                                "inert successors are final before their predecessors"
-                            );
-                            acc.extend_from_slice(self.arena.get(cond.scc_sig[ks]));
-                            div |= cond.scc_div[ks];
+        let mut batch: Vec<u32> = Vec::new();
+        // Signature staging, reused across batches: `flat` holds the
+        // concatenated sorted signatures of one batch, `metas` one
+        // `(scc, end offset in flat, hash, divergence, edges)` per admitted
+        // SCC — no per-SCC allocation on the hot path.
+        let mut flat: Vec<(u32, u32)> = Vec::new();
+        let mut metas: Vec<(u32, usize, u64, bool, usize)> = Vec::new();
+        while cursor < order_len {
+            // ---- batch collection (sequential, jobs-independent) ----
+            batch.clear();
+            {
+                let cond = self.cond.as_ref().expect("condensation exists");
+                while cursor < order_len {
+                    if !pending_pos[cursor] {
+                        cursor += 1;
+                        continue;
+                    }
+                    let k = cond.order[cursor];
+                    let ku = k as usize;
+                    // The queue minimum never depends on an empty batch, so
+                    // the first admission of every batch skips the edge scan.
+                    let depends_on_batch = !batch.is_empty() && cond.members_of(ku).iter().any(|&s| {
+                        let bs = self.block_of[s.index()];
+                        lts.successors(s).iter().any(|t| {
+                            ctx.is_tau(t.action)
+                                && self.block_of[t.target.index()] == bs
+                                && {
+                                    let ks = cond.scc_of[t.target.index()] as usize;
+                                    ks != ku && in_batch[ks]
+                                }
+                        })
+                    });
+                    if depends_on_batch {
+                        // Non-empty by the guard above.
+                        break;
+                    }
+                    pending_pos[cursor] = false;
+                    cursor += 1;
+                    in_batch[ku] = true;
+                    batch.push(k);
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            // ---- signature computation (parallel, pure reads) ----
+            let divergence = self.divergence;
+            let cond_ref: &CondState = self.cond.as_ref().expect("condensation exists");
+            let block_of = &self.block_of;
+            let arena = &self.arena;
+            // Appends the signature of `k` (sorted, deduped) to `out`,
+            // returning its hash, divergence flag and member edge count.
+            let sig_into = |k: u32, out: &mut Vec<(u32, u32)>| -> (u64, bool, usize) {
+                let ku = k as usize;
+                let start = out.len();
+                let mut div = cond_ref.cyclic[ku];
+                let mut edges = 0usize;
+                for &s in cond_ref.members_of(ku) {
+                    let bs = block_of[s.index()];
+                    let succs = lts.successors(s);
+                    edges += succs.len();
+                    for t in succs {
+                        let bt = block_of[t.target.index()];
+                        if ctx.is_tau(t.action) && bt == bs {
+                            let ks = cond_ref.scc_of[t.target.index()] as usize;
+                            if ks != ku {
+                                debug_assert_ne!(
+                                    cond_ref.scc_sig[ks], NO_SIG,
+                                    "inert successors are final before their predecessors"
+                                );
+                                out.extend_from_slice(arena.get(cond_ref.scc_sig[ks]));
+                                div |= cond_ref.scc_div[ks];
+                            }
+                        } else {
+                            out.push((ctx.letters[t.action.index()], bt));
                         }
-                    } else {
-                        acc.push((ctx.letters[t.action.index()], bt));
                     }
                 }
-            }
-            if self.divergence && div {
-                acc.push((DIV_LETTER, 0));
-            }
-            acc.sort_unstable();
-            acc.dedup();
-            let sid = self.arena.intern(&acc);
-            let sig_changed = sid != cond.scc_sig[k];
-            cond.scc_sig[k] = sid;
-            cond.scc_div[k] = div;
-            for &s in &cond.members[k] {
-                if self.sig_id[s.index()] != sid {
-                    self.sig_id[s.index()] = sid;
-                    self.changed.push(s);
+                if divergence && div {
+                    out.push((DIV_LETTER, 0));
+                }
+                out[start..].sort_unstable();
+                // In-place tail dedup (`Vec::dedup` would rescan the whole
+                // buffer, which holds earlier signatures of this batch).
+                let mut w = start;
+                for r in start..out.len() {
+                    if w == start || out[r] != out[w - 1] {
+                        out[w] = out[r];
+                        w += 1;
+                    }
+                }
+                out.truncate(w);
+                let hash = SigArena::hash_of(&out[start..]);
+                (hash, div, edges)
+            };
+            let workers = ctx.jobs.for_items(batch.len(), SCC_MIN_CHUNK);
+            flat.clear();
+            metas.clear();
+            if workers == 1 {
+                for &k in &batch {
+                    let (hash, div, edges) = sig_into(k, &mut flat);
+                    metas.push((k, flat.len(), hash, div, edges));
+                }
+            } else {
+                let chunk = batch.len().div_ceil(workers);
+                if bb_obs::enabled() {
+                    // Chunks are equal-sized in SCCs but not in member
+                    // states; record the state-count skew of this fan-out.
+                    let loads: Vec<usize> = batch
+                        .chunks(chunk)
+                        .map(|c| c.iter().map(|&k| cond_ref.members_of(k as usize).len()).sum())
+                        .collect();
+                    let total: usize = loads.iter().sum();
+                    if total > 0 && loads.len() > 1 {
+                        let mean = total / loads.len();
+                        let max = *loads.iter().max().expect("non-empty");
+                        bb_obs::hot::REFINE_SHARD_IMBALANCE
+                            .record((max * 100 / mean.max(1)) as u64);
+                    }
+                }
+                type Part = (Vec<(u32, u32)>, Vec<(u32, usize, u64, bool, usize)>);
+                let parts: Vec<Part> = std::thread::scope(|scope| {
+                    let sig_into = &sig_into;
+                    let handles: Vec<_> = batch
+                        .chunks(chunk)
+                        .map(|piece| {
+                            scope.spawn(move || {
+                                let mut local: Vec<(u32, u32)> = Vec::new();
+                                let mut meta = Vec::with_capacity(piece.len());
+                                for &k in piece {
+                                    let (hash, div, edges) = sig_into(k, &mut local);
+                                    meta.push((k, local.len(), hash, div, edges));
+                                }
+                                (local, meta)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                        .collect()
+                });
+                // Concatenation in chunk order reproduces the serial layout
+                // exactly, so the merge below is worker-count-invariant.
+                for (local, meta) in parts {
+                    let off = flat.len();
+                    flat.extend_from_slice(&local);
+                    metas.extend(
+                        meta.into_iter().map(|(k, end, h, d, e)| (k, end + off, h, d, e)),
+                    );
                 }
             }
-            if sig_changed {
-                for &s in &cond.members[k] {
-                    let bs = self.block_of[s.index()];
-                    for &(u, a) in self.preds.of(s) {
-                        if ctx.is_tau(a) && self.block_of[u.index()] == bs {
-                            let ku = cond.scc_of[u.index()] as usize;
-                            if ku != k && !queued[ku] {
-                                queued[ku] = true;
-                                heap.push(Reverse((cond.pos[ku], ku as u32)));
+            // ---- merge (sequential, ascending position order) ----
+            let cond = self.cond.as_mut().expect("condensation exists");
+            let mut sig_start = 0usize;
+            for &(k, sig_end, hash, div, edges) in &metas {
+                let sig = &flat[sig_start..sig_end];
+                sig_start = sig_end;
+                let ku = k as usize;
+                in_batch[ku] = false;
+                done[ku] = true;
+                // Amortized clock check: a forced per-SCC clock read here
+                // profiled at several percent of every round. The cap check
+                // stays exact and the call sequence is merge-order (hence
+                // jobs-) invariant.
+                meter.add_transitions_ticked(edges)?;
+                recomputed += cond.members_of(ku).len() as u64;
+                let sid = self.arena.intern_hashed(sig, hash);
+                let sig_changed = sid != cond.scc_sig[ku];
+                cond.scc_sig[ku] = sid;
+                cond.scc_div[ku] = div;
+                for &s in cond.members_of(ku) {
+                    if self.sig_id[s.index()] != sid {
+                        self.sig_id[s.index()] = sid;
+                        self.changed.push(s);
+                    }
+                }
+                if sig_changed {
+                    for &s in cond.members_of(ku) {
+                        let bs = self.block_of[s.index()];
+                        for &(u, a) in self.preds.of(s) {
+                            if ctx.is_tau(a) && self.block_of[u.index()] == bs {
+                                let kp = cond.scc_of[u.index()] as usize;
+                                if kp == ku {
+                                    continue;
+                                }
+                                // A target inside the current batch is
+                                // impossible: admission rejects an SCC whose
+                                // external inert successor is in the batch,
+                                // and `kp`'s inert successor is this SCC.
+                                debug_assert!(!in_batch[kp]);
+                                let pp = cond.pos[kp] as usize;
+                                if !pending_pos[pp] {
+                                    // Either a first wake-up, or (`done`
+                                    // set) an out-of-order one: `kp` was
+                                    // finalized in an earlier batch against
+                                    // this SCC's pre-update signature.
+                                    // Re-queue it — possibly behind the
+                                    // cursor — so a later batch recomputes
+                                    // it against the new value.
+                                    done[kp] = false;
+                                    pending_pos[pp] = true;
+                                    cursor = cursor.min(pp);
+                                }
                             }
                         }
                     }
@@ -1260,6 +1610,14 @@ impl<'c, 'a> Incremental<'c, 'a> {
     /// block, states group by sig-id in member (= state) order; the group of
     /// the first member keeps the block's id, the rest get fresh labels and
     /// become the next round's moved set.
+    ///
+    /// Sharded in two phases: grouping a block is a pure function of its
+    /// member list and the sig-id table, so the candidate blocks fan out
+    /// across workers; label assignment stays sequential in ascending block
+    /// order because a fresh id depends on how many blocks split before this
+    /// one. Meter ticks move with the merge (one per member of each
+    /// multi-member candidate block, in block order), so budget accounting
+    /// is identical at any worker count.
     fn split(&mut self, meter: &mut Meter) -> Result<(), Exhausted> {
         self.moved.clear();
         if self.changed.is_empty() {
@@ -1273,27 +1631,76 @@ impl<'c, 'a> Incremental<'c, 'a> {
         blocks.sort_unstable();
         blocks.dedup();
         self.changed.clear();
-        for b in blocks {
-            let mem = std::mem::take(&mut self.members[b as usize]);
-            if mem.len() == 1 {
-                self.members[b as usize] = mem;
-                continue;
+        // ---- grouping (parallel, pure reads); `None` = block keeps its
+        // members (singleton or no sig-id boundary inside it) ----
+        //
+        // Grouping indexes states by interned sig-id. Sig-ids are dense
+        // arena indices, so an epoch-stamped direct-index scratch (one slot
+        // per sig-id, bumped epoch per block) replaces the former per-block
+        // `HashMap` — no hashing, no per-block allocation. Each worker owns
+        // one scratch; the grouping itself is unchanged, so group order (and
+        // with it every label) is identical at any worker count.
+        let num_sigs = self.arena.len();
+        let group = |scratch: &mut SplitScratch, b: u32| -> Option<Vec<Vec<StateId>>> {
+            let mem = &self.members[b as usize];
+            if mem.len() <= 1 {
+                return None;
             }
+            scratch.epoch += 1;
             let mut groups: Vec<Vec<StateId>> = Vec::new();
-            let mut index: HashMap<u32, usize> = HashMap::new();
-            for &s in &mem {
-                meter.tick()?;
-                let sid = self.sig_id[s.index()];
-                let gi = *index.entry(sid).or_insert_with(|| {
+            for &s in mem {
+                let sid = self.sig_id[s.index()] as usize;
+                debug_assert!(sid < num_sigs, "split after a full round 0 sweep");
+                let gi = if scratch.stamp[sid] == scratch.epoch {
+                    scratch.slot[sid] as usize
+                } else {
+                    scratch.stamp[sid] = scratch.epoch;
+                    scratch.slot[sid] = groups.len() as u32;
                     groups.push(Vec::new());
                     groups.len() - 1
-                });
+                };
                 groups[gi].push(s);
             }
-            if groups.len() == 1 {
-                self.members[b as usize] = mem;
-                continue;
+            (groups.len() > 1).then_some(groups)
+        };
+        let new_scratch = || SplitScratch {
+            stamp: vec![0; num_sigs],
+            slot: vec![0; num_sigs],
+            epoch: 0,
+        };
+        let workers = self.ctx.jobs.for_items(blocks.len(), SPLIT_MIN_CHUNK);
+        let grouped: Vec<Option<Vec<Vec<StateId>>>> = if workers == 1 {
+            let mut scratch = new_scratch();
+            blocks.iter().map(|&b| group(&mut scratch, b)).collect()
+        } else {
+            let chunk = blocks.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let group = &group;
+                let new_scratch = &new_scratch;
+                let handles: Vec<_> = blocks
+                    .chunks(chunk)
+                    .map(|piece| {
+                        scope.spawn(move || {
+                            let mut scratch = new_scratch();
+                            piece.iter().map(|&b| group(&mut scratch, b)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        };
+        // ---- label assignment (sequential, ascending block order) ----
+        for (&b, groups) in blocks.iter().zip(grouped) {
+            let len = self.members[b as usize].len();
+            if len > 1 {
+                for _ in 0..len {
+                    meter.tick()?;
+                }
             }
+            let Some(groups) = groups else { continue };
             let mut iter = groups.into_iter();
             self.members[b as usize] = iter.next().expect("at least one group");
             for g in iter {
@@ -1311,7 +1718,10 @@ impl<'c, 'a> Incremental<'c, 'a> {
 }
 
 /// The incremental engine (see the module docs and DESIGN.md § "Incremental
-/// refinement").
+/// refinement"). A fused pipeline passes the predecessor table it
+/// accumulated during exploration via `preds`; the engine builds its own
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
 fn run_incremental(
     lts: &Lts,
     eq: Equivalence,
@@ -1320,6 +1730,7 @@ fn run_incremental(
     jobs: Jobs,
     stats: Option<&mut RefineStats>,
     persist: Option<&PersistHook>,
+    preds: Option<&PredecessorTable>,
 ) -> Result<Partition, Exhausted> {
     let n = lts.num_states();
     let span = bb_obs::span("bisim")
@@ -1328,8 +1739,11 @@ fn run_incremental(
         .with("transitions", lts.num_transitions());
     let mut meter = wd.meter(Stage::Bisim);
     meter.add_states(n)?;
+    if n > MAX_STATES {
+        return Err(meter.exhausted(ExhaustReason::StateCap));
+    }
     let ctx = Ctx::with_jobs(lts, eq, jobs);
-    let mut eng = Incremental::new(&ctx);
+    let mut eng = Incremental::new(&ctx, preds);
     let mut rounds: Vec<Partition> = Vec::new();
     if history.is_some() {
         rounds.push(Partition::universal(n));
@@ -1353,6 +1767,10 @@ fn run_incremental(
         round_span.record("dirty", dirty);
         drop(round_span);
         round += 1;
+        // As in `run_full`: note the completed round before the memory
+        // charge, so a boundary trip reports this round and a mid-round trip
+        // reports the previous one (or nothing before round 1 completes).
+        meter.note_refinement(round as u64, eng.num_blocks as u64);
         // The arena only ever grows, so the peak is the current footprint:
         // the flat pair storage plus the per-state sig-id table.
         let sig_bytes = eng.arena.bytes() + 4 * n;
@@ -1366,7 +1784,6 @@ fn run_incremental(
         // A round with no moved states is exactly the full engine's stable
         // round (no block split), so the round counts and histories match.
         let stable = eng.moved.is_empty();
-        meter.note_refinement(round as u64, eng.num_blocks as u64);
         if let Some(h) = persist {
             // canonical() renumbers to the full engine's id scheme, so the
             // checkpoint seeds the full engine on resume.
@@ -1401,6 +1818,7 @@ fn run_governed_opts(
     wd: &Watchdog,
     opts: PartitionOptions,
     stats: Option<&mut RefineStats>,
+    preds: Option<&PredecessorTable>,
 ) -> Result<Partition, Exhausted> {
     // Every governed refinement call in the workspace funnels through here,
     // so this is the one place checkpointing hooks in. `begin_refine` is
@@ -1422,14 +1840,17 @@ fn run_governed_opts(
     // A seeded call always runs the full engine: the incremental engine's
     // worklists describe *which states just moved*, which a checkpoint does
     // not record. Both engines produce bit-identical partitions, so the
-    // verdict and every artifact are unaffected by the reroute.
+    // verdict and every artifact are unaffected by the reroute. The full
+    // engine never touches a predecessor table, so a fused pipeline's
+    // `preds` is simply dropped here — checkpoint cut points stay valid
+    // mid-fused-run by construction.
     if seed.is_some() {
         return run_full(lts, eq, history, wd, opts.jobs, stats, hook.as_ref(), seed);
     }
     match opts.mode {
         RefineMode::Full => run_full(lts, eq, history, wd, opts.jobs, stats, hook.as_ref(), None),
         RefineMode::Incremental => {
-            run_incremental(lts, eq, history, wd, opts.jobs, stats, hook.as_ref())
+            run_incremental(lts, eq, history, wd, opts.jobs, stats, hook.as_ref(), preds)
         }
     }
 }
@@ -1448,7 +1869,7 @@ pub fn partition(lts: &Lts, eq: Equivalence) -> Partition {
 /// refinement engine). Every option combination computes the same partition,
 /// block ids included.
 pub fn partition_opts(lts: &Lts, eq: Equivalence, opts: PartitionOptions) -> Partition {
-    run_governed_opts(lts, eq, None, &Watchdog::unlimited(), opts, None)
+    run_governed_opts(lts, eq, None, &Watchdog::unlimited(), opts, None, None)
         .expect("an unlimited watchdog never trips")
 }
 
@@ -1480,7 +1901,27 @@ pub fn partition_governed_opts(
     wd: &Watchdog,
     opts: PartitionOptions,
 ) -> Result<Partition, Exhausted> {
-    run_governed_opts(lts, eq, None, wd, opts, None)
+    run_governed_opts(lts, eq, None, wd, opts, None, None)
+}
+
+/// [`partition_governed_opts`] with a caller-provided [`PredecessorTable`]
+/// for the incremental engine — the fused pipeline entry point. The table
+/// must describe exactly `lts` (the fused explorer accumulates it from the
+/// same deterministic transition stream). The partition is bit-identical to
+/// the unfused call; the engine merely skips rebuilding the reverse
+/// adjacency it was handed.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Bisim`]) when the budget trips.
+pub fn partition_governed_pre(
+    lts: &Lts,
+    eq: Equivalence,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+    preds: Option<&PredecessorTable>,
+) -> Result<Partition, Exhausted> {
+    run_governed_opts(lts, eq, None, wd, opts, None, preds)
 }
 
 /// [`partition`] with `jobs` worker threads for the per-round signature
@@ -1520,7 +1961,23 @@ pub fn partition_with_history_opts(
     opts: PartitionOptions,
 ) -> (Partition, RefinementHistory) {
     let mut rounds = Vec::new();
-    let p = run_governed_opts(lts, eq, Some(&mut rounds), &Watchdog::unlimited(), opts, None)
+    let p = run_governed_opts(lts, eq, Some(&mut rounds), &Watchdog::unlimited(), opts, None, None)
+        .expect("an unlimited watchdog never trips");
+    (p, RefinementHistory { rounds })
+}
+
+/// [`partition_with_history_opts`] with a caller-provided
+/// [`PredecessorTable`] (see [`partition_governed_pre`]) — lets the
+/// differential harness assert the round-by-round history is identical
+/// with fusion on and off.
+pub fn partition_with_history_pre(
+    lts: &Lts,
+    eq: Equivalence,
+    opts: PartitionOptions,
+    preds: Option<&PredecessorTable>,
+) -> (Partition, RefinementHistory) {
+    let mut rounds = Vec::new();
+    let p = run_governed_opts(lts, eq, Some(&mut rounds), &Watchdog::unlimited(), opts, None, preds)
         .expect("an unlimited watchdog never trips");
     (p, RefinementHistory { rounds })
 }
@@ -1533,8 +1990,31 @@ pub fn partition_with_stats(
     opts: PartitionOptions,
 ) -> (Partition, RefineStats) {
     let mut stats = RefineStats::default();
-    let p = run_governed_opts(lts, eq, None, &Watchdog::unlimited(), opts, Some(&mut stats))
+    let p = run_governed_opts(lts, eq, None, &Watchdog::unlimited(), opts, Some(&mut stats), None)
         .expect("an unlimited watchdog never trips");
+    (p, stats)
+}
+
+/// [`partition_with_stats`] with a caller-provided [`PredecessorTable`]
+/// (see [`partition_governed_pre`]) — the basis of the `tables perf` fused
+/// column.
+pub fn partition_with_stats_pre(
+    lts: &Lts,
+    eq: Equivalence,
+    opts: PartitionOptions,
+    preds: Option<&PredecessorTable>,
+) -> (Partition, RefineStats) {
+    let mut stats = RefineStats::default();
+    let p = run_governed_opts(
+        lts,
+        eq,
+        None,
+        &Watchdog::unlimited(),
+        opts,
+        Some(&mut stats),
+        preds,
+    )
+    .expect("an unlimited watchdog never trips");
     (p, stats)
 }
 

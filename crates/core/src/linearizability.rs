@@ -1,9 +1,9 @@
 //! Linearizability checking on branching-bisimulation quotients
 //! (Theorem 5.3).
 
-use bb_bisim::{partition_governed_opts, quotient, Equivalence, PartitionOptions};
+use bb_bisim::{partition_governed_pre, quotient, Equivalence, PartitionOptions};
 use bb_lts::budget::{Exhausted, Watchdog};
-use bb_lts::{Jobs, Lts};
+use bb_lts::{Jobs, Lts, PredecessorTable};
 use bb_refine::{trace_refines_governed, RefineOptions, Violation};
 use std::time::{Duration, Instant};
 
@@ -100,13 +100,32 @@ pub fn verify_linearizability_opts(
     wd: &Watchdog,
     opts: PartitionOptions,
 ) -> Result<LinReport, Exhausted> {
+    verify_linearizability_pre(imp, spec, wd, opts, None, None)
+}
+
+/// [`verify_linearizability_opts`] with caller-provided reverse adjacencies
+/// for the two quotient refinements — the fused (`--fuse`) entry point,
+/// where exploration already accumulated each LTS's predecessor table. The
+/// report is identical with or without the tables.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict.
+pub fn verify_linearizability_pre(
+    imp: &Lts,
+    spec: &Lts,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+    imp_preds: Option<&PredecessorTable>,
+    spec_preds: Option<&PredecessorTable>,
+) -> Result<LinReport, Exhausted> {
     let span = bb_obs::span("lin")
         .with("impl_states", imp.num_states())
         .with("spec_states", spec.num_states());
     let start = Instant::now();
-    let p_imp = partition_governed_opts(imp, Equivalence::Branching, wd, opts)?;
+    let p_imp = partition_governed_pre(imp, Equivalence::Branching, wd, opts, imp_preds)?;
     let q_imp = quotient(imp, &p_imp);
-    let p_spec = partition_governed_opts(spec, Equivalence::Branching, wd, opts)?;
+    let p_spec = partition_governed_pre(spec, Equivalence::Branching, wd, opts, spec_preds)?;
     let q_spec = quotient(spec, &p_spec);
     let refinement =
         trace_refines_governed(&q_imp.lts, &q_spec.lts, RefineOptions::default(), wd)?;

@@ -2,11 +2,11 @@
 //! (Theorems 5.8 and 5.9).
 
 use bb_bisim::{
-    bisimilar_governed_jobs, bisimilar_opts, divergence_witness_governed, partition_governed_opts,
+    bisimilar_governed_jobs, bisimilar_opts, divergence_witness_governed, partition_governed_pre,
     quotient, Equivalence, Lasso, PartitionOptions,
 };
 use bb_lts::budget::{Exhausted, Watchdog};
-use bb_lts::{Jobs, Lts};
+use bb_lts::{Jobs, Lts, PredecessorTable};
 use std::time::{Duration, Instant};
 
 /// Result of the automatic lock-freedom check (Theorem 5.9).
@@ -101,9 +101,27 @@ pub fn verify_lock_freedom_opts(
     wd: &Watchdog,
     opts: PartitionOptions,
 ) -> Result<LockFreeReport, Exhausted> {
+    verify_lock_freedom_pre(imp, wd, opts, None)
+}
+
+/// [`verify_lock_freedom_opts`] with a caller-provided reverse adjacency
+/// for the implementation's quotient refinement — the fused (`--fuse`)
+/// entry point. The `≈div` comparison against the quotient runs over a
+/// disjoint union the fused exploration never saw, so it keeps building its
+/// own table; the report is identical either way.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] when the budget trips before a verdict.
+pub fn verify_lock_freedom_pre(
+    imp: &Lts,
+    wd: &Watchdog,
+    opts: PartitionOptions,
+    imp_preds: Option<&PredecessorTable>,
+) -> Result<LockFreeReport, Exhausted> {
     let span = bb_obs::span("lockfree").with("impl_states", imp.num_states());
     let start = Instant::now();
-    let p = partition_governed_opts(imp, Equivalence::Branching, wd, opts)?;
+    let p = partition_governed_pre(imp, Equivalence::Branching, wd, opts, imp_preds)?;
     let q = quotient(imp, &p);
     let div_bisim = bisimilar_opts(imp, &q.lts, Equivalence::BranchingDiv, wd, opts)?;
     let divergence = if div_bisim {

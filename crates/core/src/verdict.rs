@@ -22,8 +22,8 @@
 //! ladder — a blown deadline fails the remaining rungs fast — while
 //! state/transition/memory caps are per stage and reset on every rung.
 
-use crate::linearizability::verify_linearizability_opts;
-use crate::lockfree::verify_lock_freedom_opts;
+use crate::linearizability::verify_linearizability_pre;
+use crate::lockfree::verify_lock_freedom_pre;
 use crate::report::CaseReport;
 use bb_bisim::PartitionOptions;
 use bb_lts::budget::{Budget, Exhausted, Watchdog};
@@ -133,6 +133,11 @@ pub struct GovernedConfig {
     /// Which partition-refinement engine to run. Deterministic: verdicts
     /// and reports are identical for either engine.
     pub refine: bb_bisim::RefineMode,
+    /// Fuse exploration into refinement: build each LTS's reverse adjacency
+    /// once per rung and hand it to the refinements instead of letting each
+    /// pass re-derive it. Deterministic: verdicts and reports are identical
+    /// with fusion on or off.
+    pub fuse: bool,
 }
 
 impl GovernedConfig {
@@ -146,6 +151,7 @@ impl GovernedConfig {
             fallback: true,
             jobs: Jobs::serial(),
             refine: bb_bisim::RefineMode::default(),
+            fuse: false,
         }
     }
 
@@ -170,6 +176,12 @@ impl GovernedConfig {
     /// Select the partition-refinement engine.
     pub fn with_refine(mut self, refine: bb_bisim::RefineMode) -> Self {
         self.refine = refine;
+        self
+    }
+
+    /// Fuse exploration into refinement (see [`GovernedConfig::fuse`]).
+    pub fn with_fuse(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
         self
     }
 }
@@ -280,14 +292,29 @@ fn pipeline_lts(
     name: &'static str,
     bound: Bound,
     check_lock_freedom: bool,
+    fuse: bool,
     imp: &Lts,
     spec: &Lts,
     wd: &Watchdog,
     opts: PartitionOptions,
 ) -> Result<CaseReport, Exhausted> {
-    let linearizability = verify_linearizability_opts(imp, spec, wd, opts)?;
+    // When fusing, build each reverse adjacency once and share the
+    // implementation's between the linearizability and lock-freedom passes.
+    let (imp_preds, spec_preds) = if fuse {
+        (Some(imp.predecessor_table()), Some(spec.predecessor_table()))
+    } else {
+        (None, None)
+    };
+    let linearizability = verify_linearizability_pre(
+        imp,
+        spec,
+        wd,
+        opts,
+        imp_preds.as_ref(),
+        spec_preds.as_ref(),
+    )?;
     let lock_freedom = if check_lock_freedom {
-        Some(verify_lock_freedom_opts(imp, wd, opts)?)
+        Some(verify_lock_freedom_pre(imp, wd, opts, imp_preds.as_ref())?)
     } else {
         None
     };
@@ -413,6 +440,7 @@ pub fn verify_case_governed_with(
             name,
             config.bound,
             config.check_lock_freedom,
+            config.fuse,
             &imp,
             &sp,
             &wd,
@@ -458,6 +486,7 @@ pub fn verify_case_governed_with(
                     name,
                     config.bound,
                     config.check_lock_freedom,
+                    config.fuse,
                     &imp_r,
                     &sp_r,
                     &wd,
@@ -507,6 +536,7 @@ pub fn verify_case_governed_with(
                     name,
                     small,
                     config.check_lock_freedom,
+                    config.fuse,
                     &imp,
                     &sp,
                     &wd,

@@ -454,6 +454,21 @@ impl Meter {
         self.check_clock()
     }
 
+    /// Accounts `n` transition visits for one drained item of a scan, as
+    /// [`add_transitions`](Meter::add_transitions) but with the
+    /// deadline/cancellation check amortized like [`tick`](Meter::tick):
+    /// per-item call sites (one call per SCC of a refinement sweep) would
+    /// otherwise pay a forced clock read that dominates the metered work.
+    /// Transition-cap trips remain exact — only the clock check is batched.
+    #[inline]
+    pub fn add_transitions_ticked(&mut self, n: usize) -> Result<(), Exhausted> {
+        self.transitions = self.transitions.saturating_add(n);
+        if self.transitions > self.wd.budget.max_transitions {
+            return Err(self.exhausted(ExhaustReason::TransitionCap));
+        }
+        self.tick()
+    }
+
     /// Accounts `bytes` of approximate memory attributed to the stage.
     #[inline]
     pub fn add_memory(&mut self, bytes: usize) -> Result<(), Exhausted> {

@@ -1,6 +1,6 @@
 //! On-the-fly state-space exploration of an operational semantics.
 
-use crate::action::Action;
+use crate::action::{Action, ActionId};
 use crate::budget::{Budget, ExhaustReason, Exhausted, Meter, Stage, Watchdog};
 use crate::builder::LtsBuilder;
 use crate::jobs::Jobs;
@@ -226,22 +226,103 @@ pub fn explore_with<S: Semantics>(
     sem: &S,
     opts: &ExploreOptions<'_>,
 ) -> Result<Lts, Exhausted> {
-    match opts.budget {
-        BudgetRef::Limits(limits) => {
-            let wd = Watchdog::new(limits.into());
-            explore_impl(sem, &wd, opts.jobs)
-        }
-        BudgetRef::Governed(wd) => explore_impl(sem, wd, opts.jobs),
+    explore_with_sink(sem, opts, None)
+}
+
+/// Observer of the deterministic transition stream of an exploration — the
+/// fusion hook behind `--fuse`.
+///
+/// The engine calls [`ExploreSink::on_transition`] for every recorded
+/// transition in the exact order of the sequential BFS (ascending source id,
+/// then successor enumeration order). The parallel engine emits from its
+/// ordered merge, so the stream a sink observes is bit-identical at any
+/// worker count. [`ExploreSink::on_level`] fires at each BFS level boundary
+/// with the frontier depth, before the level's transitions.
+pub trait ExploreSink {
+    /// One recorded transition, ids as they will appear in the final
+    /// [`Lts`].
+    fn on_transition(&mut self, src: StateId, action: ActionId, dst: StateId);
+    /// A BFS level boundary; `frontier` states are about to be expanded.
+    fn on_level(&mut self, frontier: u64) {
+        let _ = frontier;
     }
 }
 
-fn explore_impl<S: Semantics>(sem: &S, wd: &Watchdog, jobs: Jobs) -> Result<Lts, Exhausted> {
+/// The fused pipeline's standard sink: accumulates the in-degree of every
+/// discovered state while the transition stream flows by, so the reverse
+/// adjacency the incremental refiner needs can be built without the counting
+/// pass ([`Lts::predecessor_table_from`]). Also feeds the `fuse.*`
+/// observability instruments.
+#[derive(Debug, Default)]
+pub struct InDegreeSink {
+    degrees: Vec<u32>,
+}
+
+impl InDegreeSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the reverse adjacency of `lts` from the accumulated
+    /// in-degrees. Must be called with the [`Lts`] returned by the same
+    /// [`explore_with_sink`] call that fed this sink.
+    pub fn into_table(mut self, lts: &Lts) -> crate::PredecessorTable {
+        // States discovered after the last streamed transition (none — a
+        // state is discovered *by* a transition, except the initial state)
+        // still need a degree slot.
+        self.degrees.resize(lts.num_states(), 0);
+        lts.predecessor_table_from(&self.degrees)
+    }
+}
+
+impl ExploreSink for InDegreeSink {
+    fn on_transition(&mut self, _src: StateId, _action: ActionId, dst: StateId) {
+        if dst.index() >= self.degrees.len() {
+            self.degrees.resize(dst.index() + 1, 0);
+        }
+        self.degrees[dst.index()] += 1;
+        bb_obs::hot::FUSE_STREAMED_TRANSITIONS.incr();
+    }
+
+    fn on_level(&mut self, frontier: u64) {
+        bb_obs::hot::FUSE_FRONTIER.set(frontier);
+    }
+}
+
+/// [`explore_with`] that additionally streams the deterministic transition
+/// order into `sink` (see [`ExploreSink`]). The returned [`Lts`] is
+/// byte-identical to the sink-less call.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
+/// trips; the sink's partial observations should then be discarded.
+pub fn explore_with_sink<S: Semantics>(
+    sem: &S,
+    opts: &ExploreOptions<'_>,
+    sink: Option<&mut dyn ExploreSink>,
+) -> Result<Lts, Exhausted> {
+    match opts.budget {
+        BudgetRef::Limits(limits) => {
+            let wd = Watchdog::new(limits.into());
+            explore_impl(sem, &wd, opts.jobs, sink)
+        }
+        BudgetRef::Governed(wd) => explore_impl(sem, wd, opts.jobs, sink),
+    }
+}
+
+fn explore_impl<S: Semantics>(
+    sem: &S,
+    wd: &Watchdog,
+    jobs: Jobs,
+    sink: Option<&mut dyn ExploreSink>,
+) -> Result<Lts, Exhausted> {
     let span = bb_obs::span("explore").with("jobs", jobs.get());
     let mut meter = wd.meter(Stage::Explore);
     let result = if jobs.is_serial() {
-        explore_serial(sem, &mut meter)
+        explore_serial(sem, &mut meter, sink)
     } else {
-        explore_parallel(sem, wd, jobs, &mut meter)
+        explore_parallel(sem, wd, jobs, &mut meter, sink)
     };
     let stats = meter.stats();
     span.record("states", stats.states);
@@ -307,7 +388,11 @@ pub fn explore_governed_jobs<S: Semantics>(
     explore_with(sem, &ExploreOptions::governed(wd).with_jobs(jobs))
 }
 
-fn explore_serial<S: Semantics>(sem: &S, meter: &mut Meter) -> Result<Lts, Exhausted> {
+fn explore_serial<S: Semantics>(
+    sem: &S,
+    meter: &mut Meter,
+    mut sink: Option<&mut dyn ExploreSink>,
+) -> Result<Lts, Exhausted> {
     // Approximate per-state footprint: the interned key in the id map plus
     // the copy on the `discovered` list, and builder bookkeeping.
     let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
@@ -328,8 +413,19 @@ fn explore_serial<S: Semantics>(sem: &S, meter: &mut Meter) -> Result<Lts, Exhau
     let mut cursor = 0usize;
     let mut steps: Vec<(Action, S::State)> = Vec::new();
 
+    // Cursor position of the next BFS level boundary: when the cursor
+    // reaches it, everything discovered so far forms the next level — the
+    // same boundaries the parallel engine synchronizes on, so a sink sees
+    // identical `on_level` calls at any worker count.
+    let mut next_level_start = 0usize;
     while cursor < discovered.len() {
         bb_obs::hot::EXPLORE_FRONTIER.set((discovered.len() - cursor) as u64);
+        if cursor == next_level_start {
+            next_level_start = discovered.len();
+            if let Some(sk) = sink.as_deref_mut() {
+                sk.on_level((next_level_start - cursor) as u64);
+            }
+        }
         let src_id = StateId(cursor as u32);
         // Clone-free expansion: the shared borrow of `discovered[cursor]`
         // ends with the `successors` call, before any state discovered in
@@ -354,6 +450,9 @@ fn explore_serial<S: Semantics>(sem: &S, meter: &mut Meter) -> Result<Lts, Exhau
             builder.add_transition(src_id, aid, dst_id);
             meter.add_transition()?;
             meter.add_memory(transition_bytes)?;
+            if let Some(sk) = sink.as_deref_mut() {
+                sk.on_transition(src_id, aid, dst_id);
+            }
         }
     }
 
@@ -395,6 +494,7 @@ fn explore_parallel<S: Semantics>(
     wd: &Watchdog,
     jobs: Jobs,
     meter: &mut Meter,
+    mut sink: Option<&mut dyn ExploreSink>,
 ) -> Result<Lts, Exhausted> {
     debug_assert!(!jobs.is_serial());
     let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
@@ -415,6 +515,9 @@ fn explore_parallel<S: Semantics>(
     while level_start < discovered.len() {
         let level_end = discovered.len();
         bb_obs::hot::EXPLORE_FRONTIER.set((level_end - level_start) as u64);
+        if let Some(sk) = sink.as_deref_mut() {
+            sk.on_level((level_end - level_start) as u64);
+        }
         let expansions =
             expand_level(sem, wd, &discovered[level_start..level_end], jobs, meter)?;
 
@@ -439,6 +542,9 @@ fn explore_parallel<S: Semantics>(
                 builder.add_transition(src_id, aid, dst_id);
                 meter.add_transition()?;
                 meter.add_memory(transition_bytes)?;
+                if let Some(sk) = sink.as_deref_mut() {
+                    sk.on_transition(src_id, aid, dst_id);
+                }
             }
         }
         level_start = level_end;

@@ -48,7 +48,10 @@ pub use builder::LtsBuilder;
 pub use dot::to_dot;
 #[allow(deprecated)]
 pub use explore::{explore_governed, explore_governed_jobs, explore_jobs};
-pub use explore::{explore, explore_with, ExploreError, ExploreLimits, ExploreOptions, Semantics};
+pub use explore::{
+    explore, explore_with, explore_with_sink, ExploreError, ExploreLimits, ExploreOptions,
+    ExploreSink, InDegreeSink, Semantics,
+};
 pub use jobs::Jobs;
 pub use lts::{Lts, PredecessorTable, StateId, Transition};
 pub use random::{random_lts, RandomLtsConfig};

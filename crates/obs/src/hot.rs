@@ -231,17 +231,26 @@ pub static CACHE_MISSES: Counter = Counter::new("persist.cache_misses");
 pub static CACHE_CORRUPT: Counter = Counter::new("persist.cache_corrupt");
 /// Faults fired by the deterministic `BB_FAULT` plan.
 pub static FAULTS_INJECTED: Counter = Counter::new("fault.injected");
+/// Transitions streamed from exploration straight into the fused
+/// refinement pipeline (`--fuse`).
+pub static FUSE_STREAMED_TRANSITIONS: Counter = Counter::new("fuse.streamed_transitions");
 
 /// Current BFS frontier depth (undiscovered tail of the exploration queue).
 pub static EXPLORE_FRONTIER: Gauge = Gauge::new("explore.frontier_depth");
+/// Frontier depth observed by the fused exploration sink at each level
+/// boundary (`--fuse`).
+pub static FUSE_FRONTIER: Gauge = Gauge::new("fuse.frontier_depth");
 
 /// Symmetry orbit sizes searched during canonicalization.
 pub static ORBIT_SIZE: Histogram = Histogram::new("reduce.sym.orbit_size");
 /// Per-level shard imbalance in the parallel engine: `max_chunk * 100 /
 /// mean_chunk` for each level fan-out (100 = perfectly balanced).
 pub static SHARD_IMBALANCE: Histogram = Histogram::new("explore.shard_imbalance_pct");
+/// Per-batch shard imbalance (member states) in the sharded incremental
+/// refinement sweep: `max_chunk * 100 / mean_chunk` per fan-out.
+pub static REFINE_SHARD_IMBALANCE: Histogram = Histogram::new("bisim.shard_imbalance_pct");
 
-static COUNTERS: [&Counter; 21] = [
+static COUNTERS: [&Counter; 22] = [
     &SIG_STATE_RECOMPUTES,
     &SIG_ROUNDS,
     &SIG_DIRTY_STATES,
@@ -263,11 +272,12 @@ static COUNTERS: [&Counter; 21] = [
     &CACHE_MISSES,
     &CACHE_CORRUPT,
     &FAULTS_INJECTED,
+    &FUSE_STREAMED_TRANSITIONS,
 ];
 
-static GAUGES: [&Gauge; 1] = [&EXPLORE_FRONTIER];
+static GAUGES: [&Gauge; 2] = [&EXPLORE_FRONTIER, &FUSE_FRONTIER];
 
-static HISTOGRAMS: [&Histogram; 2] = [&ORBIT_SIZE, &SHARD_IMBALANCE];
+static HISTOGRAMS: [&Histogram; 3] = [&ORBIT_SIZE, &SHARD_IMBALANCE, &REFINE_SHARD_IMBALANCE];
 
 /// Reset every registered instrument (called by `install`).
 pub(crate) fn reset_all() {

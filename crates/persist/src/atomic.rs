@@ -16,6 +16,14 @@
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
+use std::time::{Duration, SystemTime};
+
+/// How recently a file must have been modified to count as the in-flight
+/// property of a *live* writer rather than the residue of a killed one.
+/// Sweeps and `cache gc` leave anything younger alone: a temp file inside
+/// this window may be about to be renamed into place, and an entry inside
+/// it may have just been renamed by a concurrent process.
+pub const TEMP_GRACE: Duration = Duration::from_secs(60);
 
 /// Writes `bytes` to `path` atomically. On return the file is fully
 /// written and renamed into place; on any failure (or a kill mid-write)
@@ -53,18 +61,41 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     result
 }
 
-/// Removes stale temp files left by killed writers in `dir`. Readers call
-/// this opportunistically; it never fails the caller.
+/// Removes stale temp files left by killed writers in `dir`, sparing any
+/// younger than [`TEMP_GRACE`] — those belong to a writer that may still
+/// be running, and deleting its temp file mid-write would fail the
+/// concurrent store's rename. Readers call this opportunistically; it
+/// never fails the caller.
 pub fn sweep_temp_files(dir: &Path) {
+    sweep_temp_files_older_than(dir, TEMP_GRACE);
+}
+
+/// [`sweep_temp_files`] with an explicit grace window (tests shrink it).
+pub fn sweep_temp_files_older_than(dir: &Path, grace: Duration) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
     for entry in entries.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if name.starts_with('.') && name.contains(".tmp.") {
+        if name.starts_with('.') && name.contains(".tmp.") && !modified_within(&entry.path(), grace)
+        {
             let _ = fs::remove_file(entry.path());
         }
+    }
+}
+
+/// Whether `path` was modified within the last `window`. Unreadable
+/// metadata (the file vanished under us — a racing rename) and mtimes in
+/// the future (clock skew) both answer `true`: when in doubt, the file is
+/// treated as live and left alone.
+pub(crate) fn modified_within(path: &Path, window: Duration) -> bool {
+    let Ok(modified) = fs::metadata(path).and_then(|m| m.modified()) else {
+        return true;
+    };
+    match SystemTime::now().duration_since(modified) {
+        Ok(age) => age < window,
+        Err(_) => true,
     }
 }
 
@@ -111,14 +142,51 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
     }
 
+    /// Backdates `path`'s mtime by `by` (to simulate a long-dead writer).
+    fn age_file(path: &Path, by: Duration) {
+        let f = fs::File::options().write(true).open(path).unwrap();
+        f.set_modified(SystemTime::now() - by).unwrap();
+    }
+
     #[test]
-    fn sweep_removes_only_temp_files() {
+    fn sweep_removes_only_stale_temp_files() {
         let dir = tmp_dir("sweep");
         fs::write(dir.join(".out.bin.tmp.12345"), b"stale").unwrap();
+        age_file(&dir.join(".out.bin.tmp.12345"), TEMP_GRACE * 2);
         fs::write(dir.join("keep.bin"), b"live").unwrap();
+        age_file(&dir.join("keep.bin"), TEMP_GRACE * 2);
         sweep_temp_files(&dir);
         assert!(!dir.join(".out.bin.tmp.12345").exists());
         assert!(dir.join("keep.bin").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_spares_in_flight_temp_files() {
+        // A temp file inside the grace window belongs to a writer that may
+        // be about to rename it; sweeping it would fail that store.
+        let dir = tmp_dir("sweep-fresh");
+        fs::write(dir.join(".out.bin.tmp.67890"), b"in-flight").unwrap();
+        sweep_temp_files(&dir);
+        assert!(dir.join(".out.bin.tmp.67890").exists());
+        // Once aged past the window it is residue and goes.
+        age_file(&dir.join(".out.bin.tmp.67890"), TEMP_GRACE * 2);
+        sweep_temp_files(&dir);
+        assert!(!dir.join(".out.bin.tmp.67890").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_mtime_counts_as_live() {
+        // Clock skew can stamp a file in the future; it must read as young.
+        let dir = tmp_dir("sweep-skew");
+        let path = dir.join(".out.bin.tmp.424242");
+        fs::write(&path, b"skewed").unwrap();
+        let f = fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(SystemTime::now() + Duration::from_secs(3600)).unwrap();
+        drop(f);
+        sweep_temp_files(&dir);
+        assert!(path.exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -193,6 +193,13 @@ impl Cache {
 
     /// Removes corrupt and old-format entries; returns how many files were
     /// deleted. Current-version, intact entries are kept (`bbv cache gc`).
+    ///
+    /// Safe against concurrent writers: the temp-file sweep spares
+    /// in-flight `*.tmp` files younger than the grace window (deleting one
+    /// would fail the writer's pending rename), and an unreadable or
+    /// stale-looking entry modified within the window is left alone — the
+    /// bytes we judged may already have been replaced by a just-renamed
+    /// intact entry, which must never be deleted.
     pub fn gc(&self) -> usize {
         crate::atomic::sweep_temp_files(&self.dir);
         let mut removed = 0;
@@ -202,7 +209,10 @@ impl Cache {
                 .filter(|b| peek_version(b) == Some(FORMAT_VERSION))
                 .and_then(|b| CacheEntry::decode(&b))
                 .is_some();
-            if !keep && std::fs::remove_file(&path).is_ok() {
+            if keep || crate::atomic::modified_within(&path, crate::atomic::TEMP_GRACE) {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
                 removed += 1;
             }
         }
@@ -256,16 +266,25 @@ mod tests {
         let _ = std::fs::remove_dir_all(&c.dir);
     }
 
+    /// Backdates `path` past the gc grace window (a long-dead writer).
+    fn age_past_grace(path: &std::path::Path) {
+        let f = std::fs::File::options().write(true).open(path).unwrap();
+        f.set_modified(std::time::SystemTime::now() - crate::atomic::TEMP_GRACE * 2)
+            .unwrap();
+    }
+
     #[test]
     fn stats_verify_and_gc() {
         let c = cache("gc");
         c.store(&entry("a")).unwrap();
         c.store(&entry("b")).unwrap();
-        // One corrupt file and one old-version file.
+        // One corrupt file and one old-version file, both long dead.
         std::fs::write(c.dir.join("0000000000000bad.bbc"), b"garbage").unwrap();
+        age_past_grace(&c.dir.join("0000000000000bad.bbc"));
         let mut old = entry("old").encode();
         old[4..8].copy_from_slice(&0u32.to_le_bytes());
         std::fs::write(c.dir.join("0000000000000o1d.bbc"), &old).unwrap();
+        age_past_grace(&c.dir.join("0000000000000o1d.bbc"));
         let s = c.stats();
         assert_eq!(s.entries, 2);
         assert_eq!(s.corrupt, 2);
@@ -275,6 +294,34 @@ mod tests {
         assert_eq!(c.gc(), 2);
         let s = c.stats();
         assert_eq!((s.entries, s.corrupt), (2, 0));
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    #[test]
+    fn gc_spares_in_flight_writes() {
+        let c = cache("gc-race");
+        // A concurrent writer mid-store: temp file written, rename pending.
+        let tmp = c.dir.join(".deadbeefdeadbeef.bbc.tmp.999");
+        std::fs::write(&tmp, entry("in-flight").encode()).unwrap();
+        // And a freshly-rewritten slot whose bytes we might have judged
+        // corrupt a moment ago (e.g. after a sabotaged read): its mtime is
+        // inside the grace window, so gc must not touch it even though the
+        // current content looks like garbage.
+        let fresh = c.dir.join("00000000000f0e5h.bbc");
+        std::fs::write(&fresh, b"mid-overwrite garbage").unwrap();
+        assert_eq!(c.gc(), 0, "gc must spare in-flight writer state");
+        assert!(tmp.exists(), "pending temp file deleted under the writer");
+        assert!(fresh.exists(), "just-(re)written entry deleted");
+        // The writer completes: the rename lands an intact entry and a
+        // later lookup hits it.
+        let e = entry("in-flight");
+        std::fs::rename(&tmp, c.path_of(&e.key)).unwrap();
+        std::fs::write(c.path_of(&e.key), e.encode()).unwrap();
+        assert_eq!(c.lookup(&e.key), Some(e));
+        // Once the garbage slot ages out, gc reclaims it.
+        age_past_grace(&fresh);
+        assert_eq!(c.gc(), 1);
+        assert!(!fresh.exists());
         let _ = std::fs::remove_dir_all(&c.dir);
     }
 

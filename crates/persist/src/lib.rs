@@ -30,7 +30,7 @@ pub mod checkpoint;
 pub mod format;
 pub mod session;
 
-pub use atomic::{sweep_temp_files, write_atomic};
+pub use atomic::{sweep_temp_files, sweep_temp_files_older_than, write_atomic, TEMP_GRACE};
 pub use cache::{Cache, CacheEntry, CacheStats};
 pub use checkpoint::{Checkpoint, Section, CHECKPOINT_FILE};
 pub use format::FORMAT_VERSION;

@@ -233,6 +233,33 @@ pub fn explore_system_with<A: ObjectAlgorithm>(
     explore_with(&system, opts)
 }
 
+/// Fused variant of [`explore_system_with`]: streams the exploration's
+/// deterministic transition order through an [`bb_lts::InDegreeSink`] and
+/// returns the reverse adjacency alongside the LTS, so a downstream
+/// incremental refinement skips its predecessor-counting pass
+/// (`--fuse`). The LTS is byte-identical to [`explore_system_with`] and the
+/// table is byte-identical to [`Lts::predecessor_table`].
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage `explore`) when any budget axis trips.
+pub fn explore_system_fused<A: ObjectAlgorithm>(
+    alg: &A,
+    bound: Bound,
+    opts: &ExploreOptions<'_>,
+) -> Result<(Lts, bb_lts::PredecessorTable), Exhausted> {
+    let _span = bb_obs::span("explore.system")
+        .with("object", alg.name())
+        .with("threads", bound.threads as u64)
+        .with("ops", bound.ops_per_thread as u64)
+        .with("fused", 1u64);
+    let system = System::new(alg, bound);
+    let mut sink = bb_lts::InDegreeSink::new();
+    let lts = bb_lts::explore_with_sink(&system, opts, Some(&mut sink))?;
+    let preds = sink.into_table(&lts);
+    Ok((lts, preds))
+}
+
 /// Unfolds the most general client of `alg` under `bound` into an explicit
 /// LTS.
 ///
@@ -393,6 +420,35 @@ mod tests {
             explore_system_governed_jobs(&TestCounter, bound, &wd, Jobs::new(2)).unwrap();
         for other in [&gov, &jobs, &gov_jobs] {
             assert_eq!(bb_lts::to_aut(&base), bb_lts::to_aut(other));
+        }
+    }
+
+    #[test]
+    fn fused_exploration_matches_staged_and_its_table_is_exact() {
+        // The fused explorer must build the byte-identical LTS (the sink
+        // only observes the deterministic merge stream) and its in-degree
+        // accumulation must reproduce `Lts::predecessor_table` exactly, at
+        // any worker count.
+        let bound = Bound::new(2, 2);
+        let opts = ExploreOptions::limits(ExploreLimits::default());
+        let staged = explore_system_with(&TestCounter, bound, &opts).unwrap();
+        let reference = staged.predecessor_table();
+        for jobs in [Jobs::serial(), Jobs::new(4)] {
+            let opts = ExploreOptions::limits(ExploreLimits::default()).with_jobs(jobs);
+            let (fused, preds) = explore_system_fused(&TestCounter, bound, &opts).unwrap();
+            assert_eq!(
+                bb_lts::snapshot::encode_lts(&staged),
+                bb_lts::snapshot::encode_lts(&fused),
+                "fused LTS differs at {jobs:?}"
+            );
+            for s in 0..fused.num_states() {
+                let s = bb_lts::StateId(s as u32);
+                assert_eq!(
+                    reference.of(s),
+                    preds.of(s),
+                    "streamed reverse adjacency differs at state {s:?} ({jobs:?})"
+                );
+            }
         }
     }
 

@@ -31,7 +31,10 @@ mod spec;
 pub use algorithm::{Footprint, MethodId, MethodSpec, ObjectAlgorithm, Outcome, ThreadPerm};
 #[allow(deprecated)]
 pub use client::{explore_system_governed, explore_system_governed_jobs, explore_system_jobs};
-pub use client::{explore_system, explore_system_with, Bound, SysState, System, ThreadStatus};
+pub use client::{
+    explore_system, explore_system_fused, explore_system_with, Bound, SysState, System,
+    ThreadStatus,
+};
 pub use heap::{Heap, HeapNode, Renaming};
 pub use ptr::Ptr;
 pub use spec::{AtomicSpec, SequentialSpec};

@@ -25,17 +25,19 @@ use bbverify::algorithms::{
 };
 use bbverify::bisim::{quotient, Equivalence, PartitionOptions, RefineMode};
 use bbverify::core::{
-    run_isolated, verify_case_governed, verify_case_lts, verify_wait_freedom, GovernedConfig,
+    run_isolated, verify_case_governed, verify_case_lts_pre, verify_wait_freedom, GovernedConfig,
     Verdict, VerifyConfig,
 };
 use bbverify::bisim::partition_opts;
-use bbverify::lts::{to_aut, to_dot, Budget, ExploreLimits, Jobs, Lts, Watchdog};
+use bbverify::lts::{
+    to_aut, to_dot, Budget, ExploreLimits, Jobs, Lts, PredecessorTable, Watchdog,
+};
 use bbverify::lts::ExploreOptions;
 use bbverify::reduce::{
     differential_check, explore_reduced, verify_case_reduced_governed, ReduceMode,
 };
 use bbverify::sim::{
-    explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec,
+    explore_system_fused, explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec,
 };
 use bb_persist::{Cache, CacheEntry};
 use std::path::Path;
@@ -84,6 +86,7 @@ struct Options {
     no_fallback: bool,
     jobs: Jobs,
     refine: RefineMode,
+    fuse: bool,
     reduce: ReduceMode,
     metrics: Option<String>,
     trace: Option<String>,
@@ -112,6 +115,7 @@ impl Default for Options {
             no_fallback: false,
             jobs: Jobs::available(),
             refine: RefineMode::default(),
+            fuse: false,
             reduce: ReduceMode::None,
             metrics: None,
             trace: None,
@@ -256,6 +260,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--refine needs a mode: full or incremental")?
                     .parse()?;
             }
+            "--fuse" => opts.fuse = true,
             "--reduce" => {
                 opts.reduce = it
                     .next()
@@ -294,6 +299,9 @@ fn print_usage() {
     eprintln!("           --jobs N   (worker threads; default = all cores, output identical)");
     eprintln!("           --refine full|incremental   (partition-refinement engine; default");
     eprintln!("           incremental — dirty-state worklists, identical output either way)");
+    eprintln!("           --fuse   (stream exploration straight into refinement: the BFS");
+    eprintln!("           feeds an in-degree sink and refinement reuses the accumulated");
+    eprintln!("           reverse adjacency; stdout and artifacts identical either way)");
     eprintln!("           --reduce none|sym|por|full   (state-space reduction; ≈div-preserving)");
     eprintln!("           `reduce-check <algorithm|all>` cross-checks the reduction: the");
     eprintln!("           reduced LTS must be ≈div the full one with identical verdicts");
@@ -499,9 +507,11 @@ macro_rules! outln {
 
 /// The checkpoint configuration tag: a hash of everything that determines
 /// the *shape* of the pipeline (which LTSs are explored, which refinement
-/// calls run, in what order). Budgets, `--jobs`, checkpoint cadence and
-/// output paths are deliberately excluded — a resume with a raised budget
-/// or a different worker count must still seed the recorded sections.
+/// calls run, in what order). Budgets, `--jobs`, `--fuse`, checkpoint
+/// cadence and output paths are deliberately excluded — a resume with a
+/// raised budget, a different worker count or fusion toggled must still
+/// seed the recorded sections (fusion only changes *how* the reverse
+/// adjacency is built, never which sections exist or what they contain).
 fn config_tag(mode: Mode, canon: &str, opts: &Options) -> u64 {
     let desc = format!(
         "bbp{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}",
@@ -522,9 +532,9 @@ fn config_tag(mode: Mode, canon: &str, opts: &Options) -> u64 {
 
 /// The result-cache key: everything that determines the command's stdout,
 /// artifacts and exit code — including budgets, since the governed report
-/// names the rung and bound that answered. `--jobs` is excluded: results
-/// are bit-identical at any worker count, so a `-j 4` run hits the entry a
-/// `-j 1` run stored.
+/// names the rung and bound that answered. `--jobs` and `--fuse` are
+/// excluded: results are bit-identical at any worker count and with fusion
+/// on or off, so a `-j 4 --fuse` run hits the entry a `-j 1` run stored.
 fn cache_key(mode: Mode, canon: &str, opts: &Options) -> String {
     format!(
         "bbc{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}|budget=({:?},{:?},{:?},{:?},nf{})",
@@ -740,34 +750,43 @@ fn dispatch_named(canon: &str, opts: &Options, mode: Mode, out: &mut RunOutput) 
 /// With a checkpoint session installed, a previously completed section
 /// seeds the LTS directly, and a freshly explored one is offered back
 /// (stage boundaries are always cut points).
+///
+/// With `--fuse` (and no `--reduce`), exploration streams its transitions
+/// through an in-degree sink and the accumulated reverse adjacency is
+/// returned alongside the LTS for the refinement passes to reuse. A
+/// checkpoint-seeded LTS never saw the stream, so it returns `None` and
+/// refinement rebuilds its own table — checkpoint cut points stay valid
+/// mid-fused-run, and the output is byte-identical either way.
 fn explore_or_inconclusive<A: ObjectAlgorithm>(
     alg: &A,
     bound: Bound,
     wd: &Watchdog,
     opts: &Options,
-) -> Result<Lts, i32> {
+) -> Result<(Lts, Option<PredecessorTable>), i32> {
     let persist = bb_persist::active();
     let section = format!("{}/b{}-{}", alg.name(), bound.threads, bound.ops_per_thread);
     if let Some(p) = persist.as_ref() {
         if let Some(lts) = p.seed_lts(&section) {
-            return Ok(lts);
+            return Ok((lts, None));
         }
     }
     let eo = ExploreOptions::governed(wd).with_jobs(opts.jobs);
-    let result = if opts.reduce == ReduceMode::None {
-        explore_system_with(alg, bound, &eo)
-    } else {
+    let result = if opts.reduce != ReduceMode::None {
         explore_reduced(alg, bound, opts.reduce, &eo).map(|(lts, stats)| {
             bb_obs::diag!("reduction {} [{}]: {stats}", opts.reduce, alg.name());
-            lts
+            (lts, None)
         })
+    } else if opts.fuse {
+        explore_system_fused(alg, bound, &eo).map(|(lts, preds)| (lts, Some(preds)))
+    } else {
+        explore_system_with(alg, bound, &eo).map(|lts| (lts, None))
     };
     match result {
-        Ok(lts) => {
+        Ok((lts, preds)) => {
             if let Some(p) = persist.as_ref() {
                 p.offer_lts(&section, &lts);
             }
-            Ok(lts)
+            Ok((lts, preds))
         }
         Err(e) => {
             eprintln!("inconclusive: {e}");
@@ -794,7 +813,7 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     }
 
     let wd = Watchdog::new(opts.budget());
-    let imp = match explore_or_inconclusive(alg, bound, &wd, opts) {
+    let (imp, imp_preds) = match explore_or_inconclusive(alg, bound, &wd, opts) {
         Ok(l) => l,
         Err(c) => return c,
     };
@@ -845,13 +864,22 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
     }
 
     if mode == Mode::Quotient {
-        let p = partition_opts(
-            &imp,
-            Equivalence::Branching,
-            PartitionOptions::default()
-                .with_jobs(opts.jobs)
-                .with_mode(opts.refine),
-        );
+        let popts = PartitionOptions::default()
+            .with_jobs(opts.jobs)
+            .with_mode(opts.refine);
+        // A fused exploration already accumulated the reverse adjacency;
+        // hand it to the refiner. Partitions are identical either way.
+        let p = match imp_preds.as_ref() {
+            Some(preds) => bbverify::bisim::partition_governed_pre(
+                &imp,
+                Equivalence::Branching,
+                &Watchdog::unlimited(),
+                popts,
+                Some(preds),
+            )
+            .expect("an unlimited watchdog never trips"),
+            None => partition_opts(&imp, Equivalence::Branching, popts),
+        };
         let q = quotient(&imp, &p);
         outln!(out, "algorithm : {}", alg.name());
         outln!(out, "bound     : {}-{}", bound.threads, bound.ops_per_thread);
@@ -870,17 +898,25 @@ fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
         return EXIT_PROVED;
     }
 
-    let sp = match explore_or_inconclusive(spec, bound, &wd, opts) {
+    let (sp, sp_preds) = match explore_or_inconclusive(spec, bound, &wd, opts) {
         Ok(l) => l,
         Err(c) => return c,
     };
     let mut cfg = VerifyConfig::new(bound)
         .with_jobs(opts.jobs)
-        .with_refine(opts.refine);
+        .with_refine(opts.refine)
+        .with_fuse(opts.fuse);
     if !opts.check_lock_freedom || !non_blocking {
         cfg = cfg.linearizability_only();
     }
-    let report = verify_case_lts(alg.name(), cfg, &imp, &sp);
+    let report = verify_case_lts_pre(
+        alg.name(),
+        cfg,
+        &imp,
+        &sp,
+        imp_preds.as_ref(),
+        sp_preds.as_ref(),
+    );
     outln!(out, "{}", report.summary());
     if let Some(v) = &report.linearizability.violation {
         outln!(out, "non-linearizable history:");
@@ -956,7 +992,8 @@ fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
 ) -> i32 {
     let mut config = GovernedConfig::new(bound, opts.budget())
         .with_jobs(opts.jobs)
-        .with_refine(opts.refine);
+        .with_refine(opts.refine)
+        .with_fuse(opts.fuse);
     if !opts.check_lock_freedom || !non_blocking {
         config = config.linearizability_only();
     }

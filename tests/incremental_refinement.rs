@@ -13,10 +13,10 @@ use bbverify::algorithms::{
     specs::*, treiber::Treiber, treiber_hp_fu::TreiberHpFu,
 };
 use bbverify::bisim::{
-    partition_governed_opts, partition_opts, partition_with_history_opts, quotient, Equivalence,
-    PartitionOptions, RefineMode,
+    partition_governed_opts, partition_opts, partition_with_history_opts,
+    partition_with_history_pre, quotient, Equivalence, PartitionOptions, RefineMode,
 };
-use bbverify::core::{verify_case_lts, VerifyConfig};
+use bbverify::core::{verify_case_lts, verify_case_lts_pre, VerifyConfig};
 use bbverify::lts::{
     random_lts, to_aut, Action, Budget, ExhaustReason, ExploreLimits, Jobs, Lts, LtsBuilder,
     RandomLtsConfig, Stage, ThreadId, Watchdog,
@@ -143,6 +143,150 @@ fn verdicts_are_identical_across_engines() {
             (r.linearizable(), r.lock_free(), r.summary())
         };
         assert_eq!(run(RefineMode::Full), run(RefineMode::Incremental), "{name}");
+    }
+}
+
+/// The full jobs × engine × fusion sweep: partitions, round-by-round
+/// histories and quotient `.aut` bytes must be identical across
+/// `jobs ∈ {1, 2, 4}` × `refine ∈ {full, incremental}` × `fuse ∈ {off, on}`
+/// — sixty cells per LTS, all equal to the serial unfused full-engine
+/// baseline. Runs on a roster slice that includes a lock-based algorithm
+/// and a known-buggy variant (failures must replicate exactly as
+/// successes do).
+#[test]
+fn jobs_refine_fuse_sweep_is_bit_identical() {
+    let cases: [(&str, Lts); 3] = [
+        ("ms-queue", lts_of(&MsQueue::new(&[1]), 2, 2)),
+        ("lazy-list", lts_of(&LazyList::new(&[1]), 2, 2)),
+        ("hm-list-buggy", lts_of(&HmList::buggy(&[1]), 2, 2)),
+    ];
+    for (name, lts) in &cases {
+        // The fused pipeline hands refinement the reverse adjacency the
+        // exploration stream accumulated; here it is equivalently prebuilt.
+        let preds = lts.predecessor_table();
+        for eq in [Equivalence::Strong, Equivalence::Branching] {
+            let (p0, h0) =
+                partition_with_history_opts(lts, eq, opts(RefineMode::Full, Jobs::serial()));
+            let aut0 = to_aut(&quotient(lts, &p0).lts);
+            for jobs in [Jobs::serial(), Jobs::new(2), Jobs::new(4)] {
+                for mode in [RefineMode::Full, RefineMode::Incremental] {
+                    for fuse in [false, true] {
+                        let tag = format!("{name} {eq:?} {jobs:?} {mode} fuse={fuse}");
+                        let pre = fuse.then_some(&preds);
+                        let (p, h) = partition_with_history_pre(lts, eq, opts(mode, jobs), pre);
+                        assert_eq!(p0, p, "{tag}: partition differs");
+                        assert_eq!(h0.rounds, h.rounds, "{tag}: history differs");
+                        assert_eq!(
+                            aut0,
+                            to_aut(&quotient(lts, &p).lts),
+                            "{tag}: .aut bytes differ"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// End-to-end sweep over the verification pipeline: `verify_case_lts_pre`
+/// with prebuilt reverse adjacencies (the fused path) must produce the
+/// same verdict summary as the staged path, for every jobs × engine cell.
+#[test]
+fn fused_verdicts_match_staged_across_jobs_and_engines() {
+    let cases: [(&'static str, Lts, Lts); 2] = [
+        (
+            "ms-queue",
+            lts_of(&MsQueue::new(&[1]), 2, 2),
+            lts_of(&AtomicSpec::new(SeqQueue::new(&[1])), 2, 2),
+        ),
+        (
+            "hm-list-buggy",
+            lts_of(&HmList::buggy(&[1]), 2, 2),
+            lts_of(&AtomicSpec::new(SeqSet::new(&[1])), 2, 2),
+        ),
+    ];
+    for (name, imp, spec) in &cases {
+        let imp_preds = imp.predecessor_table();
+        let spec_preds = spec.predecessor_table();
+        let staged = {
+            let cfg = VerifyConfig::new(Bound::new(2, 2));
+            let r = verify_case_lts(name, cfg, imp, spec);
+            (r.linearizable(), r.lock_free(), r.summary())
+        };
+        for jobs in [Jobs::serial(), Jobs::new(2), Jobs::new(4)] {
+            for mode in [RefineMode::Full, RefineMode::Incremental] {
+                let cfg = VerifyConfig::new(Bound::new(2, 2))
+                    .with_jobs(jobs)
+                    .with_refine(mode)
+                    .with_fuse(true);
+                let r = verify_case_lts_pre(
+                    name,
+                    cfg,
+                    imp,
+                    spec,
+                    Some(&imp_preds),
+                    Some(&spec_preds),
+                );
+                assert_eq!(
+                    staged,
+                    (r.linearizable(), r.lock_free(), r.summary()),
+                    "{name} at {jobs:?} {mode}: fused verdict differs from staged"
+                );
+            }
+        }
+    }
+}
+
+/// The `PartialStats.refinement` boundary semantics: a budget that trips
+/// before the first round completes reports *no* refinement progress (not
+/// a phantom round 0), and a trip exactly on a round boundary reports the
+/// just-completed round with its block count — consistent with the
+/// unbudgeted run's history — in both engines.
+#[test]
+fn partial_stats_refinement_round_boundaries_are_exact() {
+    let k = 40u32;
+    let mut b = LtsBuilder::new();
+    let states: Vec<_> = (0..k).map(|_| b.add_state()).collect();
+    let a = b.intern_action(Action::call(ThreadId(1), "step", None));
+    for w in states.windows(2) {
+        b.add_transition(w[0], a, w[1]);
+    }
+    let lts = b.build(states[0]);
+    let scan = lts.num_transitions(); // per-round charge of the full engine
+
+    for mode in [RefineMode::Full, RefineMode::Incremental] {
+        // Reference history of the uninterrupted run: rounds[r] is the
+        // partition after round r (rounds[0] is the universal start).
+        let (_, h) = partition_with_history_opts(&lts, Equivalence::Strong, opts(mode, Jobs::serial()));
+
+        // Trip before round 1 can complete: no round was finished, so the
+        // partial stats must carry no refinement note at all.
+        let wd = Watchdog::new(Budget::unlimited().with_max_transitions(scan - 1));
+        let err =
+            partition_governed_opts(&lts, Equivalence::Strong, &wd, opts(mode, Jobs::serial()))
+                .expect_err("budget under one scan must trip in round 1");
+        assert_eq!(err.reason, ExhaustReason::TransitionCap, "{mode}");
+        assert_eq!(
+            err.partial.refinement, None,
+            "{mode}: a trip before round 1 completes must not report a round"
+        );
+
+        // Trip exactly on a round boundary: the just-completed round must
+        // be reported, and its block count must match the history.
+        let wd = Watchdog::new(Budget::unlimited().with_max_transitions(2 * scan - 1));
+        let err =
+            partition_governed_opts(&lts, Equivalence::Strong, &wd, opts(mode, Jobs::serial()))
+                .expect_err("the chain needs ~k rounds; two scans of budget must trip");
+        assert_eq!(err.reason, ExhaustReason::TransitionCap, "{mode}");
+        let (rounds, blocks) = err.partial.refinement.unwrap_or_else(|| {
+            panic!("{mode}: a boundary trip after a completed round must report it")
+        });
+        assert!(rounds >= 1, "{mode}: at least round 1 completed");
+        assert_eq!(
+            blocks,
+            h.rounds[rounds as usize].num_blocks() as u64,
+            "{mode}: reported blocks must be the just-completed round's"
+        );
     }
 }
 

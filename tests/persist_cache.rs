@@ -26,6 +26,14 @@ fn tmp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// Backdates `path`'s mtime past the gc grace window, simulating a file
+/// whose writer is long dead (vs. a concurrent writer's in-flight state).
+fn age_past_grace(path: &std::path::Path) {
+    let f = std::fs::File::options().write(true).open(path).unwrap();
+    f.set_modified(std::time::SystemTime::now() - bb_persist::TEMP_GRACE * 2)
+        .unwrap();
+}
+
 fn entry_files(dir: &std::path::Path) -> Vec<PathBuf> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .into_iter()
@@ -201,6 +209,57 @@ fn distinct_configurations_use_distinct_entries() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The gc-vs-writer interleaving, replayed deterministically: a sabotaged
+/// read (`BB_FAULT=cache-read`) makes a run judge an *intact* entry corrupt
+/// and rewrite it; a gc interleaved anywhere around that rewrite must never
+/// delete the entry (its mtime is inside the grace window) nor the writer's
+/// pending temp file.
+#[test]
+fn gc_interleaved_with_rewriting_run_never_deletes_live_state() {
+    let dir = tmp_dir("gc-race");
+    let args = [
+        "verify", "treiber", "--threads", "2", "--ops", "1", "--domain", "1",
+        "--cache", dir.to_str().unwrap(),
+    ];
+    let cold = bbv(&args, &[]);
+    assert_eq!(cold.status.code(), Some(0));
+    let files = entry_files(&dir);
+    assert_eq!(files.len(), 1);
+
+    // Interleaving step 1: a run whose cache read is sabotaged misses and
+    // rewrites the entry — the slot now carries a just-renamed file.
+    let rewrite = bbv(&args, &[("BB_FAULT", "cache-read:1")]);
+    assert_eq!(rewrite.status.code(), Some(0));
+    assert_eq!(stdout_of(&rewrite), stdout_of(&cold));
+
+    // Interleaving step 2: another writer is mid-store (temp file written,
+    // rename pending — the `checkpoint-write` crash window).
+    let pending = dir.join(".0123456789abcdef.bbc.tmp.424242");
+    std::fs::write(&pending, b"half-written entry").unwrap();
+
+    // Interleaving step 3: gc runs. It must spare both the just-renamed
+    // entry and the pending temp file.
+    let gc = bbv(&["cache", "gc", dir.to_str().unwrap()], &[]);
+    assert_eq!(gc.status.code(), Some(0));
+    assert!(stdout_of(&gc).contains("removed : 0"), "{}", stdout_of(&gc));
+    assert!(pending.exists(), "gc deleted a live writer's temp file");
+    assert_eq!(entry_files(&dir), files, "gc deleted a just-renamed entry");
+
+    // The entry still replays byte-identically after the gc.
+    let warm = bbv(&args, &[]);
+    assert_eq!(warm.status.code(), Some(0));
+    assert_eq!(stdout_of(&warm), stdout_of(&cold));
+
+    // Epilogue: once the temp file ages out (its writer is dead), gc
+    // reclaims it while still keeping the intact entry.
+    age_past_grace(&pending);
+    let gc = bbv(&["cache", "gc", dir.to_str().unwrap()], &[]);
+    assert_eq!(gc.status.code(), Some(0));
+    assert!(!pending.exists(), "aged temp residue must be swept");
+    assert_eq!(entry_files(&dir), files);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cache_admin_stats_verify_gc_roundtrip() {
     let dir = tmp_dir("admin");
@@ -210,6 +269,9 @@ fn cache_admin_stats_verify_gc_roundtrip() {
     ];
     assert_eq!(bbv(&args, &[]).status.code(), Some(0));
     std::fs::write(dir.join("00000000deadbeef.bbc"), b"garbage").unwrap();
+    // Age it past the gc grace window: a *fresh* unreadable file is treated
+    // as a concurrent writer's in-flight state and spared.
+    age_past_grace(&dir.join("00000000deadbeef.bbc"));
 
     let stats = bbv(&["cache", "stats", dir.to_str().unwrap()], &[]);
     assert_eq!(stats.status.code(), Some(0));

@@ -461,6 +461,67 @@ fn resume_accepts_overrides_after_recorded_argv() {
     let _ = std::fs::remove_dir_all(&ckpt);
 }
 
+/// `bbv resume DIR --jobs N` must accept a worker-count override without
+/// invalidating the checkpoint fingerprint: the config tag deliberately
+/// excludes `--jobs`, so a checkpoint cut at `--jobs 1` must still seed a
+/// resume at `--jobs 4` (and with `--fuse` toggled), and the resumed
+/// report must be byte-identical to an uninterrupted run.
+#[test]
+fn resume_jobs_override_reuses_jobs1_checkpoint() {
+    let base = bbv(
+        &["verify", "ms-queue", "--threads", "2", "--ops", "2", "--timeout", "120s", "--jobs", "1"],
+        &[],
+    );
+    assert_eq!(base.status.code(), Some(0));
+
+    // Crash a --jobs 1 run mid-refinement so the checkpoint holds both
+    // exploration sections and partial refinement rounds.
+    let ckpt = tmp_dir("jobs-override");
+    let crashed = bbv(
+        &[
+            "verify", "ms-queue", "--threads", "2", "--ops", "2", "--timeout", "120s",
+            "--jobs", "1",
+            "--checkpoint", ckpt.to_str().unwrap(), "--checkpoint-every", "1",
+        ],
+        &[("BB_FAULT", "round-abort:2")],
+    );
+    assert!(!crashed.status.success());
+
+    // Resume at --jobs 4 (+ --fuse, likewise excluded from the tag), with
+    // metrics on so seeding is observable.
+    let metrics = std::env::temp_dir().join(format!("bbv-jobs-override-{}.json", std::process::id()));
+    let resumed = bbv(
+        &[
+            "resume", ckpt.to_str().unwrap(),
+            "--jobs", "4", "--fuse", "--metrics", metrics.to_str().unwrap(),
+        ],
+        &[],
+    );
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        mask_durations(&stdout_of(&resumed)),
+        mask_durations(&stdout_of(&base)),
+        "jobs-override resume must converge to the jobs=1 report byte-for-byte"
+    );
+
+    // The checkpoint really seeded: at least one section was reused rather
+    // than recomputed (a fingerprint mismatch would force seed_hits = 0).
+    let json = std::fs::read_to_string(&metrics).expect("metrics written");
+    let seeds: u64 = json
+        .split("\"persist.seed_hits\":")
+        .nth(1)
+        .and_then(|s| s.trim_start().split(|c: char| !c.is_ascii_digit()).next()?.parse().ok())
+        .expect("seed-hit counter present in metrics");
+    assert!(seeds >= 1, "the jobs=1 checkpoint must seed the jobs=4 resume: {json}");
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
 /// `--checkpoint` is output-neutral: stdout and the exit code are
 /// byte-identical with and without it (like the bb-obs flags).
 #[test]
