@@ -22,6 +22,18 @@
 //! The meter amortizes the expensive checks (reading the clock, the shared
 //! cancellation flag) over [`CHECK_INTERVAL`] units of work, so governance
 //! costs one counter increment and one branch per unit on the hot path.
+//!
+//! # Clock discipline
+//!
+//! All deadline arithmetic is **monotonic**: deadlines anchor to an
+//! [`Instant`] captured when the [`Watchdog`] is created and trip on
+//! `start.elapsed()`. Wall-clock time ([`std::time::SystemTime`]) is never
+//! consulted — a daemon worker that straddles an NTP step, a suspend/resume
+//! or a DST change must neither trip a deadline early nor extend it. The
+//! whole workspace holds this line: the only `SystemTime` uses are
+//! bb-persist's temp-file grace sweep (file mtimes *are* wall-clock) and
+//! test fixtures; `tests/monotonic_audit.rs` enforces the whitelist by
+//! scanning the source tree.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};

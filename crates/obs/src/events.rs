@@ -1,0 +1,203 @@
+//! Live event subscription — the `bb-serve` watch-stream seam.
+//!
+//! The recorder in `lib.rs` buffers a whole session and exports it at the
+//! end; a verification *daemon* needs the opposite: progress events pushed
+//! out while a job runs, attributed to that job, without installing the
+//! process-global recording session (which would interleave concurrent
+//! jobs). This module provides that second consumer path, mirroring the
+//! [`PersistSink`](crate::sink::PersistSink) indirection:
+//!
+//! * an [`EventSink`] trait the daemon implements (its watch hub fans the
+//!   events out to subscribed TCP clients);
+//! * a process-wide installed sink ([`set_event_sink`]), one relaxed
+//!   atomic load when absent;
+//! * a **thread-local job tag** ([`tag_job`]): the daemon worker tags its
+//!   thread before running a job, and every span, diagnostic, and
+//!   heartbeat emitted from that thread is forwarded with the job id.
+//!   Untagged threads (the parallel engine's short-lived shard workers,
+//!   other jobs) forward nothing, so concurrent jobs never cross streams.
+//!
+//! Forwarding is observability, not control flow: sinks must not panic,
+//! and nothing here may change verdicts or stdout bytes (the serve
+//! differential tests byte-diff exactly that).
+
+use crate::Value;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One forwarded observability event. Borrowed views into the emitter's
+/// data — sinks serialize what they need and return.
+#[derive(Debug)]
+pub enum ObsEvent<'a> {
+    /// A phase span opened (`explore`, `bisim`, `bisim.round`, …).
+    SpanBegin { name: &'a str },
+    /// A phase span closed; `fields` carries whatever the phase recorded
+    /// (states, transitions, per-round partition deltas, …).
+    SpanEnd {
+        name: &'a str,
+        wall_us: u64,
+        fields: &'a [(String, Value)],
+    },
+    /// A one-line diagnostic (the `diag!` stream).
+    Diag { msg: &'a str },
+    /// A rate-limited progress heartbeat from a governed meter.
+    Heartbeat {
+        stage: &'a str,
+        states: u64,
+        transitions: u64,
+    },
+}
+
+/// Receiver of live, job-tagged observability events. Implemented by the
+/// `bb-serve` watch hub; installed process-wide.
+pub trait EventSink: Send + Sync {
+    /// Called synchronously from the emitting (job) thread. Must be cheap
+    /// and must not panic; slow consumers are the sink's problem to shed.
+    fn obs_event(&self, job: u64, ev: &ObsEvent<'_>);
+}
+
+static SINK_INSTALLED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Arc<dyn EventSink>>> = Mutex::new(None);
+
+thread_local! {
+    /// The job id events from this thread are attributed to.
+    static JOB_TAG: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Thread-local heartbeat rate limiter (µs of last forwarded beat).
+    static LAST_FWD_BEAT_US: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Installs `sink` as the process-wide live event receiver.
+pub fn set_event_sink(sink: Arc<dyn EventSink>) {
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+    SINK_INSTALLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed event sink.
+pub fn clear_event_sink() {
+    SINK_INSTALLED.store(false, Ordering::Release);
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// RAII guard restoring the previous job tag of this thread on drop.
+pub struct JobTagGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for JobTagGuard {
+    fn drop(&mut self) {
+        JOB_TAG.with(|t| t.set(self.prev));
+    }
+}
+
+/// Tags the current thread: until the guard drops, events emitted here are
+/// forwarded to the installed sink attributed to `job`.
+pub fn tag_job(job: u64) -> JobTagGuard {
+    let prev = JOB_TAG.with(|t| t.replace(Some(job)));
+    JobTagGuard { prev }
+}
+
+/// The job id this thread's events are attributed to, if any.
+pub fn current_job() -> Option<u64> {
+    JOB_TAG.with(|t| t.get())
+}
+
+/// The `(sink, job)` pair when both a sink is installed and this thread is
+/// tagged — the condition under which emitters forward. One relaxed load
+/// on the common (uninstalled) path.
+#[inline]
+pub fn active_for_current_job() -> Option<(Arc<dyn EventSink>, u64)> {
+    if !SINK_INSTALLED.load(Ordering::Acquire) {
+        return None;
+    }
+    let job = current_job()?;
+    let sink = SINK.lock().unwrap_or_else(|e| e.into_inner()).clone()?;
+    Some((sink, job))
+}
+
+/// Minimum interval between *forwarded* heartbeats per thread, in µs.
+/// Meters call `heartbeat` every `CHECK_INTERVAL` ticks, which can be tens
+/// of thousands of times per second on a hot loop; watch subscribers only
+/// need liveness, not every boundary.
+pub const FORWARD_BEAT_INTERVAL_US: u64 = 100_000;
+
+/// Rate-limit check for heartbeat forwarding (per emitting thread, which
+/// matches per job: only the job's orchestrating thread is tagged).
+/// Returns `true` when enough time passed since the last forwarded beat.
+pub fn beat_due(now_us: u64) -> bool {
+    LAST_FWD_BEAT_US.with(|last| {
+        if now_us.saturating_sub(last.get()) < FORWARD_BEAT_INTERVAL_US {
+            return false;
+        }
+        last.set(now_us);
+        true
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Mutex<Vec<(u64, String)>>,
+        count: AtomicU64,
+    }
+
+    impl EventSink for Recorder {
+        fn obs_event(&self, job: u64, ev: &ObsEvent<'_>) {
+            let label = match ev {
+                ObsEvent::SpanBegin { name } => format!("begin:{name}"),
+                ObsEvent::SpanEnd { name, .. } => format!("end:{name}"),
+                ObsEvent::Diag { msg } => format!("diag:{msg}"),
+                ObsEvent::Heartbeat { stage, .. } => format!("beat:{stage}"),
+            };
+            self.events.lock().unwrap().push((job, label));
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn untagged_threads_are_inactive() {
+        let rec = Arc::new(Recorder::default());
+        set_event_sink(rec.clone());
+        assert!(current_job().is_none());
+        assert!(active_for_current_job().is_none(), "no tag, no forwarding");
+        {
+            let _g = tag_job(7);
+            assert_eq!(current_job(), Some(7));
+            let (sink, job) = active_for_current_job().expect("tag + sink");
+            assert_eq!(job, 7);
+            sink.obs_event(job, &ObsEvent::Diag { msg: "x" });
+        }
+        assert!(current_job().is_none(), "guard restores the tag");
+        clear_event_sink();
+        assert!(active_for_current_job().is_none());
+        assert_eq!(rec.events.lock().unwrap().as_slice(), &[(7, "diag:x".into())]);
+    }
+
+    #[test]
+    fn tags_nest_and_restore() {
+        let outer = tag_job(1);
+        {
+            let _inner = tag_job(2);
+            assert_eq!(current_job(), Some(2));
+        }
+        assert_eq!(current_job(), Some(1));
+        drop(outer);
+        assert_eq!(current_job(), None);
+    }
+
+    #[test]
+    fn beat_rate_limiter_is_per_thread() {
+        // Fresh thread => fresh limiter state.
+        std::thread::spawn(|| {
+            assert!(beat_due(FORWARD_BEAT_INTERVAL_US));
+            assert!(!beat_due(FORWARD_BEAT_INTERVAL_US + 1));
+            assert!(beat_due(3 * FORWARD_BEAT_INTERVAL_US));
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -46,6 +46,10 @@ pub const POINTS: &[(&str, &str)] = &[
         "cache-read",
         "bb-persist cache lookup treats the entry as corrupt (recompute path)",
     ),
+    (
+        "journal-write",
+        "bb-serve journal append aborts mid-line (torn tail; replay target)",
+    ),
 ];
 
 struct Plan {

@@ -67,12 +67,65 @@ impl JsonValue {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Object member lookup.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         self.as_object()?
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
+    }
+
+    /// Serializes the value back to one-line JSON (object keys keep their
+    /// document order, so `parse(render(v)) == v`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => {
+                let _ = write!(out, "{}", *n as i64);
+            }
+            JsonValue::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Str(s) => write_str(out, s),
+            JsonValue::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
     }
 }
 

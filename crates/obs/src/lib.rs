@@ -34,11 +34,13 @@
 //! diagnostics, which happen O(phases + rounds) times per run, never per
 //! state.
 
+pub mod events;
 pub mod fault;
 pub mod hot;
 pub mod json;
 pub mod sink;
 
+pub use events::{clear_event_sink, set_event_sink, tag_job, EventSink, ObsEvent};
 pub use sink::{clear_persist_sink, persist_sink, set_persist_sink, PersistSink};
 
 use std::cell::RefCell;
@@ -100,7 +102,9 @@ pub enum Value {
 }
 
 impl Value {
-    fn write_json(&self, out: &mut String) {
+    /// Appends the JSON rendering of this value (public so the serve
+    /// watch hub can serialize span fields without re-implementing it).
+    pub fn write_json(&self, out: &mut String) {
         match self {
             Value::U64(v) => {
                 out.push_str(&v.to_string());
@@ -260,16 +264,44 @@ pub fn finish() -> Option<Session> {
 #[must_use = "a span records its wall-clock when dropped"]
 pub struct Span {
     id: Option<usize>,
+    live: Option<LiveSpan>,
     _not_send: PhantomData<*const ()>,
+}
+
+/// Live-forwarding side of a span: when an [`events::EventSink`] is
+/// installed and the opening thread carries a job tag, the span's begin,
+/// end (with wall-clock and fields) are pushed to the sink as they happen —
+/// independent of whether a recording session is installed.
+struct LiveSpan {
+    sink: std::sync::Arc<dyn events::EventSink>,
+    job: u64,
+    name: String,
+    start_us: u64,
+    fields: RefCell<Vec<(String, Value)>>,
+}
+
+fn live_span(name: &str) -> Option<LiveSpan> {
+    let (sink, job) = events::active_for_current_job()?;
+    sink.obs_event(job, &events::ObsEvent::SpanBegin { name });
+    Some(LiveSpan {
+        sink,
+        job,
+        name: name.to_string(),
+        start_us: now_us(),
+        fields: RefCell::new(Vec::new()),
+    })
 }
 
 /// Open a span named `name` under the innermost span open on this thread.
 ///
-/// When no session is installed this is a no-op costing one relaxed load.
+/// When no session is installed this is a no-op costing one relaxed load
+/// (plus one more for the live event sink).
 pub fn span(name: &str) -> Span {
+    let live = live_span(name);
     if !enabled() {
         return Span {
             id: None,
+            live,
             _not_send: PhantomData,
         };
     }
@@ -278,6 +310,7 @@ pub fn span(name: &str) -> Span {
     let Some(state) = guard.as_mut() else {
         return Span {
             id: None,
+            live,
             _not_send: PhantomData,
         };
     };
@@ -297,6 +330,7 @@ pub fn span(name: &str) -> Span {
     SPAN_STACK.with(|s| s.borrow_mut().push(id));
     Span {
         id: Some(id),
+        live,
         _not_send: PhantomData,
     }
 }
@@ -304,8 +338,16 @@ pub fn span(name: &str) -> Span {
 impl Span {
     /// Attach (or overwrite) a field on this span.
     pub fn record(&self, key: &str, value: impl Into<Value>) {
-        let Some(id) = self.id else { return };
         let value = value.into();
+        if let Some(live) = &self.live {
+            let mut fields = live.fields.borrow_mut();
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value.clone();
+            } else {
+                fields.push((key.to_string(), value.clone()));
+            }
+        }
+        let Some(id) = self.id else { return };
         let mut guard = STATE.lock().unwrap();
         if let Some(state) = guard.as_mut() {
             if let Some(span) = state.spans.get_mut(id) {
@@ -327,6 +369,16 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if let Some(live) = &self.live {
+            live.sink.obs_event(
+                live.job,
+                &events::ObsEvent::SpanEnd {
+                    name: &live.name,
+                    wall_us: now_us().saturating_sub(live.start_us),
+                    fields: &live.fields.borrow(),
+                },
+            );
+        }
         let Some(id) = self.id else { return };
         let t = now_us();
         SPAN_STACK.with(|s| {
@@ -356,6 +408,9 @@ impl Drop for Span {
 /// This is the sink the ad-hoc `eprintln!` counters migrated onto.
 pub fn diag(args: fmt::Arguments<'_>) {
     let msg = args.to_string();
+    if let Some((sink, job)) = events::active_for_current_job() {
+        sink.obs_event(job, &events::ObsEvent::Diag { msg: &msg });
+    }
     if !QUIET.load(Ordering::Relaxed) {
         eprintln!("{msg}");
     }
@@ -389,6 +444,20 @@ static LAST_BEAT_STATES: AtomicU64 = AtomicU64::new(0);
 /// Called from amortized clock checkpoints (`Meter::check_clock`); no-op
 /// unless `--progress` is on, and prints at most every ~500 ms.
 pub fn heartbeat(stage: &str, states: u64, transitions: u64) {
+    if let Some((sink, job)) = events::active_for_current_job() {
+        // Rate-limited per emitting thread: watch subscribers need
+        // liveness, not every amortized check boundary.
+        if events::beat_due(now_us()) {
+            sink.obs_event(
+                job,
+                &events::ObsEvent::Heartbeat {
+                    stage,
+                    states,
+                    transitions,
+                },
+            );
+        }
+    }
     if !progress_enabled() {
         return;
     }

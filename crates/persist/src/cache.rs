@@ -87,6 +87,18 @@ pub struct CacheStats {
     pub corrupt: usize,
 }
 
+impl CacheStats {
+    /// Renders the stats as one JSON object (schema `bb-cache/v1`) —
+    /// consumed by `bbv cache stats --json` and embedded verbatim in the
+    /// bb-serve daemon's `stats` reply.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\": \"bb-cache/v1\", \"entries\": {}, \"bytes\": {}, \"corrupt\": {}}}",
+            self.entries, self.bytes, self.corrupt
+        )
+    }
+}
+
 /// A cache directory handle.
 #[derive(Debug, Clone)]
 pub struct Cache {

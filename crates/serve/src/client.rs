@@ -1,0 +1,195 @@
+//! Client side of the `bb-serve/v1` protocol (`bbv submit/status/...`).
+//!
+//! A [`Client`] is one TCP connection speaking newline-delimited JSON:
+//! write a request line, read reply lines. `watch` keeps reading — event
+//! lines stream until the terminal `{"event": "done", ...}` line arrives.
+//! The daemon's address comes either verbatim (`--addr host:port`) or via
+//! [`discover_addr`] from the `serve.addr` file the daemon publishes in
+//! its serve directory.
+
+use crate::daemon::ADDR_FILE;
+use crate::proto::{parse_artifacts, read_line_bounded, LineError};
+use crate::spec::JobSpec;
+use bb_obs::json::{parse, JsonValue};
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Reads the daemon's bound address from `dir/serve.addr`.
+pub fn discover_addr(dir: &Path) -> io::Result<String> {
+    let addr = std::fs::read_to_string(dir.join(ADDR_FILE)).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "no daemon address in {} (is `bbv serve --dir {}` running?)",
+                dir.join(ADDR_FILE).display(),
+                dir.display()
+            ),
+        )
+    })?;
+    Ok(addr.trim().to_string())
+}
+
+/// The outcome of a served job, normalized for the CLI.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Daemon-assigned job id.
+    pub job: u64,
+    /// The run's exit code (0 proved / 1 refuted / 2 inconclusive).
+    pub exit_code: i32,
+    /// The run's buffered stdout, byte-identical to a direct CLI run.
+    pub stdout: String,
+    /// Requested artifacts (`.aut`/`.dot` bytes) by file name.
+    pub artifacts: Vec<(String, Vec<u8>)>,
+    /// Whether the daemon served this from the result cache.
+    pub cached: bool,
+}
+
+/// One connection to a bb-serve daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request line and reads one reply line.
+    fn roundtrip(&mut self, line: &str) -> Result<JsonValue, String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send failed: {e}"))?;
+        self.read_reply()
+    }
+
+    /// Reads and parses the next reply line.
+    fn read_reply(&mut self) -> Result<JsonValue, String> {
+        let line = match read_line_bounded(&mut self.reader) {
+            Ok(Some(l)) => l,
+            Ok(None) => return Err("daemon closed the connection".into()),
+            Err(LineError::Oversized) => return Err("oversized reply line".into()),
+            Err(LineError::Io(e)) => return Err(format!("read failed: {e}")),
+        };
+        parse(&line).map_err(|e| format!("malformed reply: {e}"))
+    }
+
+    /// Protocol ping; checks the schema matches.
+    pub fn ping(&mut self) -> Result<JsonValue, String> {
+        self.roundtrip("{\"op\": \"ping\"}")
+    }
+
+    /// Submits a job; the reply is `queued`, immediate `done` (cache-backed
+    /// admission) or a queue-full rejection with `retry_after_ms`.
+    pub fn submit(&mut self, spec: &JobSpec, priority: i64) -> Result<JsonValue, String> {
+        self.roundtrip(&format!(
+            "{{\"op\": \"submit\", \"priority\": {priority}, \"spec\": {}}}",
+            spec.to_json()
+        ))
+    }
+
+    /// Asks for a job's current state (and result, when done).
+    pub fn status(&mut self, job: u64) -> Result<JsonValue, String> {
+        self.roundtrip(&format!("{{\"op\": \"status\", \"job\": {job}}}"))
+    }
+
+    /// Requests cancellation (dequeue, or trip the running job's token).
+    pub fn cancel(&mut self, job: u64) -> Result<JsonValue, String> {
+        self.roundtrip(&format!("{{\"op\": \"cancel\", \"job\": {job}}}"))
+    }
+
+    /// Tells the daemon to stop admitting, finish the queue and exit.
+    pub fn drain(&mut self) -> Result<JsonValue, String> {
+        self.roundtrip("{\"op\": \"drain\"}")
+    }
+
+    /// Fetches daemon counters (queue, admission, cache).
+    pub fn stats(&mut self) -> Result<JsonValue, String> {
+        self.roundtrip("{\"op\": \"stats\"}")
+    }
+
+    /// Watches `job`: streams each event line to `on_event` until the
+    /// terminal `done` line, which is returned. This consumes the
+    /// connection's request slot until the job finishes.
+    pub fn watch(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&JsonValue),
+    ) -> Result<JsonValue, String> {
+        writeln!(self.writer, "{{\"op\": \"watch\", \"job\": {job}}}")
+            .map_err(|e| format!("send failed: {e}"))?;
+        loop {
+            let v = self.read_reply()?;
+            if let Some(err) = v.get("error").and_then(JsonValue::as_str) {
+                return Err(err.to_string());
+            }
+            if v.get("event").and_then(JsonValue::as_str) == Some("done") {
+                return Ok(v);
+            }
+            on_event(&v);
+        }
+    }
+
+    /// Submit + wait for the result, retrying queue-full rejections with
+    /// the daemon's `retry_after_ms` hint (capped per attempt to keep
+    /// tests snappy). Streams progress events to `on_event` while waiting.
+    pub fn submit_and_wait(
+        &mut self,
+        spec: &JobSpec,
+        priority: i64,
+        mut on_event: impl FnMut(&JsonValue),
+    ) -> Result<JobResult, String> {
+        let reply = loop {
+            let reply = self.submit(spec, priority)?;
+            if reply.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                break reply;
+            }
+            match reply.get("retry_after_ms").and_then(JsonValue::as_u64) {
+                Some(ms) => std::thread::sleep(Duration::from_millis(ms.min(2000))),
+                None => {
+                    let msg = reply
+                        .get("error")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("submit rejected");
+                    return Err(msg.to_string());
+                }
+            }
+        };
+        let job = reply
+            .get("job")
+            .and_then(JsonValue::as_u64)
+            .ok_or("submit reply missing job id")?;
+        let terminal = if reply.get("state").and_then(JsonValue::as_str) == Some("done") {
+            reply
+        } else {
+            self.watch(job, &mut on_event)?
+        };
+        result_of(job, &terminal)
+    }
+}
+
+/// Extracts a [`JobResult`] from a terminal reply (`done` status/event).
+pub fn result_of(job: u64, v: &JsonValue) -> Result<JobResult, String> {
+    if v.get("state").and_then(JsonValue::as_str) == Some("cancelled") {
+        return Err(format!("job {job} was cancelled"));
+    }
+    let exit_code = v
+        .get("exit_code")
+        .and_then(JsonValue::as_u64)
+        .ok_or("terminal reply missing exit_code")? as i32;
+    let stdout = v
+        .get("stdout")
+        .and_then(JsonValue::as_str)
+        .ok_or("terminal reply missing stdout")?
+        .to_string();
+    Ok(JobResult {
+        job,
+        exit_code,
+        stdout,
+        artifacts: v.get("artifacts").map(parse_artifacts).unwrap_or_default(),
+        cached: v.get("cached").and_then(JsonValue::as_bool) == Some(true),
+    })
+}

@@ -1,0 +1,575 @@
+//! The verification daemon: TCP accept loop, worker pool, job table.
+//!
+//! One process-wide [`Daemon`] owns the job table, the bounded
+//! [`PendingQueue`], the [`Journal`] and the [`WatchHub`]. Connections get
+//! a thread each (the protocol is line-oriented and mostly idle);
+//! `--workers N` dedicated worker threads drain the queue in priority
+//! order and run each job through the shared [`runner`](crate::runner) —
+//! the same code path as a direct CLI run, under the job's own
+//! cancellation token, with the daemon's result cache consulted before
+//! computing and written after.
+//!
+//! Crash story: a submit is journaled (fsync) before it is acknowledged,
+//! so a SIGKILLed daemon re-materializes its unfinished queue on restart
+//! ([`journal::replay`]); re-runs are cheap when the result cache is on
+//! (conclusive outcomes of finished jobs were stored there). With a
+//! single worker the daemon additionally cuts bb-persist checkpoints for
+//! long jobs, keyed by the job's cache key, so a restart resumes
+//! mid-refinement rather than from scratch. (The checkpoint session is
+//! process-global, which is why `workers > 1` runs without per-job
+//! checkpoints — the journal + cache still cover restart correctness.)
+//!
+//! Lifecycle: `drain` stops admission, lets the queue finish, then stops
+//! the accept loop; the bound address is published to `serve.addr` in the
+//! serve directory for clients started with `--dir`.
+
+use crate::hub::WatchHub;
+use crate::journal::{self, Journal};
+use crate::proto::{
+    error_reply, parse_request, push_result_fields, read_line_bounded, rejected_reply, LineError,
+    Request, MAX_LINE, SCHEMA,
+};
+use crate::queue::{LoadEstimator, PendingQueue};
+use crate::runner::{execute, CheckpointCtl, ExecResult, RunCtl, EXIT_PROVED, EXIT_REFUTED};
+use crate::spec::JobSpec;
+use bb_lts::budget::CancelToken;
+use bb_lts::snapshot::fnv1a;
+use bb_persist::Cache;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Discovery file (the bound address) inside the serve directory.
+pub const ADDR_FILE: &str = "serve.addr";
+
+/// Daemon configuration (`bbv serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Serve directory: journal, address file, per-job checkpoints.
+    pub dir: PathBuf,
+    /// Listen address; port 0 picks a free port (published to
+    /// [`ADDR_FILE`]).
+    pub addr: String,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Pending-queue capacity (admission control bound).
+    pub queue_cap: usize,
+    /// Result-cache directory (admission hits skip the queue entirely).
+    pub cache: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            dir: PathBuf::from(".bbv-serve"),
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_cap: 64,
+            cache: None,
+        }
+    }
+}
+
+/// Lifecycle of one job in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    result: Option<ExecResult>,
+    cancel: CancelToken,
+    wall_ms: u64,
+}
+
+/// Daemon-lifetime counters, reported by `stats`.
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    submitted: u64,
+    admitted: u64,
+    rejected: u64,
+    admission_cache_hits: u64,
+    completed: u64,
+    computed: u64,
+    served_from_cache: u64,
+    cancelled: u64,
+    replayed: u64,
+}
+
+struct State {
+    queue: PendingQueue,
+    jobs: HashMap<u64, JobRecord>,
+    next_id: u64,
+    draining: bool,
+    shutdown: bool,
+    running: usize,
+    est: LoadEstimator,
+    counters: Counters,
+}
+
+/// The shared daemon object (one per `serve` invocation).
+pub struct Daemon {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+    hub: Arc<WatchHub>,
+    journal: Journal,
+    cache: Option<Cache>,
+    bound_addr: std::net::SocketAddr,
+}
+
+/// Runs the daemon to completion (returns after `drain` finishes the
+/// queue). Replays the journal, binds, publishes the address, installs
+/// the watch hub as the process event sink, and serves.
+pub fn serve(cfg: ServeConfig) -> io::Result<()> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let journal = Journal::open(&cfg.dir)?;
+    let replayed = journal::replay(&cfg.dir);
+    let cache = match &cfg.cache {
+        Some(dir) => Some(Cache::open(dir)?),
+        None => None,
+    };
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let bound_addr = listener.local_addr()?;
+    bb_persist::write_atomic(&cfg.dir.join(ADDR_FILE), bound_addr.to_string().as_bytes())?;
+
+    let mut state = State {
+        queue: PendingQueue::new(cfg.queue_cap.max(replayed.pending.len())),
+        jobs: HashMap::new(),
+        next_id: replayed.next_id,
+        draining: false,
+        shutdown: false,
+        running: 0,
+        est: LoadEstimator::default(),
+        counters: Counters::default(),
+    };
+    for (job, priority, spec) in replayed.pending {
+        state.queue.push(job, priority);
+        state.jobs.insert(
+            job,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                result: None,
+                cancel: CancelToken::new(),
+                wall_ms: 0,
+            },
+        );
+        state.counters.replayed += 1;
+        state.counters.admitted += 1;
+    }
+    if state.counters.replayed > 0 {
+        eprintln!(
+            "serve: replayed {} pending job(s) from the journal",
+            state.counters.replayed
+        );
+    }
+
+    let hub = Arc::new(WatchHub::new());
+    bb_obs::set_event_sink(hub.clone());
+    let daemon = Arc::new(Daemon {
+        cfg: cfg.clone(),
+        state: Mutex::new(state),
+        cv: Condvar::new(),
+        hub,
+        journal,
+        cache,
+        bound_addr,
+    });
+
+    eprintln!(
+        "serve: listening on {bound_addr} ({} worker(s), queue {} — address in {})",
+        cfg.workers.max(1),
+        cfg.queue_cap,
+        cfg.dir.join(ADDR_FILE).display()
+    );
+
+    let mut workers = Vec::new();
+    for _ in 0..cfg.workers.max(1) {
+        let d = daemon.clone();
+        workers.push(std::thread::spawn(move || d.worker_loop()));
+    }
+
+    for stream in listener.incoming() {
+        if daemon.state.lock().unwrap_or_else(|e| e.into_inner()).shutdown {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let d = daemon.clone();
+        std::thread::spawn(move || {
+            let _ = d.serve_connection(stream);
+        });
+    }
+
+    for w in workers {
+        let _ = w.join();
+    }
+    bb_obs::clear_event_sink();
+    // A clean shutdown has no pending jobs; drop the discovery file so a
+    // later client doesn't dial a dead address.
+    let _ = std::fs::remove_file(cfg.dir.join(ADDR_FILE));
+    Ok(())
+}
+
+impl Daemon {
+    /// Per-job checkpointing is only sound with one worker: the bb-persist
+    /// session is process-global.
+    fn checkpoint_ctl(&self, spec: &JobSpec) -> Option<CheckpointCtl> {
+        if self.cfg.workers.max(1) != 1 {
+            return None;
+        }
+        let slot = format!("{:016x}", fnv1a(0, spec.cache_key().as_bytes()));
+        Some(CheckpointCtl {
+            dir: self.cfg.dir.join("ck").join(slot),
+            every: 8,
+            argv: spec.to_argv(),
+        })
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let (job, spec, cancel, ck) = {
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    // Pop the schedule head, skipping entries cancelled
+                    // while queued.
+                    let next = loop {
+                        match st.queue.pop() {
+                            Some(id)
+                                if st.jobs.get(&id).is_some_and(|j| j.state == JobState::Queued) =>
+                            {
+                                break Some(id)
+                            }
+                            Some(_) => continue,
+                            None => break None,
+                        }
+                    };
+                    if let Some(id) = next {
+                        st.running += 1;
+                        let rec = st.jobs.get_mut(&id).expect("queued job has a record");
+                        rec.state = JobState::Running;
+                        let spec = rec.spec.clone();
+                        let cancel = rec.cancel.clone();
+                        drop(st);
+                        let ck = self.checkpoint_ctl(&spec);
+                        break (id, spec, cancel, ck);
+                    }
+                    if st.draining && st.running == 0 {
+                        st.shutdown = true;
+                        self.cv.notify_all();
+                        drop(st);
+                        self.unblock_accept();
+                        return;
+                    }
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+
+            let ck_dir = ck.as_ref().map(|c| c.dir.clone());
+            let start = Instant::now();
+            let result = {
+                // Tag the worker thread: every span/diag/heartbeat emitted
+                // while this job runs streams to its watchers.
+                let _tag = bb_obs::tag_job(job);
+                let ctl = RunCtl { cancel, checkpoint: ck };
+                execute(&spec, self.cache.as_ref(), &ctl)
+            };
+            let wall_ms = start.elapsed().as_millis() as u64;
+            let conclusive =
+                result.exit_code == EXIT_PROVED || result.exit_code == EXIT_REFUTED;
+            if conclusive {
+                if let Some(dir) = ck_dir {
+                    // The checkpoint served its purpose; reclaim the disk.
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            }
+            if let Err(e) = self.journal.record_done(job) {
+                bb_obs::diag!("serve: journal done record failed: {e}");
+            }
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.running -= 1;
+            st.est.observe(wall_ms as f64);
+            st.counters.completed += 1;
+            if result.cache_hit {
+                st.counters.served_from_cache += 1;
+            } else {
+                st.counters.computed += 1;
+            }
+            if let Some(rec) = st.jobs.get_mut(&job) {
+                rec.state = JobState::Done;
+                rec.wall_ms = wall_ms;
+                rec.result = Some(result);
+            }
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wakes the accept loop (it only observes `shutdown` between
+    /// connections) by dialing ourselves once.
+    fn unblock_accept(&self) {
+        let _ = TcpStream::connect(self.bound_addr);
+    }
+
+    fn serve_connection(&self, stream: TcpStream) -> io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        loop {
+            let line = match read_line_bounded(&mut reader) {
+                Ok(None) => return Ok(()),
+                Ok(Some(l)) => l,
+                Err(LineError::Oversized) => {
+                    let reply = error_reply(&format!(
+                        "request line exceeds {MAX_LINE} bytes; closing connection"
+                    ));
+                    let _ = writeln!(writer, "{reply}");
+                    return Ok(());
+                }
+                Err(LineError::Io(e)) => return Err(e),
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match parse_request(&line) {
+                Err(e) => error_reply(&e),
+                Ok(Request::Ping) => {
+                    format!("{{\"ok\": true, \"schema\": \"{SCHEMA}\"}}")
+                }
+                Ok(Request::Submit { spec, priority }) => self.handle_submit(spec, priority),
+                Ok(Request::Status { job }) => self.handle_status(job),
+                Ok(Request::Cancel { job }) => self.handle_cancel(job),
+                Ok(Request::Stats) => self.handle_stats(),
+                Ok(Request::Drain) => self.handle_drain(),
+                Ok(Request::Watch { job }) => {
+                    // Watch streams on this connection; the final done line
+                    // is written inside.
+                    self.handle_watch(job, &mut writer)?;
+                    continue;
+                }
+            };
+            writeln!(writer, "{reply}")?;
+        }
+    }
+
+    fn handle_submit(&self, spec: JobSpec, priority: i64) -> String {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.counters.submitted += 1;
+        if st.draining {
+            return error_reply("daemon is draining; not accepting new jobs");
+        }
+        // Cache-backed admission: a memoized conclusive outcome never
+        // takes a queue slot — the reply carries the result immediately.
+        if spec.cacheable() {
+            if let Some(entry) = self.cache.as_ref().and_then(|c| c.lookup(&spec.cache_key())) {
+                let id = st.next_id;
+                st.next_id += 1;
+                st.counters.admission_cache_hits += 1;
+                st.counters.served_from_cache += 1;
+                st.counters.completed += 1;
+                let result = ExecResult {
+                    stdout: entry.stdout,
+                    exit_code: entry.exit_code,
+                    artifacts: entry.artifacts,
+                    cache_hit: true,
+                };
+                let mut reply =
+                    format!("{{\"ok\": true, \"job\": {id}, \"state\": \"done\"");
+                push_result_fields(&mut reply, &result);
+                reply.push('}');
+                st.jobs.insert(
+                    id,
+                    JobRecord {
+                        spec,
+                        state: JobState::Done,
+                        result: Some(result),
+                        cancel: CancelToken::new(),
+                        wall_ms: 0,
+                    },
+                );
+                return reply;
+            }
+        }
+        if st.queue.is_full() {
+            st.counters.rejected += 1;
+            let hint = st.est.retry_after_ms(st.queue.len(), self.cfg.workers.max(1));
+            return rejected_reply(hint);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        // Journal before acknowledging: an acknowledged job survives
+        // SIGKILL. (Held under the state lock so journal order matches id
+        // order; appends are one small fsynced line.)
+        if let Err(e) = self.journal.record_submit(id, priority, &spec) {
+            return error_reply(&format!("journal write failed: {e}"));
+        }
+        st.queue.push(id, priority);
+        st.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                result: None,
+                cancel: CancelToken::new(),
+                wall_ms: 0,
+            },
+        );
+        st.counters.admitted += 1;
+        drop(st);
+        self.cv.notify_one();
+        format!("{{\"ok\": true, \"job\": {id}, \"state\": \"queued\"}}")
+    }
+
+    fn handle_status(&self, job: u64) -> String {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(rec) = st.jobs.get(&job) else {
+            return error_reply(&format!("unknown job {job}"));
+        };
+        let mut reply = format!(
+            "{{\"ok\": true, \"job\": {job}, \"state\": \"{}\"",
+            rec.state.as_str()
+        );
+        let _ = write!(reply, ", \"algorithm\": ");
+        bb_obs::json::write_str(&mut reply, &rec.spec.algorithm);
+        if let Some(r) = &rec.result {
+            let _ = write!(reply, ", \"wall_ms\": {}", rec.wall_ms);
+            push_result_fields(&mut reply, r);
+        }
+        reply.push('}');
+        reply
+    }
+
+    fn handle_cancel(&self, job: u64) -> String {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(rec) = st.jobs.get_mut(&job) else {
+            return error_reply(&format!("unknown job {job}"));
+        };
+        match rec.state {
+            JobState::Queued => {
+                rec.state = JobState::Cancelled;
+                st.queue.remove(job);
+                st.counters.cancelled += 1;
+                if let Err(e) = self.journal.record_cancel(job) {
+                    bb_obs::diag!("serve: journal cancel record failed: {e}");
+                }
+                drop(st);
+                // Wake watchers of the now-terminal job.
+                self.cv.notify_all();
+                format!("{{\"ok\": true, \"job\": {job}, \"state\": \"cancelled\"}}")
+            }
+            JobState::Running => {
+                // Cooperative: the job's meters observe the token at their
+                // next check boundary and unwind as inconclusive.
+                rec.cancel.cancel();
+                format!(
+                    "{{\"ok\": true, \"job\": {job}, \"state\": \"running\", \"cancelling\": true}}"
+                )
+            }
+            state @ (JobState::Done | JobState::Cancelled) => format!(
+                "{{\"ok\": true, \"job\": {job}, \"state\": \"{}\"}}",
+                state.as_str()
+            ),
+        }
+    }
+
+    fn handle_watch(&self, job: u64, writer: &mut TcpStream) -> io::Result<()> {
+        {
+            let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if !st.jobs.contains_key(&job) {
+                let reply = error_reply(&format!("unknown job {job}"));
+                return writeln!(writer, "{reply}");
+            }
+        }
+        let token = self.hub.subscribe(job, writer.try_clone()?);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.shutdown {
+            match st.jobs.get(&job).map(|r| r.state) {
+                Some(JobState::Done) | Some(JobState::Cancelled) | None => break,
+                _ => st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+        let mut line = format!("{{\"event\": \"done\", \"job\": {job}");
+        if let Some(rec) = st.jobs.get(&job) {
+            let _ = write!(line, ", \"state\": \"{}\"", rec.state.as_str());
+            if let Some(r) = &rec.result {
+                let _ = write!(line, ", \"wall_ms\": {}", rec.wall_ms);
+                push_result_fields(&mut line, r);
+            }
+        } else {
+            line.push_str(", \"state\": \"unknown\"");
+        }
+        line.push('}');
+        drop(st);
+        // All of the job's events were emitted before its state turned
+        // terminal (same worker thread), so unsubscribing here cannot race
+        // a late event past the final line.
+        self.hub.unsubscribe(job, token);
+        writeln!(writer, "{line}")
+    }
+
+    fn handle_stats(&self) -> String {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let c = st.counters;
+        let mut s = format!(
+            "{{\"ok\": true, \"schema\": \"{SCHEMA}\", \"workers\": {}, \"queue\": {{\"pending\": {}, \"cap\": {}, \"running\": {}, \"draining\": {}}}",
+            self.cfg.workers.max(1),
+            st.queue.len(),
+            self.cfg.queue_cap,
+            st.running,
+            st.draining,
+        );
+        let _ = write!(
+            s,
+            ", \"admission\": {{\"submitted\": {}, \"admitted\": {}, \"rejected\": {}, \"cache_hits\": {}, \"replayed\": {}}}",
+            c.submitted, c.admitted, c.rejected, c.admission_cache_hits, c.replayed
+        );
+        let _ = write!(
+            s,
+            ", \"served\": {{\"completed\": {}, \"computed\": {}, \"from_cache\": {}, \"cancelled\": {}}}",
+            c.completed, c.computed, c.served_from_cache, c.cancelled
+        );
+        let _ = write!(s, ", \"avg_job_ms\": {}", st.est.avg_ms() as u64);
+        drop(st);
+        match &self.cache {
+            Some(cache) => {
+                let _ = write!(s, ", \"cache\": {}", cache.stats().to_json());
+            }
+            None => s.push_str(", \"cache\": null"),
+        }
+        s.push('}');
+        s
+    }
+
+    fn handle_drain(&self) -> String {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.draining = true;
+        let pending = st.queue.len() + st.running;
+        drop(st);
+        // Wake idle workers so one of them observes drained-and-empty and
+        // performs the shutdown.
+        self.cv.notify_all();
+        format!("{{\"ok\": true, \"draining\": true, \"pending\": {pending}}}")
+    }
+}

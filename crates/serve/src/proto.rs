@@ -1,0 +1,258 @@
+//! The `bb-serve/v1` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line, at most [`MAX_LINE`]
+//! bytes. Every request draws exactly one reply line, except `watch`,
+//! which first streams zero or more event lines (`span_begin`, `span_end`,
+//! `heartbeat`, `diag`) and terminates with one `done` event carrying the
+//! full result. Replies always carry `"ok": true|false`; errors add
+//! `"error"` and, for queue-full rejections, `"retry_after_ms"`.
+//!
+//! Artifacts travel as JSON strings (`"text"`), which is lossless here:
+//! every artifact the pipeline produces (`.dot`, `.aut`) is UTF-8 by
+//! construction. Robustness rules: a malformed or truncated line draws an
+//! error reply and the connection survives; an oversized line draws an
+//! error reply and the connection is closed (the daemon will not scan an
+//! unbounded stream for the next newline).
+
+use crate::runner::ExecResult;
+use crate::spec::JobSpec;
+use bb_obs::json::{parse, write_str, JsonValue};
+use std::fmt::Write as _;
+use std::io::{self, BufRead};
+
+/// Protocol schema identifier, echoed in `ping` and `stats` replies.
+pub const SCHEMA: &str = "bb-serve/v1";
+
+/// Hard cap on one request line, in bytes.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness + schema probe.
+    Ping,
+    /// Enqueue a job (or serve it straight from the result cache).
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+        /// Higher runs earlier; ties break by submission order.
+        priority: i64,
+    },
+    /// One-shot job state (with the result once done).
+    Status {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// Stream progress events until the job completes.
+    Watch {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job id from `submit`.
+        job: u64,
+    },
+    /// Stop admitting, finish the queue, shut down.
+    Drain,
+    /// Daemon + queue + cache statistics.
+    Stats,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("request needs a string `op` member")?;
+    let job_of = |v: &JsonValue| {
+        v.get("job")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("`{op}` needs a numeric `job` member"))
+    };
+    match op {
+        "ping" => Ok(Request::Ping),
+        "submit" => {
+            let spec = JobSpec::from_json(v.get("spec").ok_or("`submit` needs a `spec` member")?)?;
+            let priority = match v.get("priority") {
+                None | Some(JsonValue::Null) => 0,
+                Some(JsonValue::Num(n)) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => {
+                    *n as i64
+                }
+                Some(_) => return Err("priority must be an integer".into()),
+            };
+            Ok(Request::Submit { spec, priority })
+        }
+        "status" => Ok(Request::Status { job: job_of(&v)? }),
+        "watch" => Ok(Request::Watch { job: job_of(&v)? }),
+        "cancel" => Ok(Request::Cancel { job: job_of(&v)? }),
+        "drain" => Ok(Request::Drain),
+        "stats" => Ok(Request::Stats),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Reading one bounded line can fail two ways with different recoveries.
+#[derive(Debug)]
+pub enum LineError {
+    /// The line exceeded [`MAX_LINE`]; the caller must close the
+    /// connection (the rest of the line was not consumed).
+    Oversized,
+    /// Transport error.
+    Io(io::Error),
+}
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes. Returns
+/// `None` on clean EOF; a partial line at EOF (truncated request) is
+/// returned as-is and left to the parser to reject.
+pub fn read_line_bounded<R: BufRead>(reader: &mut R) -> Result<Option<String>, LineError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(LineError::Io(e)),
+        };
+        if chunk.is_empty() {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+            };
+        }
+        let (line_part, consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (&chunk[..i], i + 1, true),
+            None => (chunk, chunk.len(), false),
+        };
+        if buf.len() + line_part.len() > MAX_LINE {
+            return Err(LineError::Oversized);
+        }
+        buf.extend_from_slice(line_part);
+        reader.consume(consumed);
+        if done {
+            return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+        }
+    }
+}
+
+/// `{"ok": false, "error": ...}` (one line, no newline).
+pub fn error_reply(msg: &str) -> String {
+    let mut s = String::from("{\"ok\": false, \"error\": ");
+    write_str(&mut s, msg);
+    s.push('}');
+    s
+}
+
+/// The queue-full rejection with its backpressure hint.
+pub fn rejected_reply(retry_after_ms: u64) -> String {
+    format!(
+        "{{\"ok\": false, \"error\": \"queue full\", \"retry_after_ms\": {retry_after_ms}}}"
+    )
+}
+
+/// Appends the result members shared by `submit` (admission hit), `status`
+/// (done) and the final `watch` event: exit code, cache provenance, stdout
+/// and artifacts.
+pub fn push_result_fields(s: &mut String, r: &ExecResult) {
+    let _ = write!(s, ", \"exit_code\": {}, \"cached\": {}", r.exit_code, r.cache_hit);
+    s.push_str(", \"stdout\": ");
+    write_str(s, &r.stdout);
+    s.push_str(", \"artifacts\": [");
+    for (i, (name, bytes)) in r.artifacts.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str("{\"name\": ");
+        write_str(s, name);
+        s.push_str(", \"text\": ");
+        write_str(s, &String::from_utf8_lossy(bytes));
+        s.push('}');
+    }
+    s.push(']');
+}
+
+/// Decodes the `artifacts` member of a result reply back into the runner's
+/// representation (client side).
+pub fn parse_artifacts(v: &JsonValue) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for item in v.as_array().unwrap_or(&[]) {
+        let (Some(name), Some(text)) = (
+            item.get("name").and_then(JsonValue::as_str),
+            item.get("text").and_then(JsonValue::as_str),
+        ) else {
+            continue;
+        };
+        out.push((name.to_string(), text.as_bytes().to_vec()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request(r#"{"op": "ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op": "drain"}"#).unwrap(), Request::Drain);
+        assert_eq!(parse_request(r#"{"op": "stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op": "status", "job": 3}"#).unwrap(),
+            Request::Status { job: 3 }
+        );
+        let r = parse_request(r#"{"op": "submit", "spec": {"algorithm": "treiber"}, "priority": -2}"#)
+            .unwrap();
+        match r {
+            Request::Submit { spec, priority } => {
+                assert_eq!(spec.algorithm, "treiber");
+                assert_eq!(priority, -2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op": "warp"}"#).is_err());
+        assert!(parse_request(r#"{"op": "status"}"#).is_err());
+        assert!(parse_request(r#"{"op": "submit"}"#).is_err());
+        assert!(parse_request(r#"{"op": "submit", "spec": {"algorithm": "treiber"}, "priority": 1.5}"#).is_err());
+        assert!(parse_request(r#"{"op": "ping""#).is_err(), "truncated line");
+    }
+
+    #[test]
+    fn bounded_reader_handles_eof_partial_and_oversize() {
+        let mut r = BufReader::new(&b"a\nbb\nccc"[..]);
+        assert_eq!(read_line_bounded(&mut r).unwrap().as_deref(), Some("a"));
+        assert_eq!(read_line_bounded(&mut r).unwrap().as_deref(), Some("bb"));
+        assert_eq!(read_line_bounded(&mut r).unwrap().as_deref(), Some("ccc"));
+        assert_eq!(read_line_bounded(&mut r).unwrap(), None);
+
+        let big = vec![b'x'; MAX_LINE + 1];
+        let mut r = BufReader::new(&big[..]);
+        assert!(matches!(read_line_bounded(&mut r), Err(LineError::Oversized)));
+    }
+
+    #[test]
+    fn result_fields_roundtrip() {
+        let r = ExecResult {
+            stdout: "verdict\nline two\n".into(),
+            exit_code: 1,
+            artifacts: vec![("aut".into(), b"des (0, 1, 2)\n".to_vec())],
+            cache_hit: true,
+        };
+        let mut s = String::from("{\"ok\": true");
+        push_result_fields(&mut s, &r);
+        s.push('}');
+        let v = parse(&s).unwrap();
+        assert_eq!(v.get("exit_code").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("cached"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("stdout").unwrap().as_str(), Some("verdict\nline two\n"));
+        let arts = parse_artifacts(v.get("artifacts").unwrap());
+        assert_eq!(arts, r.artifacts);
+    }
+}

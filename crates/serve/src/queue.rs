@@ -1,0 +1,177 @@
+//! The bounded priority queue and its backpressure estimator.
+//!
+//! Admission control is the daemon's overload story: the queue holds at
+//! most `cap` pending jobs; a submit beyond that is rejected with a
+//! `retry_after_ms` hint derived from the observed job service time (an
+//! EWMA over completed jobs) and the current backlog, so well-behaved
+//! clients back off proportionally to actual load instead of hammering.
+//!
+//! Ordering: higher `priority` first, FIFO within a priority level (job
+//! ids are assigned in submission order and break ties ascending) — so
+//! the schedule is deterministic for a given submission sequence.
+
+use std::collections::BinaryHeap;
+
+/// One queued entry; the `Ord` impl gives `BinaryHeap` the schedule order.
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    priority: i64,
+    job: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority wins; earlier (smaller) job id wins ties.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.job.cmp(&self.job))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded priority queue of pending job ids.
+#[derive(Debug)]
+pub struct PendingQueue {
+    cap: usize,
+    heap: BinaryHeap<Entry>,
+}
+
+impl PendingQueue {
+    /// An empty queue admitting at most `cap` pending jobs.
+    pub fn new(cap: usize) -> PendingQueue {
+        PendingQueue {
+            cap: cap.max(1),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Pending jobs right now.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether a submit would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.cap
+    }
+
+    /// Enqueues `job`; `false` means the queue is full (reject the submit).
+    pub fn push(&mut self, job: u64, priority: i64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.heap.push(Entry { priority, job });
+        true
+    }
+
+    /// Pops the scheduling-order head.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.heap.pop().map(|e| e.job)
+    }
+
+    /// Removes a queued job (cancellation); `false` if it was not queued.
+    pub fn remove(&mut self, job: u64) -> bool {
+        let before = self.heap.len();
+        let entries: Vec<Entry> = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries.into_iter().filter(|e| e.job != job).collect();
+        self.heap.len() != before
+    }
+}
+
+/// EWMA of completed-job wall time, feeding the reject hint.
+#[derive(Debug, Clone)]
+pub struct LoadEstimator {
+    avg_ms: f64,
+}
+
+/// Smoothing factor: recent jobs dominate but one outlier doesn't.
+const ALPHA: f64 = 0.3;
+
+impl Default for LoadEstimator {
+    fn default() -> Self {
+        // Before any observation, assume a moderate job: 1s.
+        LoadEstimator { avg_ms: 1000.0 }
+    }
+}
+
+impl LoadEstimator {
+    /// Feeds one completed job's wall time.
+    pub fn observe(&mut self, wall_ms: f64) {
+        self.avg_ms = ALPHA * wall_ms + (1.0 - ALPHA) * self.avg_ms;
+    }
+
+    /// The current service-time estimate.
+    pub fn avg_ms(&self) -> f64 {
+        self.avg_ms
+    }
+
+    /// How long a rejected client should wait before retrying: the time
+    /// for the worker pool to drain roughly one queue slot, clamped to a
+    /// sane band.
+    pub fn retry_after_ms(&self, pending: usize, workers: usize) -> u64 {
+        let drain = self.avg_ms * (pending.max(1) as f64) / (workers.max(1) as f64);
+        drain.clamp(100.0, 60_000.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_priority_desc_then_fifo() {
+        let mut q = PendingQueue::new(10);
+        assert!(q.push(1, 0));
+        assert!(q.push(2, 5));
+        assert!(q.push(3, 0));
+        assert!(q.push(4, 5));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, [2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn full_queue_rejects_until_a_pop() {
+        let mut q = PendingQueue::new(2);
+        assert!(q.push(1, 0));
+        assert!(q.push(2, 0));
+        assert!(q.is_full());
+        assert!(!q.push(3, 9));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3, 9));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn remove_cancels_a_queued_job_only_once() {
+        let mut q = PendingQueue::new(4);
+        q.push(1, 0);
+        q.push(2, 0);
+        assert!(q.remove(1));
+        assert!(!q.remove(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_and_workers() {
+        let mut est = LoadEstimator::default();
+        for _ in 0..20 {
+            est.observe(2000.0);
+        }
+        let one_worker = est.retry_after_ms(8, 1);
+        let four_workers = est.retry_after_ms(8, 4);
+        assert!(one_worker > four_workers);
+        assert!((100..=60_000).contains(&est.retry_after_ms(0, 1)));
+        assert_eq!(est.retry_after_ms(usize::MAX / 2, 1), 60_000, "clamped");
+    }
+}

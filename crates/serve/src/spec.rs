@@ -1,0 +1,537 @@
+//! Job specifications: the result-relevant configuration of one
+//! verification command, shared by the `bbv` CLI and the daemon.
+//!
+//! A [`JobSpec`] captures everything that determines a command's stdout,
+//! artifacts and exit code — the algorithm, bound, property selection,
+//! reduce/refine modes and budgets — plus the two knobs that provably do
+//! *not* ([`jobs`](JobSpec::jobs) and [`fuse`](JobSpec::fuse), excluded
+//! from [`cache_key`](JobSpec::cache_key) because results are bit-identical
+//! either way). The same struct round-trips through the `bb-serve/v1` JSON
+//! protocol ([`to_json`](JobSpec::to_json) / [`from_json`](JobSpec::from_json))
+//! and back into a CLI argv ([`to_argv`](JobSpec::to_argv)), which is what
+//! makes the served-vs-direct differential tests possible: both paths run
+//! the exact same spec through the exact same runner.
+
+use bb_bisim::RefineMode;
+use bb_lts::{Budget, ExploreLimits, Jobs};
+use bb_obs::json::{write_str, JsonValue};
+use bb_reduce::ReduceMode;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The benchmark roster: every named algorithm `bbv` and the daemon accept,
+/// with a one-line description for `bbv list`.
+pub const ALGORITHMS: &[(&str, &str)] = &[
+    ("treiber", "Treiber lock-free stack"),
+    ("treiber-hp", "Treiber stack + hazard pointers (Michael 2004)"),
+    ("treiber-hp-fu", "Treiber stack + revised HP (Fu et al.; lock-freedom bug)"),
+    ("ms-queue", "Michael-Scott lock-free queue"),
+    ("dglm-queue", "Doherty-Groves-Luchangco-Moir queue"),
+    ("hw-queue", "Herlihy-Wing queue (lock-freedom violation)"),
+    ("ccas", "conditional CAS (Turon et al.)"),
+    ("rdcss", "restricted double-compare single-swap (Harris et al.)"),
+    ("newcas", "NewCompareAndSet register (Figs. 3/4)"),
+    ("hm-list", "Harris-Michael lock-free list (revised)"),
+    ("hm-list-buggy", "Harris-Michael list, first printing (linearizability bug)"),
+    ("hsy-stack", "Hendler-Shavit-Yerushalmi elimination stack"),
+    ("lazy-list", "Heller et al. lazy list (lock-based)"),
+    ("optimistic-list", "optimistic list (lock-based)"),
+    ("fine-list", "fine-grained hand-over-hand list (lock-based)"),
+    ("two-lock-queue", "two-lock MS queue (blocking; extension)"),
+    ("coarse-stack", "coarse-locked stack baseline (extension)"),
+    ("coarse-queue", "coarse-locked queue baseline (extension)"),
+    ("coarse-set", "coarse-locked set baseline (extension)"),
+];
+
+/// Whether `name` (dashes canonical) is on the roster.
+pub fn known_algorithm(name: &str) -> bool {
+    ALGORITHMS.iter().any(|(n, _)| *n == name)
+}
+
+/// The verification command a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Linearizability (+ optional lock-freedom / wait-freedom) check.
+    Verify,
+    /// Divergence-preserving branching-bisimulation quotient export.
+    Quotient,
+    /// Next-free LTL model checking on the quotient.
+    Check,
+    /// Differential reduction soundness harness.
+    ReduceCheck,
+}
+
+impl Command {
+    /// The CLI command word; also the tag in keys and the JSON codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Command::Verify => "verify",
+            Command::Quotient => "quotient",
+            Command::Check => "check",
+            Command::ReduceCheck => "reduce-check",
+        }
+    }
+
+    /// Parses the CLI command word.
+    pub fn parse(s: &str) -> Option<Command> {
+        match s {
+            "verify" => Some(Command::Verify),
+            "quotient" => Some(Command::Quotient),
+            "check" => Some(Command::Check),
+            "reduce-check" => Some(Command::ReduceCheck),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verification job: command + algorithm + every result-relevant knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The command to run.
+    pub command: Command,
+    /// Canonical algorithm name (dashes, see [`ALGORITHMS`]).
+    pub algorithm: String,
+    /// Client threads of the most general client.
+    pub threads: u8,
+    /// Operations per client thread.
+    pub ops: u32,
+    /// Data domain.
+    pub domain: Vec<i64>,
+    /// Whether `verify` also checks lock-freedom (where meaningful).
+    pub check_lock_freedom: bool,
+    /// Whether `verify` also reports the wait-freedom diagnosis.
+    pub wait_freedom: bool,
+    /// LTL formula for `check`.
+    pub formula: Option<String>,
+    /// Wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Per-stage state cap.
+    pub max_states: Option<usize>,
+    /// Per-stage transition cap.
+    pub max_transitions: Option<usize>,
+    /// Per-stage approximate memory cap, bytes.
+    pub max_memory: Option<usize>,
+    /// Disables the governed fallback ladder.
+    pub no_fallback: bool,
+    /// Partition-refinement engine (output-identical either way).
+    pub refine: RefineMode,
+    /// State-space reduction mode.
+    pub reduce: ReduceMode,
+    /// Worker threads (output-identical at any count; not in the cache key).
+    pub jobs: Jobs,
+    /// Fused exploration→refinement (output-identical; not in the cache key).
+    pub fuse: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            command: Command::Verify,
+            algorithm: String::new(),
+            threads: 2,
+            ops: 2,
+            domain: vec![1, 2],
+            check_lock_freedom: true,
+            wait_freedom: false,
+            formula: None,
+            timeout: None,
+            max_states: None,
+            max_transitions: None,
+            max_memory: None,
+            no_fallback: false,
+            refine: RefineMode::default(),
+            reduce: ReduceMode::None,
+            jobs: Jobs::available(),
+            fuse: false,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Whether any budget flag was given (switches `verify` to the governed
+    /// pipeline with the fallback ladder).
+    pub fn budgeted(&self) -> bool {
+        self.timeout.is_some()
+            || self.max_states.is_some()
+            || self.max_transitions.is_some()
+            || self.max_memory.is_some()
+    }
+
+    /// The declarative budget of this spec (fresh cancellation token; the
+    /// runner swaps in the caller's token).
+    pub fn budget(&self) -> Budget {
+        let defaults = ExploreLimits::default();
+        let mut b = Budget::unlimited()
+            .with_max_states(self.max_states.unwrap_or(defaults.max_states))
+            .with_max_transitions(self.max_transitions.unwrap_or(defaults.max_transitions));
+        if let Some(t) = self.timeout {
+            b = b.with_deadline(t);
+        }
+        if let Some(m) = self.max_memory {
+            b = b.with_max_memory_bytes(m);
+        }
+        b
+    }
+
+    /// Whether this command's outcome is memoized in the result cache.
+    /// Only whole verdicts and quotients are; `check`/`reduce-check` always
+    /// run (they are the harnesses that *establish* trust).
+    pub fn cacheable(&self) -> bool {
+        matches!(self.command, Command::Verify | Command::Quotient)
+    }
+
+    /// The checkpoint configuration tag: a hash of everything that
+    /// determines the *shape* of the pipeline (which LTSs are explored,
+    /// which refinement calls run, in what order). Budgets, `--jobs`,
+    /// `--fuse`, checkpoint cadence and output paths are deliberately
+    /// excluded — a resume with a raised budget, a different worker count
+    /// or fusion toggled must still seed the recorded sections.
+    pub fn config_tag(&self) -> u64 {
+        let desc = format!(
+            "bbp{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}",
+            bb_persist::FORMAT_VERSION,
+            self.command,
+            self.algorithm,
+            self.threads,
+            self.ops,
+            self.domain,
+            self.check_lock_freedom,
+            self.wait_freedom,
+            self.formula,
+            self.reduce,
+            self.refine,
+        );
+        bb_lts::snapshot::fnv1a(0, desc.as_bytes())
+    }
+
+    /// The result-cache key: everything that determines the command's
+    /// stdout, artifacts and exit code — including budgets, since the
+    /// governed report names the rung and bound that answered. `--jobs`
+    /// and `--fuse` are excluded: results are bit-identical at any worker
+    /// count and with fusion on or off, so a `-j 4 --fuse` run hits the
+    /// entry a `-j 1` run stored.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "bbc{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}|budget=({:?},{:?},{:?},{:?},nf{})",
+            bb_persist::FORMAT_VERSION,
+            self.command,
+            self.algorithm,
+            self.threads,
+            self.ops,
+            self.domain,
+            self.check_lock_freedom,
+            self.wait_freedom,
+            self.formula,
+            self.reduce,
+            self.refine,
+            self.timeout,
+            self.max_states,
+            self.max_transitions,
+            self.max_memory,
+            self.no_fallback,
+        )
+    }
+
+    /// Renders the spec back into a `bbv` argv (command word first). The
+    /// output is parseable by the CLI option parser and canonical: two
+    /// equal specs render the same argv. Used for checkpoint argv
+    /// recording and for byte-diffing served results against direct runs.
+    pub fn to_argv(&self) -> Vec<String> {
+        let mut argv = vec![self.command.as_str().to_string(), self.algorithm.clone()];
+        argv_push(&mut argv, "--threads", self.threads.to_string());
+        argv_push(&mut argv, "--ops", self.ops.to_string());
+        let domain: Vec<String> = self.domain.iter().map(|v| v.to_string()).collect();
+        argv_push(&mut argv, "--domain", domain.join(","));
+        if !self.check_lock_freedom {
+            argv.push("--no-lock-freedom".into());
+        }
+        if self.wait_freedom {
+            argv.push("--wait-freedom".into());
+        }
+        if let Some(f) = &self.formula {
+            argv_push(&mut argv, "--formula", f.clone());
+        }
+        if let Some(t) = self.timeout {
+            argv_push(&mut argv, "--timeout", format!("{}ms", t.as_secs_f64() * 1e3));
+        }
+        if let Some(n) = self.max_states {
+            argv_push(&mut argv, "--max-states", n.to_string());
+        }
+        if let Some(n) = self.max_transitions {
+            argv_push(&mut argv, "--max-transitions", n.to_string());
+        }
+        if let Some(n) = self.max_memory {
+            argv_push(&mut argv, "--max-memory", n.to_string());
+        }
+        if self.no_fallback {
+            argv.push("--no-fallback".into());
+        }
+        argv_push(&mut argv, "--refine", self.refine.to_string());
+        if self.reduce != ReduceMode::None {
+            argv_push(&mut argv, "--reduce", self.reduce.to_string());
+        }
+        argv_push(&mut argv, "--jobs", self.jobs.get().to_string());
+        if self.fuse {
+            argv.push("--fuse".into());
+        }
+        argv
+    }
+
+    /// Serializes the spec as one `bb-serve/v1` JSON object (no newline).
+    /// Optional fields are omitted when absent; durations travel as exact
+    /// nanoseconds so the cache key survives the round-trip bit-for-bit.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"command\": \"{}\"", self.command);
+        s.push_str(", \"algorithm\": ");
+        write_str(&mut s, &self.algorithm);
+        let _ = write!(s, ", \"threads\": {}, \"ops\": {}", self.threads, self.ops);
+        s.push_str(", \"domain\": [");
+        for (i, v) in self.domain.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{v}");
+        }
+        s.push(']');
+        let _ = write!(s, ", \"lock_freedom\": {}", self.check_lock_freedom);
+        if self.wait_freedom {
+            s.push_str(", \"wait_freedom\": true");
+        }
+        if let Some(f) = &self.formula {
+            s.push_str(", \"formula\": ");
+            write_str(&mut s, f);
+        }
+        if let Some(t) = self.timeout {
+            let _ = write!(s, ", \"timeout_ns\": {}", t.as_nanos());
+        }
+        if let Some(n) = self.max_states {
+            let _ = write!(s, ", \"max_states\": {n}");
+        }
+        if let Some(n) = self.max_transitions {
+            let _ = write!(s, ", \"max_transitions\": {n}");
+        }
+        if let Some(n) = self.max_memory {
+            let _ = write!(s, ", \"max_memory\": {n}");
+        }
+        if self.no_fallback {
+            s.push_str(", \"no_fallback\": true");
+        }
+        let _ = write!(s, ", \"refine\": \"{}\", \"reduce\": \"{}\"", self.refine, self.reduce);
+        let _ = write!(s, ", \"jobs\": {}", self.jobs.get());
+        if self.fuse {
+            s.push_str(", \"fuse\": true");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a `bb-serve/v1` spec object (the inverse of
+    /// [`to_json`](JobSpec::to_json), tolerant of member order). Unknown
+    /// members are rejected so a typo'd budget flag can't silently run an
+    /// unbounded job.
+    pub fn from_json(v: &JsonValue) -> Result<JobSpec, String> {
+        let obj = v.as_object().ok_or("spec must be a JSON object")?;
+        let mut spec = JobSpec::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "command" => {
+                    let s = val.as_str().ok_or("command must be a string")?;
+                    spec.command =
+                        Command::parse(s).ok_or_else(|| format!("unknown command `{s}`"))?;
+                }
+                "algorithm" => {
+                    spec.algorithm = val
+                        .as_str()
+                        .ok_or("algorithm must be a string")?
+                        .replace('_', "-");
+                }
+                "threads" => {
+                    let n = val.as_u64().ok_or("threads must be a non-negative integer")?;
+                    spec.threads =
+                        u8::try_from(n).map_err(|_| "threads out of range".to_string())?;
+                }
+                "ops" => {
+                    let n = val.as_u64().ok_or("ops must be a non-negative integer")?;
+                    spec.ops = u32::try_from(n).map_err(|_| "ops out of range".to_string())?;
+                }
+                "domain" => {
+                    let arr = val.as_array().ok_or("domain must be an array")?;
+                    spec.domain = arr
+                        .iter()
+                        .map(|x| as_i64(x).ok_or("domain values must be integers".to_string()))
+                        .collect::<Result<_, _>>()?;
+                    if spec.domain.is_empty() {
+                        return Err("domain must not be empty".into());
+                    }
+                }
+                "lock_freedom" => spec.check_lock_freedom = as_bool(val, key)?,
+                "wait_freedom" => spec.wait_freedom = as_bool(val, key)?,
+                "formula" => {
+                    spec.formula = match val {
+                        JsonValue::Null => None,
+                        other => {
+                            Some(other.as_str().ok_or("formula must be a string")?.to_string())
+                        }
+                    };
+                }
+                "timeout_ns" => {
+                    let n = val.as_u64().ok_or("timeout_ns must be a non-negative integer")?;
+                    spec.timeout = Some(Duration::from_nanos(n));
+                }
+                "max_states" => spec.max_states = Some(as_usize(val, key)?),
+                "max_transitions" => spec.max_transitions = Some(as_usize(val, key)?),
+                "max_memory" => spec.max_memory = Some(as_usize(val, key)?),
+                "no_fallback" => spec.no_fallback = as_bool(val, key)?,
+                "refine" => {
+                    spec.refine = val.as_str().ok_or("refine must be a string")?.parse()?;
+                }
+                "reduce" => {
+                    spec.reduce = val.as_str().ok_or("reduce must be a string")?.parse()?;
+                }
+                "jobs" => {
+                    let n = as_usize(val, key)?;
+                    if n == 0 {
+                        return Err("jobs must be at least 1".into());
+                    }
+                    spec.jobs = Jobs::new(n);
+                }
+                "fuse" => spec.fuse = as_bool(val, key)?,
+                other => return Err(format!("unknown spec member `{other}`")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural validation shared by every entry path (CLI, protocol,
+    /// journal replay): the algorithm must be on the roster and `check`
+    /// needs a formula.
+    pub fn validate(&self) -> Result<(), String> {
+        if !known_algorithm(&self.algorithm) {
+            return Err(format!(
+                "unknown algorithm `{}`; try `bbv list`",
+                self.algorithm
+            ));
+        }
+        if self.command == Command::Check && self.formula.is_none() {
+            return Err("`check` needs a formula".into());
+        }
+        Ok(())
+    }
+}
+
+fn argv_push(argv: &mut Vec<String>, name: &str, value: String) {
+    argv.push(name.to_string());
+    argv.push(value);
+}
+
+fn as_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    match v {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(format!("{key} must be a boolean")),
+    }
+}
+
+fn as_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    let n = v
+        .as_u64()
+        .ok_or_else(|| format!("{key} must be a non-negative integer"))?;
+    usize::try_from(n).map_err(|_| format!("{key} out of range"))
+}
+
+fn as_i64(v: &JsonValue) -> Option<i64> {
+    match v {
+        JsonValue::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bb_obs::json::parse;
+
+    fn sample() -> JobSpec {
+        JobSpec {
+            command: Command::Verify,
+            algorithm: "ms-queue".into(),
+            threads: 2,
+            ops: 3,
+            domain: vec![1, 2, -7],
+            check_lock_freedom: false,
+            wait_freedom: true,
+            formula: Some("G F (ret | done)".into()),
+            timeout: Some(Duration::from_millis(1500)),
+            max_states: Some(1_000_000),
+            max_transitions: None,
+            max_memory: Some(2_000_000_000),
+            no_fallback: true,
+            refine: RefineMode::default(),
+            reduce: ReduceMode::None,
+            jobs: Jobs::new(4),
+            fuse: true,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_spec_and_cache_key() {
+        let spec = sample();
+        let back = JobSpec::from_json(&parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.cache_key(), spec.cache_key());
+        assert_eq!(back.config_tag(), spec.config_tag());
+    }
+
+    #[test]
+    fn cache_key_ignores_jobs_and_fuse_but_not_budgets() {
+        let a = sample();
+        let mut b = a.clone();
+        b.jobs = Jobs::new(1);
+        b.fuse = false;
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert_eq!(a.config_tag(), b.config_tag());
+        let mut c = a.clone();
+        c.timeout = Some(Duration::from_secs(9));
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert_eq!(a.config_tag(), c.config_tag(), "budgets never change the tag");
+    }
+
+    #[test]
+    fn unknown_members_and_bad_specs_are_rejected() {
+        assert!(JobSpec::from_json(&parse(r#"{"algorithm": "treiber", "max_statse": 5}"#).unwrap())
+            .is_err());
+        assert!(JobSpec::from_json(&parse(r#"{"algorithm": "no-such-thing"}"#).unwrap()).is_err());
+        assert!(JobSpec::from_json(&parse(r#"{"command": "check", "algorithm": "treiber"}"#).unwrap())
+            .is_err());
+        assert!(JobSpec::from_json(&parse(r#"{"algorithm": "treiber", "jobs": 0}"#).unwrap())
+            .is_err());
+        assert!(JobSpec::from_json(&parse(r#"{"algorithm": "treiber", "domain": []}"#).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn argv_parses_back_through_the_cli_grammar() {
+        // Spot-check the canonical argv shape; the CLI round-trip itself is
+        // covered end-to-end by the serve differential tests.
+        let argv = sample().to_argv();
+        assert_eq!(argv[0], "verify");
+        assert_eq!(argv[1], "ms-queue");
+        assert!(argv.contains(&"--no-lock-freedom".to_string()));
+        assert!(argv.contains(&"--fuse".to_string()));
+        let t = argv.iter().position(|a| a == "--timeout").unwrap();
+        assert_eq!(argv[t + 1], "1500ms");
+    }
+
+    #[test]
+    fn underscored_algorithm_names_canonicalize() {
+        let v = parse(r#"{"algorithm": "ms_queue"}"#).unwrap();
+        assert_eq!(JobSpec::from_json(&v).unwrap().algorithm, "ms-queue");
+    }
+}

@@ -11,65 +11,32 @@
 //! bbv resume ckpt/                                  # continue a killed run
 //! bbv verify treiber --cache .bbv-cache             # memoize the verdict
 //! bbv cache stats .bbv-cache
+//! bbv serve --dir .bbv-serve --workers 4 --cache .bbv-cache    # daemon
+//! bbv submit verify treiber --dir .bbv-serve        # served run, same bytes
 //! ```
+//!
+//! Every verification command — direct or served — runs through
+//! `bb_serve::runner::execute`, so a served job's stdout, artifacts and
+//! exit code are byte-identical to a direct run of the same spec.
 //!
 //! Exit codes: `0` every checked property was proved, `1` a property was
 //! refuted, `2` the verification was inconclusive (budget exhausted or an
 //! internal fault), `3` usage or parse error.
 
-use bbverify::algorithms::{
-    ccas::Ccas, coarse::CoarseLocked, dglm_queue::DglmQueue, fine_list::FineList, hm_list::HmList,
-    hsy_stack::HsyStack, hw_queue::HwQueue, lazy_list::LazyList, ms_queue::MsQueue,
-    newcas::NewCas, optimistic_list::OptimisticList, rdcss::Rdcss, specs::*, treiber::Treiber,
-    treiber_hp::TreiberHp, treiber_hp_fu::TreiberHpFu, two_lock_queue::TwoLockQueue,
+use bbverify::serve::{
+    discover_addr, execute, CheckpointCtl, Client, Command, JobSpec, RunCtl, ServeConfig,
+    ALGORITHMS, EXIT_PROVED, EXIT_REFUTED, EXIT_USAGE,
 };
-use bbverify::bisim::{quotient, Equivalence, PartitionOptions, RefineMode};
-use bbverify::core::{
-    run_isolated, verify_case_governed, verify_case_lts_pre, verify_wait_freedom, GovernedConfig,
-    Verdict, VerifyConfig,
-};
-use bbverify::bisim::partition_opts;
-use bbverify::lts::{
-    to_aut, to_dot, Budget, ExploreLimits, Jobs, Lts, PredecessorTable, Watchdog,
-};
-use bbverify::lts::ExploreOptions;
-use bbverify::reduce::{
-    differential_check, explore_reduced, verify_case_reduced_governed, ReduceMode,
-};
-use bbverify::sim::{
-    explore_system_fused, explore_system_with, AtomicSpec, Bound, ObjectAlgorithm, SequentialSpec,
-};
-use bb_persist::{Cache, CacheEntry};
-use std::path::Path;
+use bbverify::bisim::RefineMode;
+use bbverify::lts::Jobs;
+use bbverify::reduce::ReduceMode;
+use bb_obs::json::JsonValue;
+use bb_persist::Cache;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-const EXIT_PROVED: i32 = 0;
-const EXIT_REFUTED: i32 = 1;
-const EXIT_INCONCLUSIVE: i32 = 2;
-const EXIT_USAGE: i32 = 3;
-
-const ALGORITHMS: &[(&str, &str)] = &[
-    ("treiber", "Treiber lock-free stack"),
-    ("treiber-hp", "Treiber stack + hazard pointers (Michael 2004)"),
-    ("treiber-hp-fu", "Treiber stack + revised HP (Fu et al.; lock-freedom bug)"),
-    ("ms-queue", "Michael-Scott lock-free queue"),
-    ("dglm-queue", "Doherty-Groves-Luchangco-Moir queue"),
-    ("hw-queue", "Herlihy-Wing queue (lock-freedom violation)"),
-    ("ccas", "conditional CAS (Turon et al.)"),
-    ("rdcss", "restricted double-compare single-swap (Harris et al.)"),
-    ("newcas", "NewCompareAndSet register (Figs. 3/4)"),
-    ("hm-list", "Harris-Michael lock-free list (revised)"),
-    ("hm-list-buggy", "Harris-Michael list, first printing (linearizability bug)"),
-    ("hsy-stack", "Hendler-Shavit-Yerushalmi elimination stack"),
-    ("lazy-list", "Heller et al. lazy list (lock-based)"),
-    ("optimistic-list", "optimistic list (lock-based)"),
-    ("fine-list", "fine-grained hand-over-hand list (lock-based)"),
-    ("two-lock-queue", "two-lock MS queue (blocking; extension)"),
-    ("coarse-stack", "coarse-locked stack baseline (extension)"),
-    ("coarse-queue", "coarse-locked queue baseline (extension)"),
-    ("coarse-set", "coarse-locked set baseline (extension)"),
-];
-
+/// CLI options: the [`JobSpec`] knobs plus flags that only exist on the
+/// command line (output paths, observability, persistence directories).
 struct Options {
     threads: u8,
     ops: u32,
@@ -129,27 +96,28 @@ impl Default for Options {
 }
 
 impl Options {
-    /// Whether any budget flag was given (switches `verify` to the governed
-    /// pipeline with the fallback ladder).
-    fn budgeted(&self) -> bool {
-        self.timeout.is_some()
-            || self.max_states.is_some()
-            || self.max_transitions.is_some()
-            || self.max_memory.is_some()
-    }
-
-    fn budget(&self) -> Budget {
-        let defaults = ExploreLimits::default();
-        let mut b = Budget::unlimited()
-            .with_max_states(self.max_states.unwrap_or(defaults.max_states))
-            .with_max_transitions(self.max_transitions.unwrap_or(defaults.max_transitions));
-        if let Some(t) = self.timeout {
-            b = b.with_deadline(t);
+    /// The result-relevant subset of these options as a daemon-shippable
+    /// job spec.
+    fn to_spec(&self, command: Command, algorithm: &str) -> JobSpec {
+        JobSpec {
+            command,
+            algorithm: algorithm.to_string(),
+            threads: self.threads,
+            ops: self.ops,
+            domain: self.domain.clone(),
+            check_lock_freedom: self.check_lock_freedom,
+            wait_freedom: self.wait_freedom,
+            formula: self.formula.clone(),
+            timeout: self.timeout,
+            max_states: self.max_states,
+            max_transitions: self.max_transitions,
+            max_memory: self.max_memory,
+            no_fallback: self.no_fallback,
+            refine: self.refine,
+            reduce: self.reduce,
+            jobs: self.jobs,
+            fuse: self.fuse,
         }
-        if let Some(m) = self.max_memory {
-            b = b.with_max_memory_bytes(m);
-        }
-        b
     }
 }
 
@@ -292,7 +260,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn print_usage() {
     eprintln!("usage: bbv <list|verify|quotient|check|reduce-check> [algorithm|all] [options]");
     eprintln!("       bbv resume <checkpoint-dir> [extra options]");
-    eprintln!("       bbv cache <stats|verify|gc> <cache-dir>");
+    eprintln!("       bbv cache <stats|verify|gc> <cache-dir> [--json]");
+    eprintln!("       bbv serve [--dir D] [--addr H:P] [--workers N] [--queue N] [--cache DIR]");
+    eprintln!("       bbv submit [command] <algorithm> [options] [--priority N] [--detach]");
+    eprintln!("       bbv <status|watch|cancel> <job>  /  bbv <stats|drain|ping>");
     eprintln!("  options: --threads N  --ops N  --domain 1,2");
     eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
     eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
@@ -323,6 +294,12 @@ fn print_usage() {
     eprintln!("           --cache DIR            (content-addressed result cache: conclusive");
     eprintln!("           verdicts and quotient artifacts replay byte-identically on a hit;");
     eprintln!("           corrupt entries are detected and recomputed, never trusted)");
+    eprintln!("  serve:   `bbv serve` runs the verification daemon (protocol bb-serve/v1):");
+    eprintln!("           bounded priority queue with cache-backed admission, crash-safe");
+    eprintln!("           submit journal, live progress streaming to `bbv watch`; a served");
+    eprintln!("           job's stdout/artifacts/exit code are byte-identical to a direct");
+    eprintln!("           run of the same spec. Clients find the daemon via --addr H:P or");
+    eprintln!("           --dir D (reads D/serve.addr).");
     eprintln!("  exit codes: 0 proved   1 refuted   2 inconclusive (budget/internal fault)");
     eprintln!("              3 usage or parse error");
 }
@@ -349,25 +326,16 @@ fn main_dispatch(args: &[String]) -> i32 {
         }
         Some("resume") => resume(&args[1..]),
         Some("cache") => cache_admin(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("submit") => client_submit(&args[1..]),
+        Some(cmd @ ("status" | "watch" | "cancel")) => client_job_cmd(cmd, &args[1..]),
+        Some(cmd @ ("stats" | "drain" | "ping")) => client_daemon_cmd(cmd, &args[1..]),
         Some(cmd @ ("verify" | "quotient" | "check" | "reduce-check")) => {
-            let mode = match cmd {
-                "verify" => Mode::Verify,
-                "quotient" => Mode::Quotient,
-                "check" => Mode::Check,
-                _ => Mode::ReduceCheck,
-            };
-            if mode == Mode::ReduceCheck && args.get(1).map(String::as_str) == Some("all") {
+            let command = Command::parse(cmd).expect("matched command words parse");
+            if command == Command::ReduceCheck && args.get(1).map(String::as_str) == Some("all") {
                 reduce_check_all(&args[2..])
             } else {
-                // A panicking case (a bug in a checker, not a budget trip) is
-                // an inconclusive run, not a crash.
-                match run_isolated(|| run(&args[1..], mode)) {
-                    Ok(code) => code,
-                    Err(msg) => {
-                        eprintln!("internal fault (treated as inconclusive): {msg}");
-                        EXIT_INCONCLUSIVE
-                    }
-                }
+                run(&args[1..], command)
             }
         }
         _ => {
@@ -402,34 +370,43 @@ fn resume(args: &[String]) -> i32 {
     main_dispatch(&argv)
 }
 
-/// `bbv cache <stats|verify|gc> <dir>`: inspect and maintain a result
-/// cache. `verify` exits 1 when corrupt entries exist (for CI); `gc`
-/// removes corrupt and old-format entries.
+/// `bbv cache <stats|verify|gc> <dir> [--json]`: inspect and maintain a
+/// result cache. `verify` exits 1 when corrupt entries exist (for CI);
+/// `gc` removes corrupt and old-format entries. `stats --json` emits the
+/// same `bb-cache/v1` object the serve daemon embeds in its `stats` reply.
 fn cache_admin(args: &[String]) -> i32 {
-    let (Some(op), Some(dir)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: bbv cache <stats|verify|gc> <cache-dir>");
+    let json = args.iter().any(|a| a == "--json");
+    let pos: Vec<&String> = args.iter().filter(|a| a.as_str() != "--json").collect();
+    let (Some(op), Some(dir)) = (pos.first(), pos.get(1)) else {
+        eprintln!("usage: bbv cache <stats|verify|gc> <cache-dir> [--json]");
         return EXIT_USAGE;
     };
-    let cache = match Cache::open(Path::new(dir)) {
+    let cache = match Cache::open(Path::new(dir.as_str())) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: could not open cache directory {dir}: {e}");
             return EXIT_USAGE;
         }
     };
+    // One aligned `label : value` table across all three subcommands.
+    let row = |label: &str, value: &dyn std::fmt::Display| println!("{label:<8}: {value}");
     match op.as_str() {
         "stats" => {
             let s = cache.stats();
-            println!("cache   : {dir}");
-            println!("entries : {}", s.entries);
-            println!("bytes   : {}", s.bytes);
-            println!("corrupt : {}", s.corrupt);
+            if json {
+                println!("{}", s.to_json());
+            } else {
+                row("cache", dir);
+                row("entries", &s.entries);
+                row("bytes", &s.bytes);
+                row("corrupt", &s.corrupt);
+            }
             EXIT_PROVED
         }
         "verify" => {
             let (ok, corrupt) = cache.verify();
-            println!("intact  : {}", ok.len());
-            println!("corrupt : {}", corrupt.len());
+            row("intact", &ok.len());
+            row("corrupt", &corrupt.len());
             for p in &corrupt {
                 println!("  {}", p.display());
             }
@@ -441,7 +418,7 @@ fn cache_admin(args: &[String]) -> i32 {
         }
         "gc" => {
             let removed = cache.gc();
-            println!("removed : {removed}");
+            row("removed", &removed);
             EXIT_PROVED
         }
         other => {
@@ -451,14 +428,6 @@ fn cache_admin(args: &[String]) -> i32 {
     }
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    Verify,
-    Quotient,
-    Check,
-    ReduceCheck,
-}
-
 /// `bbv reduce-check all`: sweep the differential check over the whole
 /// roster, reporting every algorithm and returning the worst exit code.
 fn reduce_check_all(extra: &[String]) -> i32 {
@@ -466,100 +435,15 @@ fn reduce_check_all(extra: &[String]) -> i32 {
     for (name, _) in ALGORITHMS {
         let mut args: Vec<String> = vec![name.to_string()];
         args.extend(extra.iter().cloned());
-        let code = match run_isolated(|| run(&args, Mode::ReduceCheck)) {
-            Ok(code) => code,
-            Err(msg) => {
-                eprintln!("internal fault (treated as inconclusive): {msg}");
-                EXIT_INCONCLUSIVE
-            }
-        };
-        worst = worst.max(code);
+        worst = worst.max(run(&args, Command::ReduceCheck));
     }
     worst
 }
 
-/// The command word for metrics metadata and the root trace span.
-fn mode_str(mode: Mode) -> &'static str {
-    match mode {
-        Mode::Verify => "verify",
-        Mode::Quotient => "quotient",
-        Mode::Check => "check",
-        Mode::ReduceCheck => "reduce-check",
-    }
-}
-
-/// Buffered stdout plus named artifacts (`dot`, `aut`) of one command run.
-/// Buffering is what lets the result cache replay the complete observable
-/// outcome byte-for-byte.
-#[derive(Default)]
-struct RunOutput {
-    stdout: String,
-    artifacts: Vec<(String, Vec<u8>)>,
-}
-
-/// `println!` into a [`RunOutput`] buffer.
-macro_rules! outln {
-    ($out:expr $(, $($arg:tt)*)?) => {{
-        use std::fmt::Write as _;
-        let _ = writeln!($out.stdout $(, $($arg)*)?);
-    }};
-}
-
-/// The checkpoint configuration tag: a hash of everything that determines
-/// the *shape* of the pipeline (which LTSs are explored, which refinement
-/// calls run, in what order). Budgets, `--jobs`, `--fuse`, checkpoint
-/// cadence and output paths are deliberately excluded — a resume with a
-/// raised budget, a different worker count or fusion toggled must still
-/// seed the recorded sections (fusion only changes *how* the reverse
-/// adjacency is built, never which sections exist or what they contain).
-fn config_tag(mode: Mode, canon: &str, opts: &Options) -> u64 {
-    let desc = format!(
-        "bbp{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}",
-        bb_persist::FORMAT_VERSION,
-        mode_str(mode),
-        canon,
-        opts.threads,
-        opts.ops,
-        opts.domain,
-        opts.check_lock_freedom,
-        opts.wait_freedom,
-        opts.formula,
-        opts.reduce,
-        opts.refine,
-    );
-    bbverify::lts::snapshot::fnv1a(0, desc.as_bytes())
-}
-
-/// The result-cache key: everything that determines the command's stdout,
-/// artifacts and exit code — including budgets, since the governed report
-/// names the rung and bound that answered. `--jobs` and `--fuse` are
-/// excluded: results are bit-identical at any worker count and with fusion
-/// on or off, so a `-j 4 --fuse` run hits the entry a `-j 1` run stored.
-fn cache_key(mode: Mode, canon: &str, opts: &Options) -> String {
-    format!(
-        "bbc{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}|budget=({:?},{:?},{:?},{:?},nf{})",
-        bb_persist::FORMAT_VERSION,
-        mode_str(mode),
-        canon,
-        opts.threads,
-        opts.ops,
-        opts.domain,
-        opts.check_lock_freedom,
-        opts.wait_freedom,
-        opts.formula,
-        opts.reduce,
-        opts.refine,
-        opts.timeout,
-        opts.max_states,
-        opts.max_transitions,
-        opts.max_memory,
-        opts.no_fallback,
-    )
-}
-
 /// Writes the artifacts the current flags ask for (quotient `--dot`/`--aut`)
-/// through the atomic writer. Called for live and cache-replayed runs alike,
-/// so a hit honours the paths of *this* invocation, not the recorded one.
+/// through the atomic writer. Called for live, cache-replayed and served
+/// runs alike, so a hit honours the paths of *this* invocation, not the
+/// recorded one.
 fn write_requested_artifacts(artifacts: &[(String, Vec<u8>)], opts: &Options, code: i32) -> i32 {
     let mut code = code;
     let find = |name: &str| artifacts.iter().find(|(n, _)| n == name).map(|(_, b)| b);
@@ -583,9 +467,9 @@ fn write_requested_artifacts(artifacts: &[(String, Vec<u8>)], opts: &Options, co
 
 /// Writes the `--metrics` / `--trace` exports after a run. Failures go to
 /// stderr only: observability never changes the verification exit code.
-fn write_obs_outputs(session: &bb_obs::Session, opts: &Options, algorithm: &str, mode: Mode) {
+fn write_obs_outputs(session: &bb_obs::Session, opts: &Options, algorithm: &str, command: Command) {
     let meta: Vec<(&str, bb_obs::Value)> = vec![
-        ("command", mode_str(mode).into()),
+        ("command", command.as_str().into()),
         ("algorithm", algorithm.into()),
         ("threads", u64::from(opts.threads).into()),
         ("ops", u64::from(opts.ops).into()),
@@ -606,7 +490,8 @@ fn write_obs_outputs(session: &bb_obs::Session, opts: &Options, algorithm: &str,
     }
 }
 
-fn run(args: &[String], mode: Mode) -> i32 {
+/// Runs one direct verification command through the shared runner.
+fn run(args: &[String], command: Command) -> i32 {
     let Some(name) = args.first() else {
         eprintln!("missing algorithm name; try `bbv list`");
         return EXIT_USAGE;
@@ -629,37 +514,35 @@ fn run(args: &[String], mode: Mode) -> i32 {
     } else {
         bb_obs::set_quiet(opts.quiet);
     }
+    let spec = opts.to_spec(command, &canon);
     let code = {
         let _root = bb_obs::span("bbv")
-            .with("command", mode_str(mode))
+            .with("command", command.as_str())
             .with("algorithm", canon.as_str());
-        run_command(&canon, &opts, mode, args)
+        run_spec(&spec, &opts, args)
     };
-    // Final checkpoint flush + sink teardown (no-op when none installed).
-    bb_persist::clear();
     if recording {
         if let Some(session) = bb_obs::finish() {
-            write_obs_outputs(&session, &opts, &canon, mode);
+            write_obs_outputs(&session, &opts, &canon, command);
         }
     }
     code
 }
 
-/// Runs one parsed command: installs the checkpoint session, consults the
-/// result cache, dispatches, and stores conclusive outcomes back.
-fn run_command(canon: &str, opts: &Options, mode: Mode, argv_tail: &[String]) -> i32 {
+/// Runs one parsed spec: wires the CLI persistence flags into a `RunCtl`,
+/// executes through the shared runner, and prints the buffered outcome.
+fn run_spec(spec: &JobSpec, opts: &Options, argv_tail: &[String]) -> i32 {
+    let mut ctl = RunCtl::default();
     if let Some(dir) = &opts.checkpoint {
-        let mut argv = vec![mode_str(mode).to_string()];
+        // The raw command line (with the --checkpoint flags themselves) is
+        // recorded, so `bbv resume` re-installs the session on replay.
+        let mut argv = vec![spec.command.as_str().to_string()];
         argv.extend(argv_tail.iter().cloned());
-        if let Err(e) = bb_persist::install(
-            Path::new(dir),
-            opts.checkpoint_every,
+        ctl.checkpoint = Some(CheckpointCtl {
+            dir: PathBuf::from(dir),
+            every: opts.checkpoint_every,
             argv,
-            config_tag(mode, canon, opts),
-        ) {
-            eprintln!("error: could not open checkpoint directory {dir}: {e}");
-            return EXIT_USAGE;
-        }
+        });
     }
     let cache = match &opts.cache {
         Some(dir) => match Cache::open(Path::new(dir)) {
@@ -671,364 +554,266 @@ fn run_command(canon: &str, opts: &Options, mode: Mode, argv_tail: &[String]) ->
         },
         None => None,
     };
-    // Only whole verdicts and quotients are memoized; `check`/`reduce-check`
-    // always run (they are the harnesses that *establish* trust).
-    let cacheable = matches!(mode, Mode::Verify | Mode::Quotient);
-    let key = cache_key(mode, canon, opts);
-    if cacheable {
-        if let Some(entry) = cache.as_ref().and_then(|c| c.lookup(&key)) {
-            print!("{}", entry.stdout);
-            return write_requested_artifacts(&entry.artifacts, opts, entry.exit_code);
-        }
-    }
-    let mut out = RunOutput::default();
-    let code = dispatch_named(canon, opts, mode, &mut out);
-    print!("{}", out.stdout);
-    // Inconclusive outcomes are never cached: they depend on wall-clock
-    // budgets and a retry might do better. Usage errors likewise.
-    if cacheable && (code == EXIT_PROVED || code == EXIT_REFUTED) {
-        if let Some(c) = &cache {
-            let entry = CacheEntry {
-                key,
-                stdout: out.stdout.clone(),
-                exit_code: code,
-                artifacts: out.artifacts.clone(),
-            };
-            if let Err(e) = c.store(&entry) {
-                bb_obs::diag!("persist: cache store failed: {e}");
-            }
-        }
-    }
-    write_requested_artifacts(&out.artifacts, opts, code)
+    let result = execute(spec, cache.as_ref(), &ctl);
+    print!("{}", result.stdout);
+    write_requested_artifacts(&result.artifacts, opts, result.exit_code)
 }
 
-fn dispatch_named(canon: &str, opts: &Options, mode: Mode, out: &mut RunOutput) -> i32 {
-    let d = &opts.domain;
-    let dsize = d.len() as i64;
-    let th = opts.threads;
-    let ops = opts.ops;
-    match canon {
-        "treiber" => dispatch(&Treiber::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
-        "treiber-hp" => dispatch(&TreiberHp::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
-        "treiber-hp-fu" => dispatch(&TreiberHpFu::new(d, th), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
-        "ms-queue" => dispatch(&MsQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true, out),
-        "dglm-queue" => dispatch(&DglmQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, true, out),
-        "hw-queue" => dispatch(
-            &HwQueue::for_bound(d, th, ops),
-            &AtomicSpec::new(SeqQueue::new(d)),
-            opts,
-            mode,
-            true,
-            out,
-        ),
-        "ccas" => dispatch(&Ccas::new(dsize), &AtomicSpec::new(SeqCcas::new(dsize)), opts, mode, true, out),
-        "rdcss" => dispatch(&Rdcss::new(dsize), &AtomicSpec::new(SeqRdcss::new(dsize)), opts, mode, true, out),
-        "newcas" => dispatch(&NewCas::new(dsize), &AtomicSpec::new(SeqRegister::new(dsize)), opts, mode, true, out),
-        "hm-list" => dispatch(&HmList::revised(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true, out),
-        "hm-list-buggy" => dispatch(&HmList::buggy(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, true, out),
-        "hsy-stack" => dispatch(&HsyStack::new(d), &AtomicSpec::new(SeqStack::new(d)), opts, mode, true, out),
-        "lazy-list" => dispatch(&LazyList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
-        "optimistic-list" => dispatch(&OptimisticList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
-        "fine-list" => dispatch(&FineList::new(d), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
-        "two-lock-queue" => dispatch(&TwoLockQueue::new(d), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false, out),
-        "coarse-stack" => dispatch(&CoarseLocked::new(SeqStack::new(d)), &AtomicSpec::new(SeqStack::new(d)), opts, mode, false, out),
-        "coarse-queue" => dispatch(&CoarseLocked::new(SeqQueue::new(d)), &AtomicSpec::new(SeqQueue::new(d)), opts, mode, false, out),
-        "coarse-set" => dispatch(&CoarseLocked::new(SeqSet::new(d)), &AtomicSpec::new(SeqSet::new(d)), opts, mode, false, out),
-        other => {
-            eprintln!("unknown algorithm `{other}`; try `bbv list`");
+/// Client-side flags shared by every daemon-facing subcommand, split off
+/// before the verification options are parsed.
+struct ClientOpts {
+    addr: Option<String>,
+    dir: String,
+    priority: i64,
+    detach: bool,
+    rest: Vec<String>,
+}
+
+fn split_client_flags(args: &[String]) -> Result<ClientOpts, String> {
+    let mut c = ClientOpts {
+        addr: None,
+        dir: ".bbv-serve".into(),
+        priority: 0,
+        detach: false,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => c.addr = Some(it.next().ok_or("--addr needs host:port")?.clone()),
+            "--dir" => c.dir = it.next().ok_or("--dir needs a serve directory")?.clone(),
+            "--priority" => {
+                c.priority = it
+                    .next()
+                    .ok_or("--priority needs an integer")?
+                    .parse()
+                    .map_err(|e| format!("--priority: {e}"))?;
+            }
+            "--detach" => c.detach = true,
+            _ => c.rest.push(a.clone()),
+        }
+    }
+    Ok(c)
+}
+
+/// Resolves the daemon address: explicit `--addr` wins, otherwise the
+/// `serve.addr` discovery file in the serve directory.
+fn connect(c: &ClientOpts) -> Result<Client, String> {
+    let addr = match &c.addr {
+        Some(a) => a.clone(),
+        None => discover_addr(Path::new(&c.dir)).map_err(|e| e.to_string())?,
+    };
+    Client::connect(&addr).map_err(|e| format!("could not connect to {addr}: {e}"))
+}
+
+/// `bbv serve`: run the verification daemon in the foreground until a
+/// client drains it.
+fn serve_cmd(args: &[String]) -> i32 {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let r: Result<(), String> = (|| {
+            match a.as_str() {
+                "--dir" => {
+                    cfg.dir = PathBuf::from(it.next().ok_or("--dir needs a directory")?)
+                }
+                "--addr" => cfg.addr = it.next().ok_or("--addr needs host:port")?.clone(),
+                "--workers" => {
+                    let n: usize = it
+                        .next()
+                        .ok_or("--workers needs a count")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?;
+                    if n == 0 {
+                        return Err("--workers must be at least 1".into());
+                    }
+                    cfg.workers = n;
+                }
+                "--queue" => {
+                    cfg.queue_cap = it
+                        .next()
+                        .ok_or("--queue needs a capacity")?
+                        .parse()
+                        .map_err(|e| format!("--queue: {e}"))?;
+                }
+                "--cache" => {
+                    cfg.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a directory")?))
+                }
+                other => return Err(format!("unknown serve option `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    }
+    match bbverify::serve::serve(cfg) {
+        Ok(()) => EXIT_PROVED,
+        Err(e) => {
+            eprintln!("serve error: {e}");
             EXIT_USAGE
         }
     }
 }
 
-/// Explores under the option budget; exhaustion is an inconclusive outcome
-/// (exit 2), reported with the exhausted stage and its partial statistics.
-///
-/// With `--reduce`, exploration unfolds the reduced system instead and the
-/// reducer counters go to stderr (stdout stays diffable across modes).
-///
-/// With a checkpoint session installed, a previously completed section
-/// seeds the LTS directly, and a freshly explored one is offered back
-/// (stage boundaries are always cut points).
-///
-/// With `--fuse` (and no `--reduce`), exploration streams its transitions
-/// through an in-degree sink and the accumulated reverse adjacency is
-/// returned alongside the LTS for the refinement passes to reuse. A
-/// checkpoint-seeded LTS never saw the stream, so it returns `None` and
-/// refinement rebuilds its own table — checkpoint cut points stay valid
-/// mid-fused-run, and the output is byte-identical either way.
-fn explore_or_inconclusive<A: ObjectAlgorithm>(
-    alg: &A,
-    bound: Bound,
-    wd: &Watchdog,
-    opts: &Options,
-) -> Result<(Lts, Option<PredecessorTable>), i32> {
-    let persist = bb_persist::active();
-    let section = format!("{}/b{}-{}", alg.name(), bound.threads, bound.ops_per_thread);
-    if let Some(p) = persist.as_ref() {
-        if let Some(lts) = p.seed_lts(&section) {
-            return Ok((lts, None));
-        }
-    }
-    let eo = ExploreOptions::governed(wd).with_jobs(opts.jobs);
-    let result = if opts.reduce != ReduceMode::None {
-        explore_reduced(alg, bound, opts.reduce, &eo).map(|(lts, stats)| {
-            bb_obs::diag!("reduction {} [{}]: {stats}", opts.reduce, alg.name());
-            (lts, None)
-        })
-    } else if opts.fuse {
-        explore_system_fused(alg, bound, &eo).map(|(lts, preds)| (lts, Some(preds)))
-    } else {
-        explore_system_with(alg, bound, &eo).map(|lts| (lts, None))
-    };
-    match result {
-        Ok((lts, preds)) => {
-            if let Some(p) = persist.as_ref() {
-                p.offer_lts(&section, &lts);
-            }
-            Ok((lts, preds))
-        }
+/// `bbv submit [command] <algorithm> [options]`: ship a job to the daemon.
+/// Waits for the result by default (stdout/artifacts/exit code then match a
+/// direct run byte-for-byte); `--detach` just prints the job id.
+fn client_submit(args: &[String]) -> i32 {
+    let c = match split_client_flags(args) {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("inconclusive: {e}");
-            Err(EXIT_INCONCLUSIVE)
-        }
-    }
-}
-
-fn dispatch<A: ObjectAlgorithm, S: SequentialSpec>(
-    alg: &A,
-    spec: &AtomicSpec<S>,
-    opts: &Options,
-    mode: Mode,
-    non_blocking: bool,
-    out: &mut RunOutput,
-) -> i32 {
-    let bound = Bound::new(opts.threads, opts.ops);
-
-    if mode == Mode::ReduceCheck {
-        return reduce_check(alg, spec, opts, bound, non_blocking, out);
-    }
-    if mode == Mode::Verify && opts.budgeted() {
-        return verify_governed(alg, spec, opts, bound, non_blocking, out);
-    }
-
-    let wd = Watchdog::new(opts.budget());
-    let (imp, imp_preds) = match explore_or_inconclusive(alg, bound, &wd, opts) {
-        Ok(l) => l,
-        Err(c) => return c,
-    };
-
-    if mode == Mode::Check {
-        let Some(raw) = &opts.formula else {
-            eprintln!("`check` needs --formula \"...\"; e.g. --formula \"G F (ret | done)\"");
+            eprintln!("error: {e}");
             return EXIT_USAGE;
-        };
-        let formula = match bbverify::ltl::parse(raw) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("formula error {e}");
-                return EXIT_USAGE;
-            }
-        };
-        // Model check on the divergence-preserving quotient: it is
-        // ≈div-bisimilar to the object, so all next-free LTL carries over.
-        let q = bbverify::bisim::div_quotient_opts(
-            &imp,
-            PartitionOptions::default()
-                .with_jobs(opts.jobs)
-                .with_mode(opts.refine),
-        );
-        let result = match bbverify::ltl::check_governed(&q.lts, &formula, &wd) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("inconclusive: {e}");
-                return EXIT_INCONCLUSIVE;
-            }
-        };
-        outln!(out, "algorithm : {}", alg.name());
-        outln!(out, "formula   : {formula}");
-        outln!(
-            out,
-            "checked on: divergence-preserving quotient ({} of {} states)",
-            q.lts.num_states(),
-            imp.num_states()
-        );
-        outln!(out, "holds     : {}", result.holds);
-        if let Some(ce) = &result.counterexample {
-            outln!(out, "counterexample:");
-            for line in ce.to_pretty().lines() {
-                outln!(out, "  {line}");
-            }
         }
-        return if result.holds { EXIT_PROVED } else { EXIT_REFUTED };
-    }
-
-    if mode == Mode::Quotient {
-        let popts = PartitionOptions::default()
-            .with_jobs(opts.jobs)
-            .with_mode(opts.refine);
-        // A fused exploration already accumulated the reverse adjacency;
-        // hand it to the refiner. Partitions are identical either way.
-        let p = match imp_preds.as_ref() {
-            Some(preds) => bbverify::bisim::partition_governed_pre(
-                &imp,
-                Equivalence::Branching,
-                &Watchdog::unlimited(),
-                popts,
-                Some(preds),
-            )
-            .expect("an unlimited watchdog never trips"),
-            None => partition_opts(&imp, Equivalence::Branching, popts),
-        };
-        let q = quotient(&imp, &p);
-        outln!(out, "algorithm : {}", alg.name());
-        outln!(out, "bound     : {}-{}", bound.threads, bound.ops_per_thread);
-        outln!(out, "|Δ|       : {}", imp.num_states());
-        outln!(out, "|Δ/≈|     : {}", q.lts.num_states());
-        outln!(
-            out,
-            "reduction : ×{:.1}",
-            imp.num_states() as f64 / q.lts.num_states() as f64
-        );
-        // Both artifacts are always rendered: the cache stores them so a
-        // later hit can honour paths the original invocation did not ask
-        // for, and the requested subset is written after dispatch.
-        out.artifacts.push(("dot".into(), to_dot(&q.lts, alg.name()).into_bytes()));
-        out.artifacts.push(("aut".into(), to_aut(&q.lts).into_bytes()));
-        return EXIT_PROVED;
-    }
-
-    let (sp, sp_preds) = match explore_or_inconclusive(spec, bound, &wd, opts) {
-        Ok(l) => l,
-        Err(c) => return c,
     };
-    let mut cfg = VerifyConfig::new(bound)
-        .with_jobs(opts.jobs)
-        .with_refine(opts.refine)
-        .with_fuse(opts.fuse);
-    if !opts.check_lock_freedom || !non_blocking {
-        cfg = cfg.linearizability_only();
+    let (command, name_idx) = match c.rest.first().map(String::as_str).and_then(Command::parse) {
+        Some(cmd) => (cmd, 1),
+        None => (Command::Verify, 0),
+    };
+    let Some(name) = c.rest.get(name_idx) else {
+        eprintln!("usage: bbv submit [verify|quotient|check|reduce-check] <algorithm> [options]");
+        return EXIT_USAGE;
+    };
+    let opts = match parse_options(&c.rest[name_idx + 1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    for (flag, set) in [
+        ("--checkpoint", opts.checkpoint.is_some()),
+        ("--cache", opts.cache.is_some()),
+        ("--metrics", opts.metrics.is_some()),
+        ("--trace", opts.trace.is_some()),
+    ] {
+        if set {
+            eprintln!("note: {flag} is daemon-side; ignored for a submitted job");
+        }
     }
-    let report = verify_case_lts_pre(
-        alg.name(),
-        cfg,
-        &imp,
-        &sp,
-        imp_preds.as_ref(),
-        sp_preds.as_ref(),
-    );
-    outln!(out, "{}", report.summary());
-    if let Some(v) = &report.linearizability.violation {
-        outln!(out, "non-linearizable history:");
-        outln!(out, "  {}", v.to_pretty());
+    let spec = opts.to_spec(command, &name.replace('_', "-"));
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {e}");
+        return EXIT_USAGE;
     }
-    if let Some(lf) = &report.lock_freedom {
-        if let Some(lasso) = &lf.divergence {
-            outln!(out, "lock-freedom violation (τ-loop):");
-            for line in bbverify::core::format_lasso(&imp, lasso).lines() {
-                outln!(out, "  {line}");
+    let mut client = match connect(&c) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    if c.detach {
+        return match client.submit(&spec, c.priority) {
+            Ok(reply) => {
+                println!("{}", reply.render());
+                if reply.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                    EXIT_PROVED
+                } else {
+                    EXIT_USAGE
+                }
             }
-        }
+            Err(e) => {
+                eprintln!("error: {e}");
+                EXIT_USAGE
+            }
+        };
     }
-    if opts.wait_freedom {
-        let wf = verify_wait_freedom(&imp, opts.threads);
-        if wf.wait_free() {
-            outln!(out, "starvation : none under the bounded client");
-        } else {
-            outln!(out, "starvation : threads {:?} can spin forever", wf.starving_threads());
+    let progress = opts.progress;
+    match client.submit_and_wait(&spec, c.priority, |ev| {
+        // Live events go to stderr; stdout stays byte-identical to a
+        // direct run.
+        if progress {
+            eprintln!("{}", ev.render());
         }
-    }
-    let failed = !report.linearizable()
-        || report.lock_freedom.as_ref().is_some_and(|l| !l.lock_free);
-    if failed {
-        EXIT_REFUTED
-    } else {
-        EXIT_PROVED
+    }) {
+        Ok(res) => {
+            print!("{}", res.stdout);
+            write_requested_artifacts(&res.artifacts, &opts, res.exit_code)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            EXIT_USAGE
+        }
     }
 }
 
-/// `bbv reduce-check <algorithm>`: run the differential harness — full and
-/// reduced state spaces must be `≈div` with identical verdicts. `--reduce`
-/// selects the layer under test (default: `full`, both layers).
-fn reduce_check<A: ObjectAlgorithm, S: SequentialSpec>(
-    alg: &A,
-    spec: &AtomicSpec<S>,
-    opts: &Options,
-    bound: Bound,
-    non_blocking: bool,
-    out: &mut RunOutput,
-) -> i32 {
-    let mode = if opts.reduce == ReduceMode::None {
-        ReduceMode::Full
-    } else {
-        opts.reduce
+/// `bbv status|watch|cancel <job>`: single-job client commands.
+fn client_job_cmd(cmd: &str, args: &[String]) -> i32 {
+    let c = match split_client_flags(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
     };
-    let lock_freedom = opts.check_lock_freedom && non_blocking;
-    match differential_check(alg, spec, bound, mode, opts.jobs, lock_freedom) {
-        Ok(r) => {
-            outln!(out, "{}", r.render());
-            if r.passed() {
-                EXIT_PROVED
+    let Some(job) = c.rest.first().and_then(|s| s.parse::<u64>().ok()) else {
+        eprintln!("usage: bbv {cmd} <job-id> [--dir D | --addr H:P]");
+        return EXIT_USAGE;
+    };
+    let mut client = match connect(&c) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let reply = match cmd {
+        "status" => client.status(job),
+        "cancel" => client.cancel(job),
+        "watch" => client.watch(job, |ev| println!("{}", ev.render())),
+        _ => unreachable!("dispatch covers the command words"),
+    };
+    print_reply(reply)
+}
+
+/// `bbv stats|drain|ping`: daemon-wide client commands.
+fn client_daemon_cmd(cmd: &str, args: &[String]) -> i32 {
+    let c = match split_client_flags(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    if !c.rest.is_empty() {
+        eprintln!("usage: bbv {cmd} [--dir D | --addr H:P]");
+        return EXIT_USAGE;
+    }
+    let mut client = match connect(&c) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let reply = match cmd {
+        "stats" => client.stats(),
+        "drain" => client.drain(),
+        "ping" => client.ping(),
+        _ => unreachable!("dispatch covers the command words"),
+    };
+    print_reply(reply)
+}
+
+/// Prints a protocol reply and maps it onto the exit code.
+fn print_reply(reply: Result<JsonValue, String>) -> i32 {
+    match reply {
+        Ok(v) => {
+            println!("{}", v.render());
+            if v.get("ok").and_then(JsonValue::as_bool) == Some(false)
+                || v.get("error").is_some()
+            {
+                EXIT_USAGE
             } else {
-                EXIT_REFUTED
+                EXIT_PROVED
             }
         }
         Err(e) => {
-            eprintln!("inconclusive: {e}");
-            EXIT_INCONCLUSIVE
+            eprintln!("error: {e}");
+            EXIT_USAGE
         }
-    }
-}
-
-/// The budget-governed `verify` path: run the fallback ladder and map the
-/// overall verdict onto the exit code.
-fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
-    alg: &A,
-    spec: &AtomicSpec<S>,
-    opts: &Options,
-    bound: Bound,
-    non_blocking: bool,
-    out: &mut RunOutput,
-) -> i32 {
-    let mut config = GovernedConfig::new(bound, opts.budget())
-        .with_jobs(opts.jobs)
-        .with_refine(opts.refine)
-        .with_fuse(opts.fuse);
-    if !opts.check_lock_freedom || !non_blocking {
-        config = config.linearizability_only();
-    }
-    if opts.no_fallback {
-        config = config.no_fallback();
-    }
-    let report = if opts.reduce == ReduceMode::None {
-        verify_case_governed(alg, spec, &config)
-    } else {
-        verify_case_reduced_governed(alg, spec, opts.reduce, &config)
-    };
-    {
-        use std::fmt::Write as _;
-        let _ = write!(out.stdout, "{}", report.render());
-    }
-    if let Some(details) = &report.details {
-        outln!(out, "{}", details.summary());
-        if let Some(v) = &details.linearizability.violation {
-            outln!(out, "non-linearizable history:");
-            outln!(out, "  {}", v.to_pretty());
-        }
-        if let Some(lf) = &details.lock_freedom {
-            if let Some(lasso) = &lf.divergence {
-                outln!(
-                    out,
-                    "lock-freedom violation: τ-loop of {} step(s) after a {}-step prefix",
-                    lasso.cycle.len(),
-                    lasso.prefix.len()
-                );
-            }
-        }
-    }
-    match report.overall() {
-        Verdict::Proved => EXIT_PROVED,
-        Verdict::Refuted => EXIT_REFUTED,
-        Verdict::Inconclusive { .. } => EXIT_INCONCLUSIVE,
     }
 }

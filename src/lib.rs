@@ -17,6 +17,9 @@
 //! * [`core`] — the two verification methods of Fig. 1.
 //! * [`reduce`] — on-the-fly partial-order + thread-symmetry reduction
 //!   with a differential `≈div` equivalence harness.
+//! * [`serve`] — verification-as-a-service: the shared job runner and the
+//!   `bbv serve` daemon (queue, journal, cache-backed admission, live
+//!   progress streaming).
 //!
 //! # Quickstart
 //!
@@ -43,4 +46,5 @@ pub use bb_lts as lts;
 pub use bb_ltl as ltl;
 pub use bb_reduce as reduce;
 pub use bb_refine as refine;
+pub use bb_serve as serve;
 pub use bb_sim as sim;

@@ -1,0 +1,122 @@
+//! Clock-discipline regression tests.
+//!
+//! Deadline governance must be monotonic-clock based everywhere: a daemon
+//! worker that straddles an NTP step or a suspend/resume must neither trip
+//! a deadline early nor have it extended. Two enforcement angles:
+//!
+//! 1. a source audit — `SystemTime` may appear only where wall-clock time
+//!    is the *subject* (bb-persist's temp-file mtime sweep) or in test
+//!    fixtures that fabricate mtimes;
+//! 2. behavioral checks that the [`Watchdog`] deadline anchors to its
+//!    creation `Instant` and measures elapsed monotonic time.
+
+use bbverify::lts::{Budget, Stage, Watchdog};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Files allowed to mention `SystemTime`/`UNIX_EPOCH`, relative to the
+/// workspace root. Everything here handles file mtimes, which *are*
+/// wall-clock values — not deadlines.
+const WALL_CLOCK_WHITELIST: &[&str] = &[
+    // Temp-file grace sweep: compares fs mtimes against now.
+    "crates/persist/src/atomic.rs",
+    // Test helper that backdates a temp file's mtime.
+    "crates/persist/src/cache.rs",
+    // Integration test doing the same backdating through the public API.
+    "tests/persist_cache.rs",
+];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                rust_sources(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn system_time_appears_only_in_wall_clock_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    rust_sources(root, &mut sources);
+    assert!(
+        sources.len() > 50,
+        "source scan looks broken: only {} files found",
+        sources.len()
+    );
+    let mut offenders = Vec::new();
+    for path in sources {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel == "tests/monotonic_audit.rs" {
+            continue; // this file names the symbol in strings
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        // Strip line comments: prose may *name* the symbol (the budget
+        // module documents this very rule); only code uses count.
+        let code_mentions = text.lines().any(|l| {
+            let code = l.split("//").next().unwrap_or("");
+            code.contains("SystemTime") || code.contains("UNIX_EPOCH")
+        });
+        if !code_mentions {
+            continue;
+        }
+        if !WALL_CLOCK_WHITELIST.contains(&rel.as_str()) {
+            offenders.push(rel);
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "wall-clock time crept into governed code: {offenders:?}\n\
+         deadlines must use Instant (see crates/lts/src/budget.rs, Clock \
+         discipline); if the use is genuinely about file mtimes, add it to \
+         WALL_CLOCK_WHITELIST with a justification"
+    );
+}
+
+#[test]
+fn deadline_measures_monotonic_elapsed_time() {
+    // A deadline comfortably in the future never trips, regardless of what
+    // the wall clock does meanwhile.
+    let wd = Watchdog::new(Budget::unlimited().with_deadline(Duration::from_secs(3600)));
+    let mut meter = wd.meter(Stage::Explore);
+    for _ in 0..10_000 {
+        meter.add_state().expect("an hour-long deadline must not trip");
+    }
+
+    // An already-expired deadline trips at the first check boundary, with
+    // the deadline reason and the stage attached.
+    let wd = Watchdog::new(Budget::unlimited().with_deadline(Duration::ZERO));
+    std::thread::sleep(Duration::from_millis(5));
+    let mut meter = wd.meter(Stage::Bisim);
+    let err = meter
+        .checkpoint()
+        .expect_err("a zero deadline must trip at the first checkpoint");
+    let msg = err.to_string();
+    assert!(msg.contains("bisim"), "stage missing from: {msg}");
+}
+
+#[test]
+fn deadline_anchors_to_watchdog_creation() {
+    // The anchor is the Watchdog's creation Instant: sleeping past the
+    // deadline after creation trips it even though no meter existed yet
+    // while time passed.
+    let wd = Watchdog::new(Budget::unlimited().with_deadline(Duration::from_millis(20)));
+    std::thread::sleep(Duration::from_millis(60));
+    let mut late_meter = wd.meter(Stage::Refine);
+    assert!(
+        late_meter.checkpoint().is_err(),
+        "deadline must anchor to watchdog creation, not meter creation"
+    );
+}

@@ -1,0 +1,233 @@
+//! The serve differential guarantee: a job served by the daemon produces
+//! stdout, artifacts and exit code **byte-identical** to a direct CLI run
+//! of the same spec — at one worker and at four, cold and warm.
+//!
+//! These tests drive the real binary end to end: they start `bbv serve`,
+//! submit with `bbv submit`, and diff against direct `bbv` invocations.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bbv() -> &'static str {
+    env!("CARGO_BIN_EXE_bbv")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("bb-serve-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A running daemon, killed and cleaned up on drop.
+struct Daemon {
+    child: Child,
+    dir: PathBuf,
+}
+
+impl Daemon {
+    fn start(dir: &Path, args: &[&str]) -> Daemon {
+        let child = Command::new(bbv())
+            .arg("serve")
+            .arg("--dir")
+            .arg(dir)
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn bbv serve");
+        let addr_file = dir.join("serve.addr");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !addr_file.exists() {
+            assert!(Instant::now() < deadline, "daemon never published serve.addr");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Daemon { child, dir: dir.to_path_buf() }
+    }
+
+    /// Asks the daemon to finish its queue and exit; waits for it.
+    fn drain(mut self) {
+        let ok = Command::new(bbv())
+            .args(["drain", "--dir"])
+            .arg(&self.dir)
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false);
+        if ok {
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while Instant::now() < deadline {
+                if let Ok(Some(_)) = self.child.try_wait() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        }
+        let _ = self.child.kill();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn run_bbv(args: &[&str]) -> Output {
+    Command::new(bbv()).args(args).output().expect("run bbv")
+}
+
+fn stdout_of(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+/// The roster subset the differential tests sweep: fast bounds, covering
+/// proved, lin-refuted and lock-freedom-refuted outcomes.
+const CASES: &[&[&str]] = &[
+    &["verify", "treiber", "--threads", "2", "--ops", "1"],
+    &["verify", "ms-queue", "--threads", "2", "--ops", "1"],
+    &["verify", "hm-list-buggy", "--threads", "2", "--ops", "1"],
+    &["verify", "hw-queue", "--threads", "2", "--ops", "1"],
+    &["verify", "ccas", "--threads", "2", "--ops", "1", "--no-lock-freedom"],
+];
+
+fn assert_case_matches(dir: &Path, case: &[&str]) {
+    let direct = run_bbv(case);
+    let mut submit_args: Vec<&str> = vec!["submit"];
+    submit_args.extend_from_slice(case);
+    submit_args.push("--dir");
+    let dir_s = dir.to_str().unwrap();
+    submit_args.push(dir_s);
+    let served = run_bbv(&submit_args);
+    assert_eq!(
+        stdout_of(&served),
+        stdout_of(&direct),
+        "served stdout differs from direct for {case:?}\nstderr: {}",
+        String::from_utf8_lossy(&served.stderr)
+    );
+    assert_eq!(
+        served.status.code(),
+        direct.status.code(),
+        "served exit code differs from direct for {case:?}"
+    );
+}
+
+#[test]
+fn served_results_match_direct_runs_one_worker() {
+    let dir = tmp("w1");
+    let daemon = Daemon::start(&dir, &["--workers", "1"]);
+    for case in CASES {
+        assert_case_matches(&dir, case);
+    }
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn served_results_match_direct_runs_four_workers_concurrent() {
+    let dir = tmp("w4");
+    let daemon = Daemon::start(&dir, &["--workers", "4"]);
+    // All submissions in flight at once; each must still match its direct
+    // run exactly (results are per-job, never interleaved).
+    std::thread::scope(|s| {
+        for case in CASES {
+            let dir = dir.clone();
+            s.spawn(move || assert_case_matches(&dir, case));
+        }
+    });
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn served_quotient_artifacts_are_byte_identical() {
+    let dir = tmp("aut");
+    let daemon = Daemon::start(&dir, &["--workers", "1"]);
+    let direct_aut = dir.join("direct.aut");
+    let served_aut = dir.join("served.aut");
+    let direct = run_bbv(&[
+        "quotient", "treiber", "--threads", "2", "--ops", "1",
+        "--aut", direct_aut.to_str().unwrap(),
+    ]);
+    let served = run_bbv(&[
+        "submit", "quotient", "treiber", "--threads", "2", "--ops", "1",
+        "--aut", served_aut.to_str().unwrap(),
+        "--dir", dir.to_str().unwrap(),
+    ]);
+    assert_eq!(direct.status.code(), Some(0));
+    assert_eq!(served.status.code(), Some(0));
+    // stdout carries the path it wrote to, which legitimately differs; the
+    // artifact bytes must not.
+    let direct_bytes = std::fs::read(&direct_aut).unwrap();
+    let served_bytes = std::fs::read(&served_aut).unwrap();
+    assert_eq!(direct_bytes, served_bytes, "served .aut differs from direct");
+    assert!(!direct_bytes.is_empty());
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_pass_is_served_entirely_from_cache() {
+    let dir = tmp("warm");
+    let cache = dir.join("cache");
+    let daemon = Daemon::start(
+        &dir,
+        &["--workers", "2", "--cache", cache.to_str().unwrap()],
+    );
+    let dir_s = dir.to_str().unwrap();
+
+    let cold: Vec<String> = CASES
+        .iter()
+        .map(|case| {
+            let mut args: Vec<&str> = vec!["submit"];
+            args.extend_from_slice(case);
+            args.extend_from_slice(&["--dir", dir_s]);
+            stdout_of(&run_bbv(&args))
+        })
+        .collect();
+
+    let warm: Vec<String> = CASES
+        .iter()
+        .map(|case| {
+            let mut args: Vec<&str> = vec!["submit"];
+            args.extend_from_slice(case);
+            args.extend_from_slice(&["--dir", dir_s]);
+            stdout_of(&run_bbv(&args))
+        })
+        .collect();
+    assert_eq!(cold, warm, "warm pass must replay the cold bytes");
+
+    // The daemon's own counters must show the whole second pass was
+    // admission cache hits (never queued, never recomputed).
+    let stats = run_bbv(&["stats", "--dir", dir_s]);
+    let v = bb_obs::json::parse(stdout_of(&stats).trim()).expect("stats reply parses");
+    let admission_hits = v
+        .get("admission")
+        .and_then(|a| a.get("cache_hits"))
+        .and_then(|n| n.as_u64())
+        .expect("stats carries admission.cache_hits");
+    assert_eq!(
+        admission_hits,
+        CASES.len() as u64,
+        "every warm submission must hit the cache at admission: {}",
+        v.render()
+    );
+    let computed = v
+        .get("served")
+        .and_then(|sv| sv.get("computed"))
+        .and_then(|n| n.as_u64())
+        .expect("stats carries served.computed");
+    assert_eq!(computed, CASES.len() as u64, "cold pass computed each case once");
+    let cache_stats = v.get("cache").expect("stats embeds bb-cache/v1 stats");
+    assert_eq!(
+        cache_stats.get("schema").and_then(|s| s.as_str()),
+        Some("bb-cache/v1")
+    );
+    assert_eq!(
+        cache_stats.get("entries").and_then(|n| n.as_u64()),
+        Some(CASES.len() as u64)
+    );
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,385 @@
+//! `bb-serve/v1` protocol robustness: hostile and unlucky clients must
+//! never wedge the daemon or corrupt other jobs.
+//!
+//! Covered here: malformed and truncated request lines, the 1 MiB line
+//! bound, a watcher that disconnects mid-stream, queue-full backpressure
+//! with `retry_after_ms`, and a daemon killed mid-journal-append (via the
+//! deterministic `BB_FAULT=journal-write` point) that must resume its
+//! queue from the journal on restart.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bbv() -> &'static str {
+    env!("CARGO_BIN_EXE_bbv")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("bb-serve-proto-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A running daemon, killed and cleaned up on drop.
+struct Daemon {
+    child: Child,
+    dir: PathBuf,
+}
+
+impl Daemon {
+    fn start(dir: &Path, args: &[&str]) -> Daemon {
+        Self::start_env(dir, args, &[])
+    }
+
+    fn start_env(dir: &Path, args: &[&str], env: &[(&str, &str)]) -> Daemon {
+        let mut cmd = Command::new(bbv());
+        cmd.arg("serve")
+            .arg("--dir")
+            .arg(dir)
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().expect("spawn bbv serve");
+        let addr_file = dir.join("serve.addr");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !addr_file.exists() {
+            assert!(Instant::now() < deadline, "daemon never published serve.addr");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Daemon { child, dir: dir.to_path_buf() }
+    }
+
+    fn addr(&self) -> String {
+        std::fs::read_to_string(self.dir.join("serve.addr"))
+            .expect("serve.addr readable")
+            .trim()
+            .to_string()
+    }
+
+    /// Waits (bounded) for the daemon process to exit on its own.
+    fn wait_exit(&mut self, within: Duration) -> bool {
+        let deadline = Instant::now() + within;
+        while Instant::now() < deadline {
+            if let Ok(Some(_)) = self.child.try_wait() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        false
+    }
+
+    fn drain(mut self) {
+        let ok = Command::new(bbv())
+            .args(["drain", "--dir"])
+            .arg(&self.dir)
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false);
+        if ok && self.wait_exit(Duration::from_secs(60)) {
+            return;
+        }
+        let _ = self.child.kill();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn run_bbv(args: &[&str]) -> Output {
+    Command::new(bbv()).args(args).output().expect("run bbv")
+}
+
+fn stdout_of(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+/// One raw request line → one reply line over an existing connection.
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+    writeln!(writer, "{line}").expect("send request");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(!reply.is_empty(), "daemon closed instead of replying to {line:?}");
+    reply
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let writer = TcpStream::connect(addr).expect("connect to daemon");
+    writer
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let reader = BufReader::new(writer.try_clone().unwrap());
+    (reader, writer)
+}
+
+#[test]
+fn malformed_requests_get_error_replies_and_the_connection_survives() {
+    let dir = tmp("malformed");
+    let daemon = Daemon::start(&dir, &["--workers", "1"]);
+    let (mut reader, mut writer) = connect(&daemon.addr());
+
+    for bad in [
+        "not json at all",
+        "{\"op\": 42}",
+        "{\"op\": \"no-such-op\"}",
+        "{\"op\": \"submit\"}",
+        "{\"op\": \"submit\", \"spec\": {\"algorithm\": \"not-in-roster\"}}",
+        "{\"op\": \"status\"}",
+        "{\"op\": \"status\", \"job\": 9999}",
+        "[1, 2, 3]",
+    ] {
+        let reply = roundtrip(&mut reader, &mut writer, bad);
+        assert!(
+            reply.contains("\"error\""),
+            "expected an error reply to {bad:?}, got: {reply}"
+        );
+    }
+
+    // The same connection still serves well-formed requests afterwards.
+    let reply = roundtrip(&mut reader, &mut writer, "{\"op\": \"ping\"}");
+    assert!(
+        reply.contains("bb-serve/v1"),
+        "ping after garbage must still answer with the schema: {reply}"
+    );
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_request_at_eof_is_still_answered() {
+    let dir = tmp("truncated");
+    let daemon = Daemon::start(&dir, &["--workers", "1"]);
+    let (mut reader, mut writer) = connect(&daemon.addr());
+
+    // No trailing newline, then half-close: the daemon must treat the
+    // partial line as the final request rather than hanging for more.
+    writer.write_all(b"{\"op\": \"ping\"}").unwrap();
+    writer.shutdown(Shutdown::Write).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(
+        reply.contains("bb-serve/v1"),
+        "truncated ping must still be answered: {reply:?}"
+    );
+    // After the reply the daemon sees EOF and closes cleanly.
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("clean close");
+    assert_eq!(rest, "", "nothing may follow the final reply");
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_the_connection_closed() {
+    let dir = tmp("oversized");
+    let daemon = Daemon::start(&dir, &["--workers", "1"]);
+    let (mut reader, mut writer) = connect(&daemon.addr());
+
+    // MAX_LINE is 1 MiB; one byte past it, no newline. (Exactly one over,
+    // so the daemon consumes every sent byte before rejecting — leftover
+    // unread bytes would turn its close into an RST instead of a FIN.)
+    let blob = vec![b'x'; (1 << 20) + 1];
+    writer.write_all(&blob).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    assert!(
+        reply.contains("\"error\"") && reply.contains("exceeds"),
+        "oversized line must be rejected explicitly: {reply:?}"
+    );
+    let mut rest = String::new();
+    match reader.read_to_string(&mut rest) {
+        Ok(_) => assert_eq!(rest, "", "nothing may follow the error reply"),
+        // A reset also proves the close; don't be picky about its flavor.
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("unexpected error draining the connection: {e}"),
+    }
+
+    // The daemon itself is unharmed: a fresh connection works.
+    let (mut reader, mut writer) = connect(&daemon.addr());
+    let reply = roundtrip(&mut reader, &mut writer, "{\"op\": \"ping\"}");
+    assert!(reply.contains("bb-serve/v1"));
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_watch_disconnect_leaves_the_job_to_complete() {
+    let dir = tmp("miswatch");
+    let daemon = Daemon::start(&dir, &["--workers", "1"]);
+    let addr = daemon.addr();
+    let dir_s = dir.to_str().unwrap();
+
+    let (mut reader, mut writer) = connect(&addr);
+    let reply = roundtrip(
+        &mut reader,
+        &mut writer,
+        "{\"op\": \"submit\", \"priority\": 0, \"spec\": \
+         {\"command\": \"verify\", \"algorithm\": \"treiber\", \"threads\": 2, \"ops\": 2}}",
+    );
+    assert!(reply.contains("\"ok\": true"), "submit failed: {reply}");
+
+    // Start watching, then vanish without reading a single event.
+    writeln!(writer, "{{\"op\": \"watch\", \"job\": 1}}").unwrap();
+    drop(writer);
+    drop(reader);
+
+    // The job still runs to completion and its result is intact.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        let out = stdout_of(&run_bbv(&["status", "1", "--dir", dir_s]));
+        if out.contains("\"state\": \"done\"") {
+            break out;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job never completed after watcher vanished; last status: {out}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let direct = stdout_of(&run_bbv(&["verify", "treiber", "--threads", "2", "--ops", "2"]));
+    let v = bb_obs::json::parse(status.trim()).expect("status parses");
+    assert_eq!(
+        v.get("stdout").and_then(|s| s.as_str()),
+        Some(direct.as_str()),
+        "result after watcher disconnect must match a direct run"
+    );
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_rejects_with_a_retry_hint() {
+    let dir = tmp("backpressure");
+    let daemon = Daemon::start(&dir, &["--workers", "1", "--queue", "1"]);
+    let (mut reader, mut writer) = connect(&daemon.addr());
+
+    // Occupy the only worker with a deadline-bounded job (~4 s), then fill
+    // the one queue slot.
+    let slow = "{\"op\": \"submit\", \"priority\": 0, \"spec\": \
+                {\"command\": \"verify\", \"algorithm\": \"treiber\", \"threads\": 3, \
+                 \"ops\": 2, \"timeout_ns\": 4000000000}}";
+    let reply = roundtrip(&mut reader, &mut writer, slow);
+    assert!(reply.contains("\"ok\": true"), "slow submit failed: {reply}");
+    // Wait for the worker to pick it up so the queue slot is truly free.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let st = roundtrip(&mut reader, &mut writer, "{\"op\": \"status\", \"job\": 1}");
+        if st.contains("\"state\": \"running\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job 1 never started: {st}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let filler = "{\"op\": \"submit\", \"priority\": 0, \"spec\": \
+                  {\"command\": \"verify\", \"algorithm\": \"treiber\", \"threads\": 2, \
+                   \"ops\": 1}}";
+    let reply = roundtrip(&mut reader, &mut writer, filler);
+    assert!(
+        reply.contains("\"state\": \"queued\""),
+        "second job must queue: {reply}"
+    );
+
+    // Queue full: the reject must carry a clamped retry_after_ms hint.
+    let reply = roundtrip(&mut reader, &mut writer, filler);
+    let v = bb_obs::json::parse(reply.trim()).expect("reject parses");
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+    let retry = v
+        .get("retry_after_ms")
+        .and_then(|n| n.as_u64())
+        .expect("queue-full reject carries retry_after_ms");
+    assert!(
+        (100..=60_000).contains(&retry),
+        "retry hint out of clamp range: {retry}"
+    );
+
+    // Unblock quickly: cancel both jobs (running job 1 trips its token).
+    let reply = roundtrip(&mut reader, &mut writer, "{\"op\": \"cancel\", \"job\": 2}");
+    assert!(reply.contains("cancelled"), "{reply}");
+    let reply = roundtrip(&mut reader, &mut writer, "{\"op\": \"cancel\", \"job\": 1}");
+    assert!(reply.contains("\"ok\": true"), "{reply}");
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_daemon_resumes_its_queue_from_the_journal() {
+    let dir = tmp("resume");
+    let dir_s = dir.to_str().unwrap();
+
+    // Arm the deterministic crash: the 2nd journal append is the done
+    // record of job 1 — it is torn mid-line and the daemon aborts, exactly
+    // like a power cut after computing but before recording the result.
+    let mut daemon = Daemon::start_env(
+        &dir,
+        &["--workers", "1"],
+        &[("BB_FAULT", "journal-write:2")],
+    );
+    let submit = run_bbv(&[
+        "submit", "verify", "treiber", "--threads", "2", "--ops", "1",
+        "--dir", dir_s, "--detach",
+    ]);
+    assert!(
+        stdout_of(&submit).contains("\"job\": 1"),
+        "detached submit failed: {}{}",
+        stdout_of(&submit),
+        String::from_utf8_lossy(&submit.stderr)
+    );
+    assert!(
+        daemon.wait_exit(Duration::from_secs(30)),
+        "daemon must abort at the armed journal-write fault"
+    );
+    drop(daemon);
+
+    // The journal tail is torn mid-line — exactly what replay tolerates.
+    let journal = std::fs::read_to_string(dir.join("serve.journal")).unwrap();
+    assert!(
+        !journal.ends_with('\n'),
+        "fault must tear the final journal line"
+    );
+
+    // Restart over the same dir: job 1 replays from the journal and is
+    // recomputed; the result matches a direct run byte for byte.
+    let daemon = Daemon::start(&dir, &["--workers", "1"]);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        let out = stdout_of(&run_bbv(&["status", "1", "--dir", dir_s]));
+        if out.contains("\"state\": \"done\"") {
+            break out;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replayed job never completed; last status: {out}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    let direct = stdout_of(&run_bbv(&["verify", "treiber", "--threads", "2", "--ops", "1"]));
+    let v = bb_obs::json::parse(status.trim()).expect("status parses");
+    assert_eq!(
+        v.get("stdout").and_then(|s| s.as_str()),
+        Some(direct.as_str()),
+        "replayed result must match a direct run"
+    );
+
+    // The daemon accounts for the replay in its admission counters.
+    let stats = stdout_of(&run_bbv(&["stats", "--dir", dir_s]));
+    let v = bb_obs::json::parse(stats.trim()).expect("stats parses");
+    assert_eq!(
+        v.get("admission")
+            .and_then(|a| a.get("replayed"))
+            .and_then(|n| n.as_u64()),
+        Some(1),
+        "stats must report the replayed job: {stats}"
+    );
+    daemon.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
