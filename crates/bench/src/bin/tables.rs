@@ -81,7 +81,18 @@ fn main() {
     match cmd {
         "reduce" => guarded("reduce", || reduce_table(large, jobs)),
         "verdicts" => guarded("verdicts", || verdicts(reduce, refine, jobs, cache, fuse)),
-        "perf" => guarded("perf", || perf(&parse_out(&args))),
+        "perf" => {
+            let against = match parse_against(&args) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(3);
+                }
+            };
+            // Not `guarded`: the gate's exit code IS the result, so a fault
+            // here must fail the run rather than degrade to a log line.
+            perf(&parse_out(&args), against.as_ref());
+        }
         "phases" => phases(jobs),
         "table1" => guarded("table1", || table1(jobs)),
         "table2" => guarded("table2", || table2(jobs)),
@@ -106,7 +117,8 @@ fn main() {
             eprintln!(
                 "usage: tables [table1..table7|fig10|reduce|verdicts|phases|perf|all] \
                  [--large] [--jobs N] [--reduce none|sym|por|full] \
-                 [--refine full|incremental] [--fuse] [--out FILE] [--cache DIR]"
+                 [--refine full|incremental] [--fuse] [--out FILE] [--cache DIR] \
+                 [--against BASELINE.json] [--max-regress PCT]"
             );
             std::process::exit(3);
         }
@@ -141,6 +153,37 @@ fn parse_out(args: &[String]) -> String {
         .position(|a| a == "--out")
         .and_then(|pos| args.get(pos + 1).cloned())
         .unwrap_or_else(|| "BENCH_5.json".into())
+}
+
+/// The perf gate's configuration: a committed baseline report to diff
+/// against, and the allowed regression percentage.
+struct Against {
+    baseline: String,
+    max_regress_pct: f64,
+}
+
+/// Parses `--against FILE` and `--max-regress PCT` (default 25) for the
+/// `perf` subcommand's regression gate.
+fn parse_against(args: &[String]) -> Result<Option<Against>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--against") else {
+        if args.iter().any(|a| a == "--max-regress") {
+            return Err("--max-regress only makes sense with --against".into());
+        }
+        return Ok(None);
+    };
+    let baseline = args.get(pos + 1).ok_or("--against needs a baseline file")?.clone();
+    let max_regress_pct = match args.iter().position(|a| a == "--max-regress") {
+        None => 25.0,
+        Some(p) => {
+            let raw = args.get(p + 1).ok_or("--max-regress needs a percentage")?;
+            let pct: f64 = raw.parse().map_err(|e| format!("--max-regress: {e}"))?;
+            if !pct.is_finite() || pct < 0.0 {
+                return Err("--max-regress must be a non-negative percentage".into());
+            }
+            pct
+        }
+    };
+    Ok(Some(Against { baseline, max_regress_pct }))
 }
 
 /// Parses `--cache DIR` for the `verdicts` sweep: per-case result cache.
@@ -932,7 +975,13 @@ fn perf_row(name: &'static str, th: u8, op: u32, lts: &Lts, samples: u32) -> Per
 /// column is the incremental engine with worklists sharded across
 /// `FUSED_JOBS` threads and the predecessor table inherited from exploration
 /// (what `--fuse` produces end to end).
-fn perf(out: &str) {
+///
+/// With `--against BASELINE.json` the run becomes the CI regression gate:
+/// the fresh report is diffed against the committed baseline
+/// ([`bb_bench::perf::compare`] — counters directly, wall-clock as
+/// within-run ratios) and the process exits 1 when anything regressed
+/// beyond `--max-regress PCT`.
+fn perf(out: &str, against: Option<&Against>) {
     const SAMPLES: u32 = 3;
     println!("\n=== Refinement engine — full vs incremental vs fused (branching) ===");
     println!("(best of {SAMPLES} runs; counters deterministic, partitions asserted equal)\n");
@@ -1008,4 +1057,38 @@ fn perf(out: &str) {
         std::process::exit(3);
     }
     println!("\n(report written to {out})");
+
+    let Some(gate) = against else { return };
+    let base_text = match std::fs::read_to_string(&gate.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {}: {e}", gate.baseline);
+            std::process::exit(3);
+        }
+    };
+    let baseline = match bb_bench::perf::parse_report(&base_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: baseline {}: {e}", gate.baseline);
+            std::process::exit(3);
+        }
+    };
+    // Re-parsing our own emission keeps the gate honest: it sees exactly
+    // what a future run diffing against `out` as a baseline would see.
+    let current = match bb_bench::perf::parse_report(&json) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: fresh report failed to parse: {e}");
+            std::process::exit(3);
+        }
+    };
+    println!("\n=== Perf gate — current vs {} ===\n", gate.baseline);
+    let checks = bb_bench::perf::compare(&baseline, &current, gate.max_regress_pct);
+    let regressions = bb_bench::perf::report(&checks, gate.max_regress_pct, |line| {
+        println!("{line}");
+    });
+    if regressions > 0 {
+        eprintln!("perf gate FAILED: {regressions} regression(s) beyond {}%", gate.max_regress_pct);
+        std::process::exit(1);
+    }
 }

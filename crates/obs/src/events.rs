@@ -49,6 +49,47 @@ pub enum ObsEvent<'a> {
     },
 }
 
+impl ObsEvent<'_> {
+    /// Renders this event as one NDJSON line attributed to `job` — the
+    /// wire format shared by the serve watch hub and the flight recorder.
+    pub fn render_json(&self, job: u64) -> String {
+        use std::fmt::Write as _;
+        let mut line = String::with_capacity(96);
+        match self {
+            ObsEvent::SpanBegin { name } => {
+                let _ = write!(line, "{{\"event\": \"span_begin\", \"job\": {job}, \"name\": ");
+                crate::json::write_str(&mut line, name);
+                line.push('}');
+            }
+            ObsEvent::SpanEnd { name, wall_us, fields } => {
+                let _ = write!(line, "{{\"event\": \"span_end\", \"job\": {job}, \"name\": ");
+                crate::json::write_str(&mut line, name);
+                let _ = write!(line, ", \"wall_us\": {wall_us}, \"fields\": {{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        line.push_str(", ");
+                    }
+                    crate::json::write_str(&mut line, k);
+                    line.push_str(": ");
+                    v.write_json(&mut line);
+                }
+                line.push_str("}}");
+            }
+            ObsEvent::Diag { msg } => {
+                let _ = write!(line, "{{\"event\": \"diag\", \"job\": {job}, \"msg\": ");
+                crate::json::write_str(&mut line, msg);
+                line.push('}');
+            }
+            ObsEvent::Heartbeat { stage, states, transitions } => {
+                let _ = write!(line, "{{\"event\": \"heartbeat\", \"job\": {job}, \"stage\": ");
+                crate::json::write_str(&mut line, stage);
+                let _ = write!(line, ", \"states\": {states}, \"transitions\": {transitions}}}");
+            }
+        }
+        line
+    }
+}
+
 /// Receiver of live, job-tagged observability events. Implemented by the
 /// `bb-serve` watch hub; installed process-wide.
 pub trait EventSink: Send + Sync {
@@ -187,6 +228,23 @@ mod tests {
         assert_eq!(current_job(), Some(1));
         drop(outer);
         assert_eq!(current_job(), None);
+    }
+
+    #[test]
+    fn render_json_produces_parseable_lines() {
+        let fields = vec![("states".to_string(), Value::U64(42))];
+        let cases = [
+            ObsEvent::SpanBegin { name: "explore" },
+            ObsEvent::SpanEnd { name: "explore", wall_us: 9, fields: &fields },
+            ObsEvent::Diag { msg: "a \"quoted\" msg" },
+            ObsEvent::Heartbeat { stage: "bisim", states: 1, transitions: 2 },
+        ];
+        for ev in &cases {
+            let line = ev.render_json(5);
+            let v = crate::json::parse(&line).expect("rendered line parses");
+            assert_eq!(v.get("job").unwrap().as_u64(), Some(5));
+            assert!(v.get("event").unwrap().as_str().is_some());
+        }
     }
 
     #[test]

@@ -114,6 +114,7 @@ pub struct Histogram {
     name: &'static str,
     buckets: [AtomicU64; HIST_BUCKETS],
     max: AtomicU64,
+    sum: AtomicU64,
 }
 
 impl Histogram {
@@ -124,6 +125,7 @@ impl Histogram {
             name,
             buckets: [ZERO; HIST_BUCKETS],
             max: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
         }
     }
 
@@ -140,6 +142,7 @@ impl Histogram {
         };
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
     /// Snapshot to (upper-bound, count) pairs for non-empty buckets.
@@ -159,6 +162,7 @@ impl Histogram {
         HistogramSnapshot {
             count,
             max: self.max.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -168,15 +172,18 @@ impl Histogram {
             b.store(0, Ordering::Relaxed);
         }
         self.max.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
     }
 }
 
-/// Materialized histogram contents: total count, observed max, and
-/// `(exclusive_upper_bound, count)` pairs for non-empty log2 buckets.
+/// Materialized histogram contents: total count, observed max, summed
+/// observations, and `(exclusive_upper_bound, count)` pairs for non-empty
+/// log2 buckets.
 #[derive(Debug, Clone)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub max: u64,
+    pub sum: u64,
     pub buckets: Vec<(u64, u64)>,
 }
 
@@ -249,6 +256,9 @@ pub static SHARD_IMBALANCE: Histogram = Histogram::new("explore.shard_imbalance_
 /// Per-batch shard imbalance (member states) in the sharded incremental
 /// refinement sweep: `max_chunk * 100 / mean_chunk` per fan-out.
 pub static REFINE_SHARD_IMBALANCE: Histogram = Histogram::new("bisim.shard_imbalance_pct");
+/// Journal append fsync latency (µs) in the serve daemon — the per-submit
+/// durability cost on the admission path.
+pub static JOURNAL_FSYNC_US: Histogram = Histogram::new("serve.journal_fsync_us");
 
 static COUNTERS: [&Counter; 22] = [
     &SIG_STATE_RECOMPUTES,
@@ -277,7 +287,8 @@ static COUNTERS: [&Counter; 22] = [
 
 static GAUGES: [&Gauge; 2] = [&EXPLORE_FRONTIER, &FUSE_FRONTIER];
 
-static HISTOGRAMS: [&Histogram; 3] = [&ORBIT_SIZE, &SHARD_IMBALANCE, &REFINE_SHARD_IMBALANCE];
+static HISTOGRAMS: [&Histogram; 4] =
+    [&ORBIT_SIZE, &SHARD_IMBALANCE, &REFINE_SHARD_IMBALANCE, &JOURNAL_FSYNC_US];
 
 /// Reset every registered instrument (called by `install`).
 pub(crate) fn reset_all() {
@@ -307,6 +318,30 @@ pub(crate) fn histogram_snapshot() -> Vec<(&'static str, HistogramSnapshot)> {
         .map(|h| (h.name, h.snapshot()))
         .filter(|(_, s)| s.count > 0)
         .collect();
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+/// Current value of every registered counter, sorted by name. Public view
+/// for exposition encoders (the daemon's `/metrics` endpoint).
+pub fn counter_values() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = COUNTERS.iter().map(|c| (c.name, c.get())).collect();
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+/// `(name, current, peak)` of every registered gauge, sorted by name.
+pub fn gauge_values() -> Vec<(&'static str, u64, u64)> {
+    let mut out: Vec<(&'static str, u64, u64)> =
+        GAUGES.iter().map(|g| (g.name, g.get(), g.peak())).collect();
+    out.sort_unstable_by_key(|(name, _, _)| *name);
+    out
+}
+
+/// Snapshot of every registered histogram (including empty ones — an
+/// exposition wants stable series), sorted by name.
+pub fn histogram_values() -> Vec<(&'static str, HistogramSnapshot)> {
+    let mut out: Vec<_> = HISTOGRAMS.iter().map(|h| (h.name, h.snapshot())).collect();
     out.sort_unstable_by_key(|(name, _)| *name);
     out
 }

@@ -38,6 +38,8 @@ pub mod events;
 pub mod fault;
 pub mod hot;
 pub mod json;
+pub mod prom;
+pub mod ring;
 pub mod sink;
 
 pub use events::{clear_event_sink, set_event_sink, tag_job, EventSink, ObsEvent};
@@ -87,6 +89,16 @@ pub fn progress_enabled() -> bool {
 /// `--quiet` works with or without `--metrics`.
 pub fn set_quiet(quiet: bool) {
     QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// Turn hot-instrument recording on (or off) *without* installing a
+/// session. The serve daemon uses this: its counters and histograms must
+/// accumulate for the process lifetime so the `/metrics` exposition has
+/// data, but a recording session would interleave concurrent jobs. With
+/// recording on and no session installed, [`span`]/[`diag`] find `STATE`
+/// empty and record nothing — only the lock-free instruments tick.
+pub fn set_recording(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -625,8 +637,8 @@ impl Session {
             }
             json::write_str(&mut out, k);
             out.push_str(&format!(
-                ": {{\"count\": {}, \"max\": {}, \"buckets\": [",
-                h.count, h.max
+                ": {{\"count\": {}, \"max\": {}, \"sum\": {}, \"buckets\": [",
+                h.count, h.max, h.sum
             ));
             for (j, (le, n)) in h.buckets.iter().enumerate() {
                 if j > 0 {
@@ -642,8 +654,8 @@ impl Session {
 
     /// Render the per-event NDJSON trace stream (`--trace`): one JSON object
     /// per line, in event order. `begin`/`end` events bracket spans; `diag`
-    /// events carry migrated stderr diagnostics; a final `counters` event
-    /// carries the hot-instrument snapshot.
+    /// events carry migrated stderr diagnostics; final `counters` and
+    /// `histograms` events carry the hot-instrument snapshots.
     pub fn trace_ndjson(&self) -> String {
         let mut out = String::with_capacity(4096);
         for (seq, ev) in self.events.iter().enumerate() {
@@ -697,6 +709,27 @@ impl Session {
             }
             json::write_str(&mut out, k);
             out.push_str(&format!(": {v}"));
+        }
+        out.push_str("}}\n");
+        // Histogram snapshots used to be visible only in --metrics; trace
+        // consumers get the same distributions as a final event.
+        out.push_str("{\"ev\": \"histograms\", \"values\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_str(&mut out, k);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"max\": {}, \"sum\": {}, \"buckets\": [",
+                h.count, h.max, h.sum
+            ));
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{le}, {n}]"));
+            }
+            out.push_str("]}");
         }
         out.push_str("}}\n");
         out
@@ -773,11 +806,13 @@ mod tests {
 
         let trace = session.trace_ndjson();
         let lines: Vec<_> = trace.lines().collect();
-        // 3 begins + 3 ends + final counters line.
-        assert_eq!(lines.len(), 7);
+        // 3 begins + 3 ends + final counters + histograms lines.
+        assert_eq!(lines.len(), 8);
         for line in &lines {
             json::parse(line).expect("each trace line is valid JSON");
         }
+        let last = json::parse(lines[7]).unwrap();
+        assert_eq!(last.get("ev").unwrap().as_str(), Some("histograms"));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! A bounded ring of rendered event lines — the flight-recorder backing
+//! store.
+//!
+//! The serve daemon keeps one ring per in-flight job: every forwarded
+//! `bb-obs` event is rendered once and pushed here, the oldest entries are
+//! dropped when the ring is full, and the whole ring is dumped when a job
+//! dies (fails, is cancelled, or ends inconclusive). A ring never blocks
+//! or allocates beyond its capacity, so a chatty job costs a bounded
+//! amount of memory no matter how long it runs.
+
+use std::collections::VecDeque;
+
+/// One recorded line: a monotone per-ring sequence number, a caller-chosen
+/// timestamp (µs since the recorder's epoch), and the rendered payload.
+#[derive(Debug, Clone)]
+pub struct RingEntry {
+    /// 1-based position in the ring's full history (survives drops).
+    pub seq: u64,
+    /// Caller-supplied timestamp in µs.
+    pub t_us: u64,
+    /// The rendered event line (no trailing newline).
+    pub line: String,
+}
+
+/// A bounded FIFO of [`RingEntry`] values that drops its oldest entry on
+/// overflow and counts how many were dropped.
+#[derive(Debug)]
+pub struct RingBuffer {
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    entries: VecDeque<RingEntry>,
+}
+
+impl RingBuffer {
+    /// An empty ring holding at most `cap` entries (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> RingBuffer {
+        RingBuffer {
+            cap: cap.max(1),
+            next_seq: 0,
+            dropped: 0,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Appends `line`, evicting the oldest entry if the ring is full.
+    pub fn push(&mut self, t_us: u64, line: String) {
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.next_seq += 1;
+        self.entries.push_back(RingEntry { seq: self.next_seq, t_us, line });
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &RingEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted to make room since the ring was created.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total entries ever pushed (held + dropped).
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_newest_entries_and_counts_drops() {
+        let mut ring = RingBuffer::new(3);
+        for i in 1..=5u64 {
+            ring.push(i * 10, format!("line {i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.total(), 5);
+        let held: Vec<_> = ring.entries().map(|e| (e.seq, e.line.as_str())).collect();
+        assert_eq!(held, vec![(3, "line 3"), (4, "line 4"), (5, "line 5")]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = RingBuffer::new(0);
+        ring.push(1, "a".into());
+        ring.push(2, "b".into());
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.entries().next().unwrap().line, "b");
+    }
+}

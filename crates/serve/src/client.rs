@@ -111,6 +111,32 @@ impl Client {
         self.roundtrip("{\"op\": \"stats\"}")
     }
 
+    /// Fetches the Prometheus text exposition (the `metrics` member of the
+    /// reply — the same document `GET /metrics` serves).
+    pub fn metrics(&mut self) -> Result<String, String> {
+        let v = self.roundtrip("{\"op\": \"metrics\"}")?;
+        if let Some(err) = v.get("error").and_then(JsonValue::as_str) {
+            return Err(err.to_string());
+        }
+        v.get("metrics")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "metrics reply missing `metrics` member".into())
+    }
+
+    /// Fetches a job's flight-recorder dump (NDJSON text): the live ring
+    /// for a running job, the persisted post-mortem for a dead one.
+    pub fn dump(&mut self, job: u64) -> Result<String, String> {
+        let v = self.roundtrip(&format!("{{\"op\": \"dump\", \"job\": {job}}}"))?;
+        if let Some(err) = v.get("error").and_then(JsonValue::as_str) {
+            return Err(err.to_string());
+        }
+        v.get("dump")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "dump reply missing `dump` member".into())
+    }
+
     /// Watches `job`: streams each event line to `on_event` until the
     /// terminal `done` line, which is returned. This consumes the
     /// connection's request slot until the job finishes.

@@ -32,6 +32,7 @@ use crate::proto::{
 use crate::queue::{LoadEstimator, PendingQueue};
 use crate::runner::{execute, CheckpointCtl, ExecResult, RunCtl, EXIT_PROVED, EXIT_REFUTED};
 use crate::spec::JobSpec;
+use crate::telemetry::{self, FlightRecorder, TeeSink, METRICS_ADDR_FILE};
 use bb_lts::budget::CancelToken;
 use bb_lts::snapshot::fnv1a;
 use bb_persist::Cache;
@@ -60,6 +61,9 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Result-cache directory (admission hits skip the queue entirely).
     pub cache: Option<PathBuf>,
+    /// HTTP listen address for the Prometheus exposition (`--metrics-addr`);
+    /// port 0 picks a free port (published to [`METRICS_ADDR_FILE`]).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +74,7 @@ impl Default for ServeConfig {
             workers: 1,
             queue_cap: 64,
             cache: None,
+            metrics_addr: None,
         }
     }
 }
@@ -133,9 +138,12 @@ pub struct Daemon {
     state: Mutex<State>,
     cv: Condvar,
     hub: Arc<WatchHub>,
+    recorder: Arc<FlightRecorder>,
     journal: Journal,
+    journal_records: u64,
     cache: Option<Cache>,
     bound_addr: std::net::SocketAddr,
+    started: Instant,
 }
 
 /// Runs the daemon to completion (returns after `drain` finishes the
@@ -145,6 +153,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
     std::fs::create_dir_all(&cfg.dir)?;
     let journal = Journal::open(&cfg.dir)?;
     let replayed = journal::replay(&cfg.dir);
+    let replayed_records = replayed.records;
     let cache = match &cfg.cache {
         Some(dir) => Some(Cache::open(dir)?),
         None => None,
@@ -186,16 +195,36 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
     }
 
     let hub = Arc::new(WatchHub::new());
-    bb_obs::set_event_sink(hub.clone());
+    let recorder = Arc::new(FlightRecorder::new());
+    bb_obs::set_event_sink(Arc::new(TeeSink {
+        hub: hub.clone(),
+        recorder: recorder.clone(),
+    }));
+    // Hot instruments tick for the daemon's lifetime (no recording session
+    // — sessions would interleave concurrent jobs) so the exposition has
+    // process-wide counter and histogram data.
+    bb_obs::set_recording(true);
     let daemon = Arc::new(Daemon {
         cfg: cfg.clone(),
         state: Mutex::new(state),
         cv: Condvar::new(),
         hub,
+        recorder,
         journal,
+        journal_records: replayed_records,
         cache,
         bound_addr,
+        started: Instant::now(),
     });
+
+    if let Some(maddr) = &cfg.metrics_addr {
+        let d = daemon.clone();
+        let bound = telemetry::spawn_metrics_listener(maddr, &cfg.dir, move || d.render_metrics())
+            .map_err(|e| {
+                io::Error::new(e.kind(), format!("metrics listener bind {maddr} failed: {e}"))
+            })?;
+        eprintln!("serve: metrics exposition on http://{bound}/metrics");
+    }
 
     eprintln!(
         "serve: listening on {bound_addr} ({} worker(s), queue {} — address in {})",
@@ -225,9 +254,11 @@ pub fn serve(cfg: ServeConfig) -> io::Result<()> {
         let _ = w.join();
     }
     bb_obs::clear_event_sink();
-    // A clean shutdown has no pending jobs; drop the discovery file so a
+    bb_obs::set_recording(false);
+    // A clean shutdown has no pending jobs; drop the discovery files so a
     // later client doesn't dial a dead address.
     let _ = std::fs::remove_file(cfg.dir.join(ADDR_FILE));
+    let _ = std::fs::remove_file(cfg.dir.join(METRICS_ADDR_FILE));
     Ok(())
 }
 
@@ -305,7 +336,17 @@ impl Daemon {
                     // The checkpoint served its purpose; reclaim the disk.
                     let _ = std::fs::remove_dir_all(dir);
                 }
+            } else {
+                // The job died badly (fault, cancellation, budget): persist
+                // its flight-recorder ring for the post-mortem before the
+                // in-memory telemetry is forgotten.
+                if let Some(dump) = self.recorder.dump_json(job) {
+                    if let Err(e) = telemetry::persist_dump(&self.cfg.dir, job, &dump) {
+                        eprintln!("serve: flight dump for job {job} failed: {e}");
+                    }
+                }
             }
+            self.recorder.forget(job);
             if let Err(e) = self.journal.record_done(job) {
                 bb_obs::diag!("serve: journal done record failed: {e}");
             }
@@ -362,6 +403,8 @@ impl Daemon {
                 Ok(Request::Status { job }) => self.handle_status(job),
                 Ok(Request::Cancel { job }) => self.handle_cancel(job),
                 Ok(Request::Stats) => self.handle_stats(),
+                Ok(Request::Metrics) => self.handle_metrics(),
+                Ok(Request::Dump { job }) => self.handle_dump(job),
                 Ok(Request::Drain) => self.handle_drain(),
                 Ok(Request::Watch { job }) => {
                     // Watch streams on this connection; the final done line
@@ -475,6 +518,18 @@ impl Daemon {
                     bb_obs::diag!("serve: journal cancel record failed: {e}");
                 }
                 drop(st);
+                // A queued job has emitted no events; persist a header-only
+                // dump so every cancelled job leaves a retrievable record.
+                let dump = self.recorder.dump_json(job).unwrap_or_else(|| {
+                    format!(
+                        "{{\"schema\": \"{}\", \"job\": {job}, \"events\": 0, \"dropped\": 0}}\n",
+                        telemetry::FLIGHT_SCHEMA
+                    )
+                });
+                if let Err(e) = telemetry::persist_dump(&self.cfg.dir, job, &dump) {
+                    eprintln!("serve: flight dump for job {job} failed: {e}");
+                }
+                self.recorder.forget(job);
                 // Wake watchers of the now-terminal job.
                 self.cv.notify_all();
                 format!("{{\"ok\": true, \"job\": {job}, \"state\": \"cancelled\"}}")
@@ -551,7 +606,41 @@ impl Daemon {
             c.completed, c.computed, c.served_from_cache, c.cancelled
         );
         let _ = write!(s, ", \"avg_job_ms\": {}", st.est.avg_ms() as u64);
+        let _ = write!(s, ", \"uptime_ms\": {}", self.started.elapsed().as_millis());
+        let _ = write!(
+            s,
+            ", \"journal\": {{\"replayed_records\": {}}}",
+            self.journal_records
+        );
+        // Active jobs (queued/running, bounded) with their latest flight-
+        // recorder pulse — what `bbv top` renders per row.
+        s.push_str(", \"jobs\": [");
+        let mut active: Vec<_> = st
+            .jobs
+            .iter()
+            .filter(|(_, r)| matches!(r.state, JobState::Queued | JobState::Running))
+            .map(|(id, r)| (*id, r.state, r.spec.algorithm.clone()))
+            .collect();
+        active.sort_unstable_by_key(|(id, _, _)| *id);
+        active.truncate(64);
         drop(st);
+        for (i, (id, jstate, algorithm)) in active.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{{\"job\": {id}, \"state\": \"{}\"", jstate.as_str());
+            s.push_str(", \"algorithm\": ");
+            bb_obs::json::write_str(&mut s, algorithm);
+            let pulse = self.recorder.pulse(*id).unwrap_or_default();
+            let _ = write!(s, ", \"phase\": ");
+            bb_obs::json::write_str(&mut s, &pulse.phase);
+            let _ = write!(
+                s,
+                ", \"states\": {}, \"transitions\": {}}}",
+                pulse.states, pulse.transitions
+            );
+        }
+        s.push(']');
         match &self.cache {
             Some(cache) => {
                 let _ = write!(s, ", \"cache\": {}", cache.stats().to_json());
@@ -560,6 +649,125 @@ impl Daemon {
         }
         s.push('}');
         s
+    }
+
+    /// The Prometheus text exposition: serve-layer operational series plus
+    /// every registered bb-obs hot instrument, all `bb_`-prefixed.
+    pub(crate) fn render_metrics(&self) -> String {
+        use bb_obs::prom::{metric_name, PromWriter};
+        let mut w = PromWriter::new();
+        let (pending, running, draining, counters, retry_ms, avg_ms, states) = {
+            let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let mut by_state = [0u64; 4];
+            for rec in st.jobs.values() {
+                by_state[match rec.state {
+                    JobState::Queued => 0,
+                    JobState::Running => 1,
+                    JobState::Done => 2,
+                    JobState::Cancelled => 3,
+                }] += 1;
+            }
+            (
+                st.queue.len() as u64,
+                st.running as u64,
+                st.draining,
+                st.counters,
+                st.est.retry_after_ms(st.queue.len(), self.cfg.workers.max(1)),
+                st.est.avg_ms() as u64,
+                by_state,
+            )
+        };
+        let workers = self.cfg.workers.max(1) as u64;
+        w.gauge("bb_serve_uptime_seconds", "Daemon uptime.", self.started.elapsed().as_secs());
+        w.gauge("bb_serve_queue_depth", "Jobs waiting in the pending queue.", pending);
+        w.gauge("bb_serve_queue_cap", "Pending-queue capacity.", self.cfg.queue_cap as u64);
+        w.gauge("bb_serve_workers", "Worker threads.", workers);
+        w.gauge("bb_serve_workers_busy", "Workers currently running a job.", running);
+        w.gauge("bb_serve_draining", "1 while draining.", u64::from(draining));
+        w.gauge_labeled(
+            "bb_serve_jobs",
+            "Jobs in the table by state.",
+            &[
+                ("state", "queued", states[0]),
+                ("state", "running", states[1]),
+                ("state", "done", states[2]),
+                ("state", "cancelled", states[3]),
+            ],
+        );
+        w.gauge(
+            "bb_serve_retry_after_ms",
+            "EWMA backpressure hint a queue-full rejection would carry now.",
+            retry_ms,
+        );
+        w.gauge("bb_serve_avg_job_ms", "EWMA of job wall-clock.", avg_ms);
+        w.counter("bb_serve_submitted_total", "Submit requests.", counters.submitted);
+        w.counter("bb_serve_admitted_total", "Jobs admitted to the queue.", counters.admitted);
+        w.counter("bb_serve_rejected_total", "Queue-full rejections.", counters.rejected);
+        w.counter(
+            "bb_serve_admission_cache_hits_total",
+            "Submits served straight from the result cache.",
+            counters.admission_cache_hits,
+        );
+        w.counter("bb_serve_completed_total", "Jobs finished.", counters.completed);
+        w.counter("bb_serve_computed_total", "Jobs computed (cache misses).", counters.computed);
+        w.counter(
+            "bb_serve_served_from_cache_total",
+            "Jobs served from the result cache.",
+            counters.served_from_cache,
+        );
+        w.counter("bb_serve_cancelled_total", "Jobs cancelled.", counters.cancelled);
+        w.counter(
+            "bb_serve_replayed_total",
+            "Jobs re-materialized from the journal at startup.",
+            counters.replayed,
+        );
+        w.counter(
+            "bb_serve_journal_replayed_records_total",
+            "Journal records decoded by the startup replay.",
+            self.journal_records,
+        );
+        // Every registered hot instrument, names derived mechanically from
+        // the instrument registry (stable across refactors).
+        for (name, value) in bb_obs::hot::counter_values() {
+            w.counter(&metric_name(name), "bb-obs hot counter.", value);
+        }
+        for (name, current, peak) in bb_obs::hot::gauge_values() {
+            w.gauge(&metric_name(name), "bb-obs hot gauge.", current);
+            w.gauge(&format!("{}_peak", metric_name(name)), "bb-obs hot gauge peak.", peak);
+        }
+        for (name, snap) in bb_obs::hot::histogram_values() {
+            w.histogram(&metric_name(name), "bb-obs hot histogram.", &snap);
+        }
+        w.finish()
+    }
+
+    fn handle_metrics(&self) -> String {
+        let mut s = format!("{{\"ok\": true, \"schema\": \"{SCHEMA}\", \"metrics\": ");
+        bb_obs::json::write_str(&mut s, &self.render_metrics());
+        s.push('}');
+        s
+    }
+
+    fn handle_dump(&self, job: u64) -> String {
+        // A live job serves its in-memory ring; a dead one serves the
+        // persisted post-mortem. Jobs that ended conclusively leave
+        // neither — their story is the result, not a crash dump.
+        let dump = self
+            .recorder
+            .dump_json(job)
+            .or_else(|| telemetry::read_dump(&self.cfg.dir, job));
+        match dump {
+            Some(d) => {
+                let mut s = format!(
+                    "{{\"ok\": true, \"job\": {job}, \"schema\": \"{}\", \"dump\": ",
+                    telemetry::FLIGHT_SCHEMA
+                );
+                bb_obs::json::write_str(&mut s, &d);
+                s.push('}');
+                s
+            }
+            None => error_reply(&format!("no flight dump for job {job}")),
+        }
     }
 
     fn handle_drain(&self) -> String {

@@ -14,7 +14,6 @@
 
 use bb_obs::{EventSink, ObsEvent};
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Mutex;
@@ -113,42 +112,7 @@ impl EventSink for WatchHub {
         if !self.has_watchers(job) {
             return;
         }
-        let mut line = String::with_capacity(96);
-        match ev {
-            ObsEvent::SpanBegin { name } => {
-                let _ = write!(line, "{{\"event\": \"span_begin\", \"job\": {job}, \"name\": ");
-                bb_obs::json::write_str(&mut line, name);
-                line.push('}');
-            }
-            ObsEvent::SpanEnd { name, wall_us, fields } => {
-                let _ = write!(line, "{{\"event\": \"span_end\", \"job\": {job}, \"name\": ");
-                bb_obs::json::write_str(&mut line, name);
-                let _ = write!(line, ", \"wall_us\": {wall_us}, \"fields\": {{");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        line.push_str(", ");
-                    }
-                    bb_obs::json::write_str(&mut line, k);
-                    line.push_str(": ");
-                    v.write_json(&mut line);
-                }
-                line.push_str("}}");
-            }
-            ObsEvent::Diag { msg } => {
-                let _ = write!(line, "{{\"event\": \"diag\", \"job\": {job}, \"msg\": ");
-                bb_obs::json::write_str(&mut line, msg);
-                line.push('}');
-            }
-            ObsEvent::Heartbeat { stage, states, transitions } => {
-                let _ = write!(
-                    line,
-                    "{{\"event\": \"heartbeat\", \"job\": {job}, \"stage\": "
-                );
-                bb_obs::json::write_str(&mut line, stage);
-                let _ = write!(line, ", \"states\": {states}, \"transitions\": {transitions}}}");
-            }
-        }
-        self.broadcast(job, &line);
+        self.broadcast(job, &ev.render_json(job));
     }
 }
 

@@ -71,6 +71,9 @@ pub struct Replay {
     pub pending: Vec<(u64, i64, JobSpec)>,
     /// One past the highest job id seen (the restart's first fresh id).
     pub next_id: u64,
+    /// Journal records decoded by the replay (submits + dones + cancels),
+    /// reported by `stats` so operators can see restart provenance.
+    pub records: u64,
 }
 
 impl Journal {
@@ -105,9 +108,12 @@ impl Journal {
             let _ = f.sync_data();
             std::process::abort();
         }
+        let start = std::time::Instant::now();
         f.write_all(line.as_bytes())?;
         f.flush()?;
-        f.sync_data()
+        let out = f.sync_data();
+        bb_obs::hot::JOURNAL_FSYNC_US.record(start.elapsed().as_micros() as u64);
+        out
     }
 
     /// Records a job admission. Must complete before the submit reply.
@@ -158,7 +164,7 @@ fn decode_line(line: &str) -> Option<Record> {
 /// the first undecodable record — everything after a torn line is
 /// unreachable anyway, because appends are sequential and fsynced.
 pub fn replay(dir: &Path) -> Replay {
-    let mut out = Replay { pending: Vec::new(), next_id: 1 };
+    let mut out = Replay { pending: Vec::new(), next_id: 1, records: 0 };
     let Ok(text) = std::fs::read_to_string(Journal::path(dir)) else {
         return out;
     };
@@ -167,6 +173,7 @@ pub fn replay(dir: &Path) -> Replay {
             bb_obs::diag!("serve: journal replay stopped at a torn/corrupt record");
             break;
         };
+        out.records += 1;
         match rec {
             Record::Submit { job, priority, spec } => {
                 out.next_id = out.next_id.max(job + 1);
@@ -206,6 +213,7 @@ mod tests {
         j.record_cancel(3).unwrap();
         let r = replay(&d);
         assert_eq!(r.next_id, 4);
+        assert_eq!(r.records, 5, "three submits + done + cancel all decode");
         assert_eq!(r.pending.len(), 1);
         assert_eq!(r.pending[0].0, 2);
         assert_eq!(r.pending[0].1, 5);

@@ -29,9 +29,11 @@ pub mod proto;
 pub mod queue;
 pub mod runner;
 pub mod spec;
+pub mod telemetry;
 
 pub use client::{discover_addr, Client, JobResult};
 pub use daemon::{serve, ServeConfig, ADDR_FILE};
+pub use telemetry::{FlightRecorder, TeeSink, FLIGHT_SCHEMA, METRICS_ADDR_FILE};
 pub use runner::{
     execute, CheckpointCtl, ExecResult, RunCtl, EXIT_INCONCLUSIVE, EXIT_PROVED, EXIT_REFUTED,
     EXIT_USAGE,

@@ -57,6 +57,13 @@ pub enum Request {
     Drain,
     /// Daemon + queue + cache statistics.
     Stats,
+    /// The Prometheus text exposition (same document as `GET /metrics`).
+    Metrics,
+    /// A job's flight-recorder dump (live ring or persisted post-mortem).
+    Dump {
+        /// Job id from `submit`.
+        job: u64,
+    },
 }
 
 /// Parses one request line.
@@ -89,6 +96,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "cancel" => Ok(Request::Cancel { job: job_of(&v)? }),
         "drain" => Ok(Request::Drain),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
+        "dump" => Ok(Request::Dump { job: job_of(&v)? }),
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -198,9 +207,14 @@ mod tests {
         assert_eq!(parse_request(r#"{"op": "ping"}"#).unwrap(), Request::Ping);
         assert_eq!(parse_request(r#"{"op": "drain"}"#).unwrap(), Request::Drain);
         assert_eq!(parse_request(r#"{"op": "stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"op": "metrics"}"#).unwrap(), Request::Metrics);
         assert_eq!(
             parse_request(r#"{"op": "status", "job": 3}"#).unwrap(),
             Request::Status { job: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op": "dump", "job": 7}"#).unwrap(),
+            Request::Dump { job: 7 }
         );
         let r = parse_request(r#"{"op": "submit", "spec": {"algorithm": "treiber"}, "priority": -2}"#)
             .unwrap();
@@ -219,6 +233,7 @@ mod tests {
         assert!(parse_request("not json").is_err());
         assert!(parse_request(r#"{"op": "warp"}"#).is_err());
         assert!(parse_request(r#"{"op": "status"}"#).is_err());
+        assert!(parse_request(r#"{"op": "dump"}"#).is_err());
         assert!(parse_request(r#"{"op": "submit"}"#).is_err());
         assert!(parse_request(r#"{"op": "submit", "spec": {"algorithm": "treiber"}, "priority": 1.5}"#).is_err());
         assert!(parse_request(r#"{"op": "ping""#).is_err(), "truncated line");

@@ -1,0 +1,324 @@
+//! bb-telemetry: the daemon's flight recorder and metrics HTTP listener.
+//!
+//! Two consumers of the live `bb-obs` event stream beyond the watch hub:
+//!
+//! * [`FlightRecorder`] — a bounded ring of rendered events per in-flight
+//!   job. When a job dies badly (fails, is cancelled, or ends
+//!   inconclusive) the ring is persisted atomically into the serve
+//!   directory (`flight/job-<id>.ndjson`, schema [`FLIGHT_SCHEMA`]) so the
+//!   3am post-mortem has the job's last events even though nobody was
+//!   watching. Retrieval: `bbv jobs dump <id>` / the `dump` protocol op.
+//! * [`spawn_metrics_listener`] — a minimal HTTP/1.0 responder serving the
+//!   Prometheus text exposition on `GET /metrics`
+//!   (`bbv serve --metrics-addr HOST:PORT`); the bound address is
+//!   published to [`METRICS_ADDR_FILE`] so port 0 works in tests and CI.
+//!
+//! Since the process has a single global event sink slot, [`TeeSink`]
+//! composes the hub and the recorder into one sink.
+
+use crate::hub::WatchHub;
+use bb_obs::ring::RingBuffer;
+use bb_obs::{EventSink, ObsEvent};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Schema tag on the first line of every flight dump.
+pub const FLIGHT_SCHEMA: &str = "bb-flight/v1";
+
+/// Subdirectory of the serve dir holding persisted flight dumps.
+pub const FLIGHT_DIR: &str = "flight";
+
+/// Discovery file (the bound metrics address) inside the serve directory.
+pub const METRICS_ADDR_FILE: &str = "serve.metrics-addr";
+
+/// Events retained per job (oldest dropped first).
+const RING_CAP: usize = 256;
+
+/// Per-job telemetry: the event ring plus the latest phase/progress pulse
+/// (for `stats`' jobs array, hence `bbv top`).
+struct JobTelemetry {
+    ring: RingBuffer,
+    phase: String,
+    states: u64,
+    transitions: u64,
+}
+
+impl JobTelemetry {
+    fn new() -> JobTelemetry {
+        JobTelemetry {
+            ring: RingBuffer::new(RING_CAP),
+            phase: String::new(),
+            states: 0,
+            transitions: 0,
+        }
+    }
+}
+
+/// The latest phase + heartbeat progress of one job, as `stats` reports it.
+#[derive(Debug, Clone, Default)]
+pub struct JobPulse {
+    /// Innermost span or heartbeat stage last seen (`explore`, `bisim`, …).
+    pub phase: String,
+    /// States from the last heartbeat.
+    pub states: u64,
+    /// Transitions from the last heartbeat.
+    pub transitions: u64,
+}
+
+/// Bounded per-job event recorder; an [`EventSink`] installed (via
+/// [`TeeSink`]) for the daemon's lifetime.
+pub struct FlightRecorder {
+    started: Instant,
+    jobs: Mutex<HashMap<u64, JobTelemetry>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// An empty recorder; timestamps in dumps are µs since this call.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder {
+            started: Instant::now(),
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The latest phase/progress pulse of `job`, if it has emitted events.
+    pub fn pulse(&self, job: u64) -> Option<JobPulse> {
+        let jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.get(&job).map(|t| JobPulse {
+            phase: t.phase.clone(),
+            states: t.states,
+            transitions: t.transitions,
+        })
+    }
+
+    /// Renders `job`'s ring as an NDJSON dump: a header line (schema, job,
+    /// event/drop counts) followed by one line per retained event, each
+    /// prefixed with its ring sequence number and µs timestamp. Returns
+    /// `None` when the job never emitted an event.
+    pub fn dump_json(&self, job: u64) -> Option<String> {
+        let jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let t = jobs.get(&job)?;
+        let mut out = String::with_capacity(t.ring.len() * 96 + 128);
+        out.push_str(&format!(
+            "{{\"schema\": \"{FLIGHT_SCHEMA}\", \"job\": {job}, \"events\": {}, \"dropped\": {}}}\n",
+            t.ring.len(),
+            t.ring.dropped()
+        ));
+        for e in t.ring.entries() {
+            // Rendered lines are complete objects starting with '{'; splice
+            // the ring metadata in front of the first member.
+            out.push_str(&format!("{{\"seq\": {}, \"t_us\": {}, {}", e.seq, e.t_us, &e.line[1..]));
+            out.push('\n');
+        }
+        Some(out)
+    }
+
+    /// Drops `job`'s telemetry (terminal state reached, dump persisted or
+    /// not needed) so memory stays bounded by the in-flight job count.
+    pub fn forget(&self, job: u64) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job);
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn obs_event(&self, job: u64, ev: &ObsEvent<'_>) {
+        let t_us = self.started.elapsed().as_micros() as u64;
+        let line = ev.render_json(job);
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        let t = jobs.entry(job).or_insert_with(JobTelemetry::new);
+        match ev {
+            ObsEvent::SpanBegin { name } => {
+                t.phase = (*name).to_string();
+            }
+            ObsEvent::Heartbeat { stage, states, transitions } => {
+                t.phase = (*stage).to_string();
+                t.states = *states;
+                t.transitions = *transitions;
+            }
+            _ => {}
+        }
+        t.ring.push(t_us, line);
+    }
+}
+
+/// Composes the watch hub and the flight recorder into the single
+/// process-global event sink slot.
+pub struct TeeSink {
+    /// Live `watch` fan-out.
+    pub hub: Arc<WatchHub>,
+    /// Per-job flight recorder.
+    pub recorder: Arc<FlightRecorder>,
+}
+
+impl EventSink for TeeSink {
+    fn obs_event(&self, job: u64, ev: &ObsEvent<'_>) {
+        self.recorder.obs_event(job, ev);
+        self.hub.obs_event(job, ev);
+    }
+}
+
+/// The persisted dump path for `job` under the serve `dir`.
+pub fn dump_path(dir: &Path, job: u64) -> PathBuf {
+    dir.join(FLIGHT_DIR).join(format!("job-{job}.ndjson"))
+}
+
+/// Atomically persists `dump` (an NDJSON document from
+/// [`FlightRecorder::dump_json`]) for `job` under the serve `dir`.
+pub fn persist_dump(dir: &Path, job: u64, dump: &str) -> io::Result<PathBuf> {
+    let path = dump_path(dir, job);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    bb_persist::write_atomic(&path, dump.as_bytes())?;
+    Ok(path)
+}
+
+/// Reads the persisted dump for `job` from the serve `dir`, if any.
+pub fn read_dump(dir: &Path, job: u64) -> Option<String> {
+    std::fs::read_to_string(dump_path(dir, job)).ok()
+}
+
+/// Binds `addr` and serves the Prometheus exposition produced by `render`
+/// on `GET /metrics` from a detached thread (one short-lived connection at
+/// a time — scrapes are rare and tiny). Publishes the bound address to
+/// [`METRICS_ADDR_FILE`] in `dir` so `--metrics-addr 127.0.0.1:0` is
+/// discoverable. Returns the bound address.
+pub fn spawn_metrics_listener(
+    addr: &str,
+    dir: &Path,
+    render: impl Fn() -> String + Send + 'static,
+) -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    bb_persist::write_atomic(&dir.join(METRICS_ADDR_FILE), bound.to_string().as_bytes())?;
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let _ = handle_http(stream, &render);
+        }
+    });
+    Ok(bound)
+}
+
+/// Answers one HTTP request: `GET /metrics` → 200 with the exposition,
+/// anything else → 404. HTTP/1.0 semantics, connection closed after.
+fn handle_http(stream: std::net::TcpStream, render: &impl Fn() -> String) -> io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    // Drain headers so the peer's send completes before we close.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let mut writer = stream;
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    if request.starts_with("GET ") && (path == "/metrics" || path == "/metrics/") {
+        let body = render();
+        write!(
+            writer,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    } else {
+        let body = "not found; try /metrics\n";
+        write!(
+            writer,
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+    use std::net::TcpStream;
+
+    #[test]
+    fn recorder_keeps_phase_and_bounded_events() {
+        let rec = FlightRecorder::new();
+        rec.obs_event(4, &ObsEvent::SpanBegin { name: "explore" });
+        rec.obs_event(
+            4,
+            &ObsEvent::Heartbeat { stage: "bisim", states: 100, transitions: 200 },
+        );
+        for i in 0..(RING_CAP as u64 + 10) {
+            rec.obs_event(4, &ObsEvent::Diag { msg: &format!("m{i}") });
+        }
+        let pulse = rec.pulse(4).expect("job has telemetry");
+        assert_eq!(pulse.phase, "bisim");
+        assert_eq!(pulse.states, 100);
+        let dump = rec.dump_json(4).expect("dump renders");
+        let mut lines = dump.lines();
+        let header = bb_obs::json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("schema").unwrap().as_str(), Some(FLIGHT_SCHEMA));
+        assert_eq!(header.get("events").unwrap().as_u64(), Some(RING_CAP as u64));
+        assert_eq!(header.get("dropped").unwrap().as_u64(), Some(12));
+        for line in lines {
+            let v = bb_obs::json::parse(line).expect("event line parses");
+            assert!(v.get("seq").unwrap().as_u64().is_some());
+            assert_eq!(v.get("job").unwrap().as_u64(), Some(4));
+        }
+        rec.forget(4);
+        assert!(rec.pulse(4).is_none());
+        assert!(rec.dump_json(4).is_none());
+    }
+
+    #[test]
+    fn dump_round_trips_through_persistence() {
+        let dir = std::env::temp_dir().join(format!("bb-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = FlightRecorder::new();
+        rec.obs_event(9, &ObsEvent::Diag { msg: "last words" });
+        let dump = rec.dump_json(9).unwrap();
+        let path = persist_dump(&dir, 9, &dump).unwrap();
+        assert!(path.starts_with(&dir));
+        assert_eq!(read_dump(&dir, 9).as_deref(), Some(dump.as_str()));
+        assert!(read_dump(&dir, 10).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_listener_serves_and_404s() {
+        let dir = std::env::temp_dir().join(format!("bb-mlisten-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let bound =
+            spawn_metrics_listener("127.0.0.1:0", &dir, || "# HELP x y\n".to_string()).unwrap();
+        let published = std::fs::read_to_string(dir.join(METRICS_ADDR_FILE)).unwrap();
+        assert_eq!(published.trim(), bound.to_string());
+
+        let fetch = |path: &str| -> String {
+            let mut s = TcpStream::connect(bound).unwrap();
+            write!(s, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = fetch("/metrics");
+        assert!(ok.starts_with("HTTP/1.0 200"), "{ok}");
+        assert!(ok.contains("text/plain"));
+        assert!(ok.ends_with("# HELP x y\n"), "{ok}");
+        let missing = fetch("/other");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -262,8 +262,13 @@ fn print_usage() {
     eprintln!("       bbv resume <checkpoint-dir> [extra options]");
     eprintln!("       bbv cache <stats|verify|gc> <cache-dir> [--json]");
     eprintln!("       bbv serve [--dir D] [--addr H:P] [--workers N] [--queue N] [--cache DIR]");
+    eprintln!("                 [--metrics-addr H:P]   (Prometheus exposition on /metrics)");
     eprintln!("       bbv submit [command] <algorithm> [options] [--priority N] [--detach]");
     eprintln!("       bbv <status|watch|cancel> <job>  /  bbv <stats|drain|ping>");
+    eprintln!("       bbv top [--interval MS] [--once]   (live daemon dashboard; plain");
+    eprintln!("               line-per-refresh when stdout is not a terminal)");
+    eprintln!("       bbv jobs dump <job>    (flight-recorder dump: live ring or post-mortem)");
+    eprintln!("       bbv metrics [--lint]   (print the exposition; --lint checks the format)");
     eprintln!("  options: --threads N  --ops N  --domain 1,2");
     eprintln!("           --no-lock-freedom  --wait-freedom  --dot FILE  --aut FILE");
     eprintln!("           --formula \"G F (ret | done)\"   (for `check`)");
@@ -330,6 +335,9 @@ fn main_dispatch(args: &[String]) -> i32 {
         Some("submit") => client_submit(&args[1..]),
         Some(cmd @ ("status" | "watch" | "cancel")) => client_job_cmd(cmd, &args[1..]),
         Some(cmd @ ("stats" | "drain" | "ping")) => client_daemon_cmd(cmd, &args[1..]),
+        Some("top") => top_cmd(&args[1..]),
+        Some("jobs") => jobs_cmd(&args[1..]),
+        Some("metrics") => metrics_cmd(&args[1..]),
         Some(cmd @ ("verify" | "quotient" | "check" | "reduce-check")) => {
             let command = Command::parse(cmd).expect("matched command words parse");
             if command == Command::ReduceCheck && args.get(1).map(String::as_str) == Some("all") {
@@ -639,6 +647,10 @@ fn serve_cmd(args: &[String]) -> i32 {
                 "--cache" => {
                     cfg.cache = Some(PathBuf::from(it.next().ok_or("--cache needs a directory")?))
                 }
+                "--metrics-addr" => {
+                    cfg.metrics_addr =
+                        Some(it.next().ok_or("--metrics-addr needs host:port")?.clone())
+                }
                 other => return Err(format!("unknown serve option `{other}`")),
             }
             Ok(())
@@ -796,6 +808,233 @@ fn client_daemon_cmd(cmd: &str, args: &[String]) -> i32 {
         _ => unreachable!("dispatch covers the command words"),
     };
     print_reply(reply)
+}
+
+/// `bbv metrics [--lint]`: fetch the daemon's Prometheus exposition over
+/// the protocol and print it. `--lint` additionally runs the strict format
+/// checker and exits 1 when the document is malformed (the CI gate).
+fn metrics_cmd(args: &[String]) -> i32 {
+    let lint = args.iter().any(|a| a == "--lint");
+    let rest: Vec<String> = args.iter().filter(|a| a.as_str() != "--lint").cloned().collect();
+    let c = match split_client_flags(&rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    if !c.rest.is_empty() {
+        eprintln!("usage: bbv metrics [--lint] [--dir D | --addr H:P]");
+        return EXIT_USAGE;
+    }
+    let mut client = match connect(&c) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let text = match client.metrics() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    print!("{text}");
+    if lint {
+        if let Err(e) = bb_obs::prom::lint(&text) {
+            eprintln!("metrics lint failed: {e}");
+            return EXIT_REFUTED;
+        }
+        eprintln!("metrics lint: ok ({} lines)", text.lines().count());
+    }
+    EXIT_PROVED
+}
+
+/// `bbv jobs dump <job>`: print a job's flight-recorder dump (NDJSON) —
+/// the live ring of a running job, or the post-mortem the daemon persisted
+/// when the job failed, was cancelled, or ended inconclusive.
+fn jobs_cmd(args: &[String]) -> i32 {
+    let usage = || eprintln!("usage: bbv jobs dump <job-id> [--dir D | --addr H:P]");
+    if args.first().map(String::as_str) != Some("dump") {
+        usage();
+        return EXIT_USAGE;
+    }
+    let c = match split_client_flags(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let Some(job) = c.rest.first().and_then(|s| s.parse::<u64>().ok()) else {
+        usage();
+        return EXIT_USAGE;
+    };
+    let mut client = match connect(&c) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    match client.dump(job) {
+        Ok(dump) => {
+            print!("{dump}");
+            EXIT_PROVED
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            EXIT_USAGE
+        }
+    }
+}
+
+/// Renders one `stats` reply as the `bbv top` dashboard (multi-line) or as
+/// one compact line for non-terminal output.
+fn render_top(v: &JsonValue, plain: bool) -> String {
+    let num = |path: &[&str]| -> u64 {
+        let mut cur = v;
+        for p in path {
+            match cur.get(p) {
+                Some(next) => cur = next,
+                None => return 0,
+            }
+        }
+        cur.as_u64().unwrap_or(0)
+    };
+    let pending = num(&["queue", "pending"]);
+    let cap = num(&["queue", "cap"]);
+    let running = num(&["queue", "running"]);
+    let workers = num(&["workers"]);
+    let completed = num(&["served", "completed"]);
+    let from_cache = num(&["served", "from_cache"]);
+    let cancelled = num(&["served", "cancelled"]);
+    let cache_pct = (from_cache * 100).checked_div(completed).unwrap_or(0);
+    let uptime_s = num(&["uptime_ms"]) / 1000;
+    let jobs = v.get("jobs").and_then(JsonValue::as_array).unwrap_or(&[]);
+    if plain {
+        let mut line = format!(
+            "up {uptime_s}s queue {pending}/{cap} busy {running}/{workers} done {completed} cached {cache_pct}% cancelled {cancelled} active"
+        );
+        for j in jobs {
+            let id = j.get("job").and_then(JsonValue::as_u64).unwrap_or(0);
+            let state = j.get("state").and_then(JsonValue::as_str).unwrap_or("?");
+            let phase = j.get("phase").and_then(JsonValue::as_str).unwrap_or("");
+            let states = j.get("states").and_then(JsonValue::as_u64).unwrap_or(0);
+            line.push_str(&format!(" [{id} {state} {phase} {states}]"));
+        }
+        if jobs.is_empty() {
+            line.push_str(" none");
+        }
+        return line;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bbv top — uptime {uptime_s}s   queue {pending}/{cap}   workers {running}/{workers} busy\n"
+    ));
+    out.push_str(&format!(
+        "admission: submitted {}  admitted {}  rejected {}  cache_hits {}  replayed {}\n",
+        num(&["admission", "submitted"]),
+        num(&["admission", "admitted"]),
+        num(&["admission", "rejected"]),
+        num(&["admission", "cache_hits"]),
+        num(&["admission", "replayed"]),
+    ));
+    out.push_str(&format!(
+        "served:    completed {completed}  computed {}  from_cache {from_cache} ({cache_pct}%)  cancelled {cancelled}  avg_job_ms {}\n",
+        num(&["served", "computed"]),
+        num(&["avg_job_ms"]),
+    ));
+    out.push_str(&format!(
+        "journal:   replayed_records {}\n",
+        num(&["journal", "replayed_records"])
+    ));
+    out.push_str(&format!("{:>5}  {:<9} {:<16} {:<14} {:>10} {:>12}\n", "JOB", "STATE", "ALGORITHM", "PHASE", "STATES", "TRANSITIONS"));
+    if jobs.is_empty() {
+        out.push_str("  (no queued or running jobs)\n");
+    }
+    for j in jobs {
+        out.push_str(&format!(
+            "{:>5}  {:<9} {:<16} {:<14} {:>10} {:>12}\n",
+            j.get("job").and_then(JsonValue::as_u64).unwrap_or(0),
+            j.get("state").and_then(JsonValue::as_str).unwrap_or("?"),
+            j.get("algorithm").and_then(JsonValue::as_str).unwrap_or("?"),
+            j.get("phase").and_then(JsonValue::as_str).unwrap_or(""),
+            j.get("states").and_then(JsonValue::as_u64).unwrap_or(0),
+            j.get("transitions").and_then(JsonValue::as_u64).unwrap_or(0),
+        ));
+    }
+    out
+}
+
+/// `bbv top [--interval MS] [--once]`: live daemon dashboard driving the
+/// `stats` op. Full-screen refresh on a terminal; one summary line per
+/// refresh when stdout is redirected (logs, CI).
+fn top_cmd(args: &[String]) -> i32 {
+    use std::io::IsTerminal;
+    let mut interval_ms: u64 = 1000;
+    let mut once = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => {
+                interval_ms = match it.next().map(|s| s.parse::<u64>()) {
+                    Some(Ok(n)) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --interval needs a positive millisecond count");
+                        return EXIT_USAGE;
+                    }
+                };
+            }
+            "--once" => once = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    let c = match split_client_flags(&rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    if !c.rest.is_empty() {
+        eprintln!("usage: bbv top [--interval MS] [--once] [--dir D | --addr H:P]");
+        return EXIT_USAGE;
+    }
+    let tty = std::io::stdout().is_terminal();
+    let mut refreshed = false;
+    loop {
+        // One connection per refresh: the daemon may restart between
+        // refreshes, and a `stats` round trip is one line each way.
+        let reply = connect(&c).and_then(|mut client| client.stats());
+        let v = match reply {
+            Ok(v) => v,
+            Err(e) => {
+                if refreshed {
+                    eprintln!("top: daemon gone ({e})");
+                    return EXIT_PROVED;
+                }
+                eprintln!("error: {e}");
+                return EXIT_USAGE;
+            }
+        };
+        refreshed = true;
+        if tty {
+            // Clear the screen and repaint from the top-left.
+            print!("\x1b[2J\x1b[H{}", render_top(&v, false));
+        } else {
+            println!("{}", render_top(&v, true));
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if once {
+            return EXIT_PROVED;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
 }
 
 /// Prints a protocol reply and maps it onto the exit code.

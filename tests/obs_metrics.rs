@@ -114,6 +114,7 @@ fn trace_is_valid_ndjson_with_matched_begin_end() {
     let mut ends = 0usize;
     let mut last_seq = None;
     let mut saw_counters = false;
+    let mut saw_histograms = false;
     for (i, line) in trace.lines().enumerate() {
         let ev = parse(line).unwrap_or_else(|e| panic!("line {} is not JSON ({e}): {line}", i + 1));
         match ev.get("ev").and_then(JsonValue::as_str) {
@@ -121,6 +122,14 @@ fn trace_is_valid_ndjson_with_matched_begin_end() {
             Some("end") => ends += 1,
             Some("diag") => {}
             Some("counters") => saw_counters = true,
+            Some("histograms") => {
+                saw_histograms = true;
+                let values = ev.get("values").and_then(JsonValue::as_object).unwrap();
+                for (name, h) in values {
+                    assert!(h.get("count").and_then(JsonValue::as_u64).is_some(), "{name}");
+                    assert!(h.get("sum").and_then(JsonValue::as_u64).is_some(), "{name}");
+                }
+            }
             other => panic!("unknown event kind {other:?} on line {}", i + 1),
         }
         if let Some(seq) = ev.get("seq").and_then(JsonValue::as_u64) {
@@ -130,7 +139,8 @@ fn trace_is_valid_ndjson_with_matched_begin_end() {
     }
     assert_eq!(begins, span_count, "one begin event per span");
     assert_eq!(ends, span_count, "one end event per span");
-    assert!(saw_counters, "trace ends with a counters summary event");
+    assert!(saw_counters, "trace carries a counters summary event");
+    assert!(saw_histograms, "trace ends with a histograms summary event");
 }
 
 #[test]
