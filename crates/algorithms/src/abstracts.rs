@@ -35,6 +35,8 @@ pub struct AbsQueueShared {
     pub version: u32,
 }
 
+bb_sim::impl_pack!(struct AbsQueueShared { items, version });
+
 /// The abstract queue of Fig. 8 (`Enq_abs`/`Deq_abs`).
 #[derive(Debug, Clone)]
 pub struct AbsQueue {
@@ -79,6 +81,8 @@ pub enum AbsQueueFrame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum AbsQueueFrame { 0 => Enq { v }, 1 => DeqBlock1, 2 => DeqBlock2 { ver, empty }, 3 => Done { val } });
 
 impl ObjectAlgorithm for AbsQueue {
     type Shared = AbsQueueShared;
@@ -191,6 +195,8 @@ pub enum AbsCcasCell {
     },
 }
 
+bb_sim::impl_pack!(enum AbsCcasCell { 0 => Val(a), 1 => Pending { exp, new, owner } });
+
 /// Shared state of the abstract CCAS.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AbsCcasShared {
@@ -199,6 +205,8 @@ pub struct AbsCcasShared {
     /// The control flag.
     pub flag: bool,
 }
+
+bb_sim::impl_pack!(struct AbsCcasShared { cell, flag });
 
 /// Abstract CCAS: the installation commitment and the owner's two-step
 /// resolution (flag read, then write) are kept — they carry the non-fixed
@@ -260,6 +268,8 @@ pub enum AbsCcasFrame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum AbsCcasFrame { 0 => Block1 { exp, new }, 1 => ReadFlag { exp, new }, 2 => Resolve { exp, new, f }, 3 => SetFlag { b }, 4 => Read, 5 => Done { val } });
 
 impl ObjectAlgorithm for AbsCcas {
     type Shared = AbsCcasShared;
@@ -424,6 +434,8 @@ pub enum AbsRdcssCell {
     },
 }
 
+bb_sim::impl_pack!(enum AbsRdcssCell { 0 => Val(a), 1 => Pending { o1, o2, n2, owner } });
+
 /// Shared state of the abstract RDCSS.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AbsRdcssShared {
@@ -432,6 +444,8 @@ pub struct AbsRdcssShared {
     /// Data cell.
     pub c2: AbsRdcssCell,
 }
+
+bb_sim::impl_pack!(struct AbsRdcssShared { c1, c2 });
 
 /// Abstract RDCSS: like [`AbsCcas`], the installation and the owner's
 /// two-step resolution (control-cell read, then write) are kept while the
@@ -493,6 +507,8 @@ pub enum AbsRdcssFrame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum AbsRdcssFrame { 0 => Block1 { o1, o2, n2 }, 1 => ReadC1 { o1, o2, n2 }, 2 => Resolve { o1, o2, n2, r1 }, 3 => Write1 { v }, 4 => Read2, 5 => Done { val } });
 
 impl ObjectAlgorithm for AbsRdcss {
     type Shared = AbsRdcssShared;

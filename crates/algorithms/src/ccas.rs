@@ -28,6 +28,8 @@ pub enum Cell {
     },
 }
 
+bb_sim::impl_pack!(enum Cell { 0 => Val(a), 1 => Desc { exp, new, owner } });
+
 /// Shared state: the cell and the control flag.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shared {
@@ -36,6 +38,8 @@ pub struct Shared {
     /// The control flag: when set, `ccas` must not write.
     pub flag: bool,
 }
+
+bb_sim::impl_pack!(struct Shared { cell, flag });
 
 /// The CCAS object over value domain `0..d`.
 #[derive(Debug, Clone)]
@@ -106,6 +110,8 @@ pub enum Frame {
     },
 }
 
+bb_sim::impl_pack!(enum Frame { 0 => Install { exp, new }, 1 => ReadFlag { exp, new }, 2 => Resolve { exp, new, flag }, 3 => HelpReadFlag { desc, cont }, 4 => HelpResolve { desc, flag, cont }, 5 => SetFlag { b }, 6 => Read, 7 => Done { val } });
+
 /// Continuation after a helping episode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cont {
@@ -119,6 +125,8 @@ pub enum Cont {
     /// Retry `read`.
     RetryRead,
 }
+
+bb_sim::impl_pack!(enum Cont { 0 => RetryCcas { exp, new }, 1 => RetryRead });
 
 impl ObjectAlgorithm for Ccas {
     type Shared = Shared;

@@ -34,6 +34,26 @@ pub struct Shared<S> {
     pub lock: Option<ThreadId>,
 }
 
+// Hand-written because `impl_pack!` only covers concrete types: the packed
+// layout is the wrapped spec's own encoding followed by the lock owner.
+impl<S: bb_sim::Pack> bb_sim::Pack for Shared<S> {
+    fn pack(&self, w: &mut bb_sim::PackWriter<'_>) {
+        self.state.pack(w);
+        self.lock.pack(w);
+    }
+
+    fn unpack(r: &mut bb_sim::PackReader<'_>) -> Option<Self> {
+        Some(Shared {
+            state: bb_sim::Pack::unpack(r)?,
+            lock: bb_sim::Pack::unpack(r)?,
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.state.heap_bytes()
+    }
+}
+
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -62,6 +82,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => Acquire { method, arg }, 1 => Apply { method, arg }, 2 => Release { val }, 3 => Done { val } });
 
 impl<S: SequentialSpec> ObjectAlgorithm for CoarseLocked<S> {
     type Shared = Shared<S>;

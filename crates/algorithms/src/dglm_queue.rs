@@ -37,6 +37,8 @@ pub struct Shared {
     pub tail: Ptr,
 }
 
+bb_sim::impl_pack!(struct Shared { heap, head, tail });
+
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -134,6 +136,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => EnqAlloc { v }, 1 => EnqReadTail { node }, 2 => EnqReadNext { node, t }, 3 => EnqCheck { node, t, n }, 4 => EnqCasNext { node, t }, 5 => EnqSwingHelp { node, t, n }, 6 => EnqSwingOwn { node, t }, 7 => DeqReadHead, 8 => DeqReadNext { h }, 9 => DeqCheck { h, next }, 10 => DeqCas { h, next }, 11 => DeqFixRead { h, next, val }, 12 => DeqFixCas { h, next, val }, 13 => Done { val } });
 
 impl ObjectAlgorithm for DglmQueue {
     type Shared = Shared;

@@ -28,6 +28,8 @@ pub enum Op {
     Contains,
 }
 
+bb_sim::impl_pack!(enum Op { 0 => Add, 1 => Remove, 2 => Contains });
+
 /// The fine-grained list over a finite key domain.
 #[derive(Debug, Clone)]
 pub struct FineList {
@@ -51,6 +53,8 @@ pub struct Shared {
     /// Head sentinel.
     pub head: Ptr,
 }
+
+bb_sim::impl_pack!(struct Shared { heap, head });
 
 /// Per-invocation frames. Invariant: in every frame from `LockCurr` onward
 /// the thread holds the lock of `pred`, and from `Check` onward also of
@@ -153,6 +157,8 @@ pub enum Frame {
         val: Value,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => LockHead { op, k }, 1 => ReadCurr { op, k, pred }, 2 => LockCurr { op, k, pred, curr }, 3 => Check { op, k, pred, curr }, 4 => UnlockPred { op, k, pred, curr }, 5 => AddAlloc { k, pred, curr }, 6 => AddLink { node, pred, curr }, 7 => RemoveUnlink { pred, curr }, 8 => UnlockCurrExit { pred, curr, val }, 9 => UnlockPredExit { pred, val }, 10 => Done { val } });
 
 impl ObjectAlgorithm for FineList {
     type Shared = Shared;

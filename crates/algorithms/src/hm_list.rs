@@ -68,6 +68,8 @@ pub struct Shared {
     pub head: Ptr,
 }
 
+bb_sim::impl_pack!(struct Shared { heap, head });
+
 /// The operation a `find` traversal is working for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
@@ -76,6 +78,8 @@ pub enum Op {
     /// `remove(k)`.
     Remove(Value),
 }
+
+bb_sim::impl_pack!(enum Op { 0 => Add(a), 1 => Remove(a) });
 
 impl Op {
     fn key(self) -> Value {
@@ -180,6 +184,8 @@ pub enum Frame {
         val: Value,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => FindStart { op }, 1 => FindLoop { op, pred, curr }, 2 => FindSnip { op, pred, curr, succ }, 3 => AddAlloc { k, pred, curr }, 4 => AddCas { k, node, pred, curr }, 5 => RemoveReadSucc { pred, curr, k }, 6 => RemoveMark { pred, curr, succ, k }, 7 => RemoveSnip { pred, curr, succ }, 8 => ContainsStart { k }, 9 => ContainsLoop { k, curr }, 10 => Done { val } });
 
 impl ObjectAlgorithm for HmList {
     type Shared = Shared;

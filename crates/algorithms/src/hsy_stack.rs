@@ -25,6 +25,8 @@ pub enum WaitOp {
     Pop,
 }
 
+bb_sim::impl_pack!(enum WaitOp { 0 => Push(a), 1 => Pop });
+
 /// The collision slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Slot {
@@ -37,6 +39,8 @@ pub enum Slot {
     Matched(ThreadId, Value),
 }
 
+bb_sim::impl_pack!(enum Slot { 0 => Empty, 1 => Waiting(a, b), 2 => Matched(a, b) });
+
 /// Shared state: Treiber core plus the collision slot.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shared {
@@ -47,6 +51,8 @@ pub struct Shared {
     /// The elimination slot.
     pub slot: Slot,
 }
+
+bb_sim::impl_pack!(struct Shared { heap, top, slot });
 
 /// The HSY stack over a finite push-value domain.
 #[derive(Debug, Clone)]
@@ -164,6 +170,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => PushAlloc { v }, 1 => PushRead { node, v }, 2 => PushCas { node, v, t }, 3 => PushCollide { node, v }, 4 => PushMatch { node, v, seen }, 5 => PushPublish { node, v }, 6 => PushWait { node, v, count }, 7 => PushUnpublish { node, v }, 8 => PopRead, 9 => PopNext { t }, 10 => PopCas { t, n }, 11 => PopCollide, 12 => PopMatch { seen, v }, 13 => PopPublish, 14 => PopWait { count }, 15 => PopUnpublish, 16 => Done { val } });
 
 impl ObjectAlgorithm for HsyStack {
     type Shared = Shared;

@@ -48,6 +48,8 @@ pub struct Shared {
     pub back: usize,
 }
 
+bb_sim::impl_pack!(struct Shared { items, back });
+
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -78,6 +80,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => EnqReserve { v }, 1 => EnqStore { v, i }, 2 => DeqReadBack, 3 => DeqScan { range, i }, 4 => Done { val } });
 
 impl ObjectAlgorithm for HwQueue {
     type Shared = Shared;

@@ -26,6 +26,8 @@ pub enum Op {
     Remove,
 }
 
+bb_sim::impl_pack!(enum Op { 0 => Add, 1 => Remove });
+
 /// The lazy list over a finite key domain.
 #[derive(Debug, Clone)]
 pub struct LazyList {
@@ -49,6 +51,8 @@ pub struct Shared {
     /// Head sentinel.
     pub head: Ptr,
 }
+
+bb_sim::impl_pack!(struct Shared { heap, head });
 
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -168,6 +172,8 @@ pub enum Frame {
         val: Value,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => Traverse { op, k, pred }, 1 => LockPred { op, k, pred, curr }, 2 => LockCurr { op, k, pred, curr }, 3 => Validate { op, k, pred, curr }, 4 => AddAlloc { k, pred, curr }, 5 => AddLink { node, pred, curr }, 6 => RemoveMark { pred, curr }, 7 => RemoveUnlink { pred, curr }, 8 => UnlockCurr { op, k, pred, curr, val, retry }, 9 => UnlockPred { op, k, pred, val, retry }, 10 => ContainsLoop { k, curr }, 11 => Done { val } });
 
 impl ObjectAlgorithm for LazyList {
     type Shared = Shared;

@@ -21,6 +21,8 @@ pub struct ListNode {
     pub lock: Option<ThreadId>,
 }
 
+bb_sim::impl_pack!(struct ListNode { val, next, marked, lock });
+
 impl ListNode {
     /// A plain node carrying `val` and pointing to `next`.
     pub fn new(val: Value, next: Ptr) -> Self {

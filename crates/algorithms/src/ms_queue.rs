@@ -35,6 +35,8 @@ pub struct Shared {
     pub tail: Ptr,
 }
 
+bb_sim::impl_pack!(struct Shared { heap, head, tail });
+
 /// Per-invocation frames (program counters of Fig. 5).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -125,6 +127,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => EnqAlloc { v }, 1 => EnqReadTail { node }, 2 => EnqReadNext { node, t }, 3 => EnqCheck { node, t, n }, 4 => EnqCasNext { node, t }, 5 => EnqSwingHelp { node, t, n }, 6 => EnqSwingOwn { node, t }, 7 => DeqRead, 8 => DeqReadNext { h, t }, 9 => DeqCheck { h, t, next }, 10 => DeqSwing { t, next }, 11 => DeqCas { h, next }, 12 => Done { val } });
 
 impl ObjectAlgorithm for MsQueue {
     type Shared = Shared;

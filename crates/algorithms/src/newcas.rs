@@ -59,6 +59,8 @@ pub enum Frame {
     },
 }
 
+bb_sim::impl_pack!(enum Frame { 0 => Read { exp, new }, 1 => Cas { exp, new }, 2 => Done { val } });
+
 impl ObjectAlgorithm for NewCas {
     type Shared = Value;
     type Frame = Frame;

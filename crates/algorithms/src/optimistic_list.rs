@@ -26,6 +26,8 @@ pub enum Op {
     Contains,
 }
 
+bb_sim::impl_pack!(enum Op { 0 => Add, 1 => Remove, 2 => Contains });
+
 /// The optimistic list over a finite key domain.
 #[derive(Debug, Clone)]
 pub struct OptimisticList {
@@ -49,6 +51,8 @@ pub struct Shared {
     /// Head sentinel.
     pub head: Ptr,
 }
+
+bb_sim::impl_pack!(struct Shared { heap, head });
 
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -157,6 +161,8 @@ pub enum Frame {
         val: Value,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => Traverse { op, k, pred }, 1 => LockPred { op, k, pred, curr }, 2 => LockCurr { op, k, pred, curr }, 3 => Validate { op, k, pred, curr, node }, 4 => AddAlloc { k, pred, curr }, 5 => AddLink { node, pred, curr }, 6 => RemoveUnlink { pred, curr }, 7 => UnlockCurr { op, k, pred, curr, val, retry }, 8 => UnlockPred { op, k, pred, val, retry }, 9 => Done { val } });
 
 impl ObjectAlgorithm for OptimisticList {
     type Shared = Shared;

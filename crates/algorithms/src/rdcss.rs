@@ -29,6 +29,8 @@ pub enum Cell {
     },
 }
 
+bb_sim::impl_pack!(enum Cell { 0 => Val(a), 1 => Desc { o1, o2, n2, owner } });
+
 /// Shared state: control cell `c1` and data cell `c2`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shared {
@@ -37,6 +39,8 @@ pub struct Shared {
     /// Data cell (value or descriptor).
     pub c2: Cell,
 }
+
+bb_sim::impl_pack!(struct Shared { c1, c2 });
 
 /// The RDCSS object over value domain `0..d`.
 #[derive(Debug, Clone)]
@@ -66,6 +70,8 @@ pub enum Cont {
     /// Retry `read2`.
     RetryRead,
 }
+
+bb_sim::impl_pack!(enum Cont { 0 => RetryRdcss { o1, o2, n2 }, 1 => RetryRead });
 
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -128,6 +134,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => Install { o1, o2, n2 }, 1 => ReadC1 { o1, o2, n2 }, 2 => Resolve { o1, o2, n2, r1 }, 3 => HelpReadC1 { desc, cont }, 4 => HelpResolve { desc, r1, cont }, 5 => Write1 { v }, 6 => Read2, 7 => Done { val } });
 
 impl ObjectAlgorithm for Rdcss {
     type Shared = Shared;

@@ -18,6 +18,8 @@ pub struct SeqQueue {
     domain: Vec<Value>,
 }
 
+bb_sim::impl_pack!(struct SeqQueue { items, domain });
+
 impl SeqQueue {
     /// Empty queue whose clients enqueue values from `domain`.
     pub fn new(domain: &[Value]) -> Self {
@@ -66,6 +68,8 @@ pub struct SeqStack {
     domain: Vec<Value>,
 }
 
+bb_sim::impl_pack!(struct SeqStack { items, domain });
+
 impl SeqStack {
     /// Empty stack whose clients push values from `domain`.
     pub fn new(domain: &[Value]) -> Self {
@@ -109,6 +113,8 @@ pub struct SeqSet {
     items: Vec<Value>, // sorted
     domain: Vec<Value>,
 }
+
+bb_sim::impl_pack!(struct SeqSet { items, domain });
 
 impl SeqSet {
     /// Empty set over `domain`.
@@ -178,6 +184,8 @@ pub struct SeqRegister {
     d: Value,
 }
 
+bb_sim::impl_pack!(struct SeqRegister { val, d });
+
 impl SeqRegister {
     /// Register holding 0 over value domain `0..d`.
     pub fn new(d: Value) -> Self {
@@ -227,6 +235,8 @@ pub struct SeqCcas {
     flag: bool,
     d: Value,
 }
+
+bb_sim::impl_pack!(struct SeqCcas { cell, flag, d });
 
 impl SeqCcas {
     /// Cell holding 0, flag clear, values over `0..d`.
@@ -288,6 +298,8 @@ pub struct SeqRdcss {
     c2: Value,
     d: Value,
 }
+
+bb_sim::impl_pack!(struct SeqRdcss { c1, c2, d });
 
 impl SeqRdcss {
     /// Both cells 0, values over `0..d`.

@@ -40,6 +40,8 @@ pub struct Shared {
     pub top: Ptr,
 }
 
+bb_sim::impl_pack!(struct Shared { heap, top });
+
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -80,6 +82,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => PushAlloc { v }, 1 => PushRead { node }, 2 => PushCas { node, t }, 3 => PopRead, 4 => PopNext { t }, 5 => PopCas { t, n }, 6 => Done { val } });
 
 impl ObjectAlgorithm for Treiber {
     type Shared = Shared;

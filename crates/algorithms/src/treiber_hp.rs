@@ -50,6 +50,8 @@ pub struct Shared {
     pub rlist: Vec<Vec<Ptr>>,
 }
 
+bb_sim::impl_pack!(struct Shared { heap, top, hp, rlist });
+
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -119,6 +121,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => PushAlloc { v }, 1 => PushRead { node }, 2 => PushCas { node, t }, 3 => PopRead, 4 => PopSetHp { t }, 5 => PopValidate { t }, 6 => PopNext { t }, 7 => PopCas { t, n }, 8 => PopClearHp { t, val }, 9 => PopRetire { t, val }, 10 => PopScan { val }, 11 => Done { val } });
 
 impl ObjectAlgorithm for TreiberHp {
     type Shared = Shared;

@@ -41,6 +41,8 @@ pub struct Shared {
     pub tail_lock: Option<ThreadId>,
 }
 
+bb_sim::impl_pack!(struct Shared { heap, head, tail, head_lock, tail_lock });
+
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -88,6 +90,8 @@ pub enum Frame {
         val: Option<Value>,
     },
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => EnqAlloc { v }, 1 => EnqLock { node }, 2 => EnqLink { node }, 3 => EnqSwing { node }, 4 => EnqUnlock, 5 => DeqLock, 6 => DeqRead, 7 => DeqAdvance { next, val }, 8 => DeqUnlock { val }, 9 => Done { val } });
 
 impl ObjectAlgorithm for TwoLockQueue {
     type Shared = Shared;

@@ -77,10 +77,17 @@ fn main() {
     // fused+sharded column (`perf`). Output lines are byte-identical with
     // fusion on or off — the fusion CI job diffs exactly that.
     let fuse = args.iter().any(|a| a == "--fuse");
+    let compact = match parse_compact(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(3);
+        }
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     match cmd {
         "reduce" => guarded("reduce", || reduce_table(large, jobs)),
-        "verdicts" => guarded("verdicts", || verdicts(reduce, refine, jobs, cache, fuse)),
+        "verdicts" => guarded("verdicts", || verdicts(reduce, refine, jobs, cache, fuse, compact)),
         "perf" => {
             let against = match parse_against(&args) {
                 Ok(a) => a,
@@ -117,8 +124,8 @@ fn main() {
             eprintln!(
                 "usage: tables [table1..table7|fig10|reduce|verdicts|phases|perf|all] \
                  [--large] [--jobs N] [--reduce none|sym|por|full] \
-                 [--refine full|incremental] [--fuse] [--out FILE] [--cache DIR] \
-                 [--against BASELINE.json] [--max-regress PCT]"
+                 [--refine full|incremental] [--fuse] [--compact on|off] [--out FILE] \
+                 [--cache DIR] [--against BASELINE.json] [--max-regress PCT]"
             );
             std::process::exit(3);
         }
@@ -145,6 +152,22 @@ fn parse_refine(args: &[String]) -> Result<RefineMode, String> {
     args.get(pos + 1)
         .ok_or("--refine needs a mode: full or incremental")?
         .parse()
+}
+
+/// Parses `--compact on|off` (default on). `verdicts --compact off` runs the
+/// sweep through the rich-struct hash-map seen-set instead of the bit-packed
+/// arena — CI byte-diffs the two stdout streams to pin down that the store
+/// never influences a verdict.
+fn parse_compact(args: &[String]) -> Result<bool, String> {
+    let Some(pos) = args.iter().position(|a| a == "--compact") else {
+        return Ok(true);
+    };
+    match args.get(pos + 1).map(String::as_str) {
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(other) => Err(format!("--compact: expected on or off, got `{other}`")),
+        None => Err("--compact needs on or off".into()),
+    }
 }
 
 /// Parses `--out FILE` for the `perf` subcommand (default: BENCH_5.json).
@@ -739,13 +762,21 @@ fn phases(jobs: Jobs) {
 /// skipping the separate counting pass. The flag is deliberately *excluded*
 /// from the cache key — fused and staged runs print byte-identical lines, and
 /// the fusion CI job diffs the two sweeps to enforce exactly that.
-fn verdicts(reduce: ReduceMode, refine: RefineMode, jobs: Jobs, cache: Option<Cache>, fuse: bool) {
+fn verdicts(
+    reduce: ReduceMode,
+    refine: RefineMode,
+    jobs: Jobs,
+    cache: Option<Cache>,
+    fuse: bool,
+    compact: bool,
+) {
     let (mut hits, mut misses) = (0u32, 0u32);
     macro_rules! case {
         ($name:expr, $alg:expr, $spec:expr, $th:expr, $op:expr, $lf:expr) => {{
             let key = format!(
-                "bbench{}|verdict|{}|{}-{}|lf{}|reduce={reduce}|refine={refine}",
+                "bbench{}.{}|verdict|{}|{}-{}|lf{}|reduce={reduce}|refine={refine}",
                 bb_persist::FORMAT_VERSION,
+                bb_sim::STATE_ENCODING_VERSION,
                 $name,
                 $th,
                 $op,
@@ -757,8 +788,9 @@ fn verdicts(reduce: ReduceMode, refine: RefineMode, jobs: Jobs, cache: Option<Ca
             } else {
                 misses += 1;
                 let bound = Bound::new($th, $op);
-                let opts =
-                    ExploreOptions::limits(bb_lts::ExploreLimits::default()).with_jobs(jobs);
+                let opts = ExploreOptions::limits(bb_lts::ExploreLimits::default())
+                    .with_jobs(jobs)
+                    .with_compact(compact);
                 let outcome =
                     bb_core::run_isolated(|| -> Result<String, bb_lts::budget::Exhausted> {
                         // Reduced exploration rebuilds the LTS, so fusion
@@ -968,6 +1000,69 @@ fn perf_row(name: &'static str, th: u8, op: u32, lts: &Lts, samples: u32) -> Per
     }
 }
 
+// ------------------------------------------------- compact state-store perf
+
+/// One state-store entry: the same exploration driven through the rich
+/// hash-map seen-set and through the bit-packed arena, recording the peak
+/// in-core store bytes (seen set + frontier + index) and the best
+/// exploration wall-clock of each. Byte counts are deterministic; both
+/// engines are asserted to produce the identical `.aut`.
+struct StoreRow {
+    name: &'static str,
+    bound: String,
+    states: usize,
+    transitions: usize,
+    rich_bytes: usize,
+    compact_bytes: usize,
+    raw_bytes: u64,
+    stored_bytes: u64,
+    rich_us: u128,
+    compact_us: u128,
+}
+
+fn store_row<A: bb_sim::ObjectAlgorithm>(
+    name: &'static str,
+    alg: &A,
+    th: u8,
+    op: u32,
+    samples: u32,
+) -> StoreRow {
+    let bound = Bound::new(th, op);
+    let opts = ExploreOptions::limits(bb_lts::ExploreLimits::default()).with_jobs(Jobs::serial());
+    let rich_opts = opts.with_compact(false);
+    let (mut rich_us, mut compact_us) = (u128::MAX, u128::MAX);
+    let (mut rich, mut compact) = (None, None);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = bb_sim::explore_system_report(alg, bound, &rich_opts).expect("unbudgeted");
+        rich_us = rich_us.min(t0.elapsed().as_micros());
+        rich = Some(r);
+        let t0 = Instant::now();
+        let c = bb_sim::explore_system_report(alg, bound, &opts).expect("unbudgeted");
+        compact_us = compact_us.min(t0.elapsed().as_micros());
+        compact = Some(c);
+    }
+    let (rich_lts, rich_rep) = rich.expect("samples >= 1");
+    let (compact_lts, compact_rep) = compact.expect("samples >= 1");
+    assert_eq!(
+        bb_lts::to_aut(&rich_lts),
+        bb_lts::to_aut(&compact_lts),
+        "{name} {th}-{op}: compact store changed the LTS"
+    );
+    StoreRow {
+        name,
+        bound: format!("{th}-{op}"),
+        states: compact_lts.num_states(),
+        transitions: compact_lts.num_transitions(),
+        rich_bytes: rich_rep.store_bytes_peak,
+        compact_bytes: compact_rep.store_bytes_peak,
+        raw_bytes: compact_rep.store.raw_bytes,
+        stored_bytes: compact_rep.store.stored_bytes,
+        rich_us,
+        compact_us,
+    }
+}
+
 /// `perf` — full vs incremental vs fused+sharded partition refinement on a
 /// fixed seeded roster. Writes a machine-readable JSON report (schema
 /// `bb-bench/perf-v2`, default `BENCH_5.json`); the counters are
@@ -997,6 +1092,12 @@ fn perf(out: &str, against: Option<&Against>) {
         perf_row("lazy-list", 2, 1, &lts_of_jobs(&LazyList::new(&[1]), 2, 1, jobs), SAMPLES),
         perf_row("lazy-list", 2, 2, &lts_of_jobs(&LazyList::new(&[1]), 2, 2, jobs), SAMPLES),
         perf_row("ms-queue", 2, 2, &lts_of_jobs(&MsQueue::new(&[1, 2]), 2, 2, jobs), SAMPLES),
+        // The raised roster rungs (PR 10): the bounds the compact store makes
+        // routinely affordable. Kept to cases whose refinement stays in
+        // CI-budget seconds.
+        perf_row("treiber", 3, 2, &lts_of_jobs(&Treiber::new(&[1]), 3, 2, jobs), SAMPLES),
+        perf_row("newcas", 3, 3, &lts_of_jobs(&NewCas::new(2), 3, 3, jobs), SAMPLES),
+        perf_row("newcas", 3, 4, &lts_of_jobs(&NewCas::new(2), 3, 4, jobs), SAMPLES),
     ];
 
     let mut json = String::from("{\n  \"schema\": \"bb-bench/perf-v2\",\n");
@@ -1051,6 +1152,59 @@ fn perf(out: &str, against: Option<&Against>) {
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
+    json.push_str("  ],\n");
+
+    // ---- state-store sweep: rich hash map vs bit-packed arena -----------
+    const STORE_SAMPLES: u32 = 2;
+    println!("\n=== State store — rich hash map vs bit-packed arena ===");
+    println!("(serial exploration, best of {STORE_SAMPLES} runs; byte counts deterministic,");
+    println!(" `.aut` asserted identical between the stores)\n");
+    println!(
+        "{:<12} {:>5} {:>9} {:>10} {:>12} {:>12} {:>6} {:>10} {:>10}",
+        "Object", "#T-#O", "states", "trans", "rich bytes", "arena bytes", "ratio", "rich time",
+        "arena time"
+    );
+    let store_rows = [
+        store_row("treiber", &Treiber::new(&[1]), 2, 2, STORE_SAMPLES),
+        store_row("lazy-list", &LazyList::new(&[1]), 2, 2, STORE_SAMPLES),
+        store_row("ms-queue", &MsQueue::new(&[1, 2]), 2, 2, STORE_SAMPLES),
+        store_row("treiber", &Treiber::new(&[1]), 3, 2, STORE_SAMPLES),
+        store_row("newcas", &NewCas::new(2), 3, 3, STORE_SAMPLES),
+        store_row("newcas", &NewCas::new(2), 3, 4, STORE_SAMPLES),
+    ];
+    json.push_str("  \"store_entries\": [\n");
+    for (i, r) in store_rows.iter().enumerate() {
+        let ratio = r.rich_bytes as f64 / r.compact_bytes.max(1) as f64;
+        println!(
+            "{:<12} {:>5} {:>9} {:>10} {:>12} {:>12} {:>5.1}x {:>8}µs {:>8}µs",
+            r.name,
+            r.bound,
+            r.states,
+            r.transitions,
+            r.rich_bytes,
+            r.compact_bytes,
+            ratio,
+            r.rich_us,
+            r.compact_us,
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"bound\": \"{}\", \"states\": {}, \"transitions\": {}, \
+             \"rich\": {{\"store_bytes\": {}, \"min_wall_us\": {}}}, \
+             \"compact\": {{\"store_bytes\": {}, \"raw_bytes\": {}, \"stored_bytes\": {}, \
+             \"min_wall_us\": {}}}, \"aut_identical\": true}}{}\n",
+            r.name,
+            r.bound,
+            r.states,
+            r.transitions,
+            r.rich_bytes,
+            r.rich_us,
+            r.compact_bytes,
+            r.raw_bytes,
+            r.stored_bytes,
+            r.compact_us,
+            if i + 1 == store_rows.len() { "" } else { "," },
+        ));
+    }
     json.push_str("  ]\n}\n");
     if let Err(e) = bb_persist::write_atomic(std::path::Path::new(out), json.as_bytes()) {
         eprintln!("error: cannot write {out}: {e}");
@@ -1083,7 +1237,20 @@ fn perf(out: &str, against: Option<&Against>) {
         }
     };
     println!("\n=== Perf gate — current vs {} ===\n", gate.baseline);
-    let checks = bb_bench::perf::compare(&baseline, &current, gate.max_regress_pct);
+    let mut checks = bb_bench::perf::compare(&baseline, &current, gate.max_regress_pct);
+    // Store entries gate the same way; baselines predating the compact
+    // store (no `store_entries`) parse as empty and contribute no checks.
+    let (base_store, cur_store) = match (
+        bb_bench::perf::parse_store_report(&base_text),
+        bb_bench::perf::parse_store_report(&json),
+    ) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: store entries: {e}");
+            std::process::exit(3);
+        }
+    };
+    checks.extend(bb_bench::perf::compare_store(&base_store, &cur_store, gate.max_regress_pct));
     let regressions = bb_bench::perf::report(&checks, gate.max_regress_pct, |line| {
         println!("{line}");
     });

@@ -108,6 +108,117 @@ pub fn parse_report(text: &str) -> Result<Vec<PerfEntry>, String> {
     Ok(out)
 }
 
+/// One entry of a report's optional `store_entries` array (present since
+/// `BENCH_10.json`): the same exploration through the rich hash-map
+/// seen-set and the bit-packed arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// Case name.
+    pub name: String,
+    /// `threads-ops` bound.
+    pub bound: String,
+    /// Explored state count (deterministic).
+    pub states: u64,
+    /// Explored transition count (deterministic).
+    pub transitions: u64,
+    /// Rich-store peak bytes — seen set + frontier + index (deterministic).
+    pub rich_bytes: u64,
+    /// Arena-store peak bytes (deterministic).
+    pub compact_bytes: u64,
+    /// Rich-store best exploration wall-clock, µs (machine-dependent).
+    pub rich_us: u64,
+    /// Arena-store best exploration wall-clock, µs (machine-dependent).
+    pub compact_us: u64,
+}
+
+impl StoreEntry {
+    /// `name 2-2` — the key the gate matches entries by.
+    pub fn id(&self) -> String {
+        format!("{} {}", self.name, self.bound)
+    }
+}
+
+/// Parses the optional `store_entries` array of a `bb-bench/perf-v2`
+/// report. Reports predating the compact store (e.g. `BENCH_7.json`) have
+/// none; that parses as the empty set, so a gate against an old baseline
+/// simply performs no store checks.
+pub fn parse_store_report(text: &str) -> Result<Vec<StoreEntry>, String> {
+    let v = parse(text).map_err(|e| format!("malformed perf report: {e}"))?;
+    let Some(entries) = v.get("store_entries").and_then(JsonValue::as_array) else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::with_capacity(entries.len());
+    for e in entries {
+        let s = |path: &[&str]| -> Result<String, String> {
+            walk(e, path)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("store entry missing string `{}`", path.join(".")))
+        };
+        let n = |path: &[&str]| -> Result<u64, String> {
+            walk(e, path)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("store entry missing number `{}`", path.join(".")))
+        };
+        out.push(StoreEntry {
+            name: s(&["name"])?,
+            bound: s(&["bound"])?,
+            states: n(&["states"])?,
+            transitions: n(&["transitions"])?,
+            rich_bytes: n(&["rich", "store_bytes"])?,
+            compact_bytes: n(&["compact", "store_bytes"])?,
+            rich_us: n(&["rich", "min_wall_us"])?,
+            compact_us: n(&["compact", "min_wall_us"])?,
+        });
+    }
+    Ok(out)
+}
+
+/// Diffs the store entries of two reports. Deterministic byte counts are
+/// compared directly; the compression ratio (`rich/compact` bytes, higher
+/// is better) must not shrink beyond the allowance, and the exploration
+/// slowdown (`compact/rich` time) must not grow beyond it — both ratios
+/// are within-run, so they survive machine changes.
+pub fn compare_store(baseline: &[StoreEntry], current: &[StoreEntry], max_pct: f64) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for b in baseline {
+        let id = b.id();
+        let Some(c) = current.iter().find(|c| c.name == b.name && c.bound == b.bound) else {
+            checks.push(Check {
+                entry: id,
+                metric: "store present",
+                baseline: 1.0,
+                current: 0.0,
+                regressed: true,
+            });
+            continue;
+        };
+        checks.push(Check::counter(&id, "store states", b.states, c.states, max_pct));
+        checks.push(Check::counter(&id, "compact store bytes", b.compact_bytes, c.compact_bytes, max_pct));
+        // Compression ratio: invert so "grew beyond allowance" means "the
+        // arena lost ground against the rich store".
+        if b.rich_bytes > 0 && c.rich_bytes > 0 {
+            checks.push(Check::ratio(
+                &id,
+                "compact/rich byte ratio",
+                b.compact_bytes as f64 / b.rich_bytes as f64,
+                c.compact_bytes as f64 / c.rich_bytes as f64,
+                max_pct,
+            ));
+        }
+        if b.rich_us >= MIN_GATE_US && c.rich_us > 0 {
+            checks.push(Check::ratio(
+                &id,
+                "compact/rich time ratio",
+                b.compact_us as f64 / b.rich_us as f64,
+                c.compact_us as f64 / c.rich_us as f64,
+                max_pct,
+            ));
+        }
+    }
+    checks
+}
+
 fn walk<'a>(v: &'a JsonValue, path: &[&str]) -> Option<&'a JsonValue> {
     let mut cur = v;
     for p in path {
@@ -354,6 +465,47 @@ mod tests {
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].metric, "present");
         assert_eq!(bad[0].entry, "b 2-2");
+    }
+
+    #[test]
+    fn store_entries_parse_and_gate() {
+        let text = r#"{
+  "schema": "bb-bench/perf-v2",
+  "entries": [],
+  "store_entries": [
+    {"name": "treiber", "bound": "2-2", "states": 1616, "transitions": 4284,
+     "rich": {"store_bytes": 400000, "min_wall_us": 9000},
+     "compact": {"store_bytes": 50000, "raw_bytes": 48000, "stored_bytes": 30000,
+                 "min_wall_us": 9500},
+     "aut_identical": true}
+  ]
+}"#;
+        let entries = parse_store_report(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].id(), "treiber 2-2");
+        assert_eq!(entries[0].rich_bytes, 400_000);
+        assert_eq!(entries[0].compact_bytes, 50_000);
+
+        // A pre-compact baseline has no store entries: no checks, no failure.
+        assert_eq!(parse_store_report("{\"entries\": []}").unwrap(), vec![]);
+        assert!(compare_store(&[], &entries, 25.0).iter().all(|c| !c.regressed));
+
+        // Identical reports pass; a lost compression ratio regresses.
+        assert!(compare_store(&entries, &entries, 25.0).iter().all(|c| !c.regressed));
+        let mut worse = entries.clone();
+        worse[0].compact_bytes = 200_000;
+        let bad: Vec<_> = compare_store(&entries, &worse, 25.0)
+            .into_iter()
+            .filter(|c| c.regressed)
+            .collect();
+        assert!(bad.iter().any(|c| c.metric == "compact store bytes"), "{bad:?}");
+        assert!(bad.iter().any(|c| c.metric == "compact/rich byte ratio"), "{bad:?}");
+
+        // A dropped store entry fails the gate.
+        let checks = compare_store(&entries, &[], 25.0);
+        assert_eq!(checks.len(), 1);
+        assert!(checks[0].regressed);
+        assert_eq!(checks[0].metric, "store present");
     }
 
     #[test]

@@ -138,6 +138,15 @@ pub struct GovernedConfig {
     /// pass re-derive it. Deterministic: verdicts and reports are identical
     /// with fusion on or off.
     pub fuse: bool,
+    /// Intern canonical bit-packed state encodings in the compact arena
+    /// seen-set instead of rich structs in a hash map. Deterministic:
+    /// verdicts and reports are identical with either store.
+    pub compact: bool,
+    /// Spill cold seen-set segments to this directory when exploration
+    /// memory crosses the high-water mark (requires `compact`).
+    /// Deterministic: spill decisions happen only at level boundaries, so
+    /// verdicts are identical with or without a spill tier.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl GovernedConfig {
@@ -152,6 +161,8 @@ impl GovernedConfig {
             jobs: Jobs::serial(),
             refine: bb_bisim::RefineMode::default(),
             fuse: false,
+            compact: true,
+            spill_dir: None,
         }
     }
 
@@ -182,6 +193,19 @@ impl GovernedConfig {
     /// Fuse exploration into refinement (see [`GovernedConfig::fuse`]).
     pub fn with_fuse(mut self, fuse: bool) -> Self {
         self.fuse = fuse;
+        self
+    }
+
+    /// Select the exploration seen-set (see [`GovernedConfig::compact`]).
+    pub fn with_compact(mut self, compact: bool) -> Self {
+        self.compact = compact;
+        self
+    }
+
+    /// Spill cold seen-set segments under `dir` (see
+    /// [`GovernedConfig::spill_dir`]).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
         self
     }
 }
@@ -350,8 +374,14 @@ where
     A: ObjectAlgorithm,
     S: SequentialSpec,
 {
+    let spill_dir = config.spill_dir.as_deref().map(bb_persist::SpillDir::new);
     let explorer = |bound: Bound, wd: &Watchdog| {
-        let opts = ExploreOptions::governed(wd).with_jobs(config.jobs);
+        let mut opts = ExploreOptions::governed(wd)
+            .with_jobs(config.jobs)
+            .with_compact(config.compact);
+        if let Some(sd) = spill_dir.as_ref() {
+            opts = opts.with_spill(sd);
+        }
         let imp = explore_system_with(alg, bound, &opts)?;
         let sp = explore_system_with(spec, bound, &opts)?;
         Ok((imp, sp))
@@ -394,7 +424,15 @@ pub fn verify_case_governed_with(
             // the session's config tag pins everything else (case, reduce
             // mode, ...), so a section can never seed a different setup.
             let persist = bb_persist::active();
-            let tag = format!("{name}/b{}-{}", bound.threads, bound.ops_per_thread);
+            // The state-encoding version is part of the section identity: a
+            // checkpointed LTS from an older encoding must never seed a run
+            // whose (version-bumped) encoding could enumerate differently.
+            let tag = format!(
+                "{name}/e{}/b{}-{}",
+                bb_sim::STATE_ENCODING_VERSION,
+                bound.threads,
+                bound.ops_per_thread
+            );
             if let Some(p) = persist.as_ref() {
                 let seeded = p
                     .seed_lts(&format!("{tag}/imp"))

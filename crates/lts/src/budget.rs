@@ -339,6 +339,7 @@ impl Watchdog {
             states: 0,
             transitions: 0,
             memory_bytes: 0,
+            peak_memory_bytes: 0,
             refinement: None,
             ticks_until_check: CHECK_INTERVAL,
         }
@@ -353,7 +354,10 @@ pub struct Meter {
     stage: Stage,
     states: usize,
     transitions: usize,
+    /// Bytes currently attributed to the stage (releases subtract).
     memory_bytes: usize,
+    /// High-water mark of `memory_bytes` — what the stats report.
+    peak_memory_bytes: usize,
     refinement: Option<(u64, u64)>,
     ticks_until_check: u64,
 }
@@ -369,7 +373,7 @@ impl Meter {
         PartialStats {
             states: self.states,
             transitions: self.transitions,
-            memory_bytes: self.memory_bytes,
+            memory_bytes: self.peak_memory_bytes.max(self.memory_bytes),
             elapsed: self.wd.elapsed(),
             refinement: self.refinement,
         }
@@ -482,9 +486,13 @@ impl Meter {
     }
 
     /// Accounts `bytes` of approximate memory attributed to the stage.
+    /// The cap is enforced against the *current* attribution, so a stage
+    /// that releases memory (e.g. by spilling cold segments to disk) can
+    /// keep running under the cap; the reported stats carry the peak.
     #[inline]
     pub fn add_memory(&mut self, bytes: usize) -> Result<(), Exhausted> {
         self.memory_bytes = self.memory_bytes.saturating_add(bytes);
+        self.peak_memory_bytes = self.peak_memory_bytes.max(self.memory_bytes);
         if self.memory_bytes > self.wd.budget.max_memory_bytes {
             return Err(self.exhausted(ExhaustReason::Memory));
         }
@@ -492,6 +500,24 @@ impl Meter {
             return Err(self.exhausted(ExhaustReason::Memory));
         }
         Ok(())
+    }
+
+    /// Releases `bytes` previously accounted with
+    /// [`add_memory`](Meter::add_memory) — the memory was freed or moved
+    /// out of core (disk spill). The peak is unaffected.
+    #[inline]
+    pub fn sub_memory(&mut self, bytes: usize) {
+        self.memory_bytes = self.memory_bytes.saturating_sub(bytes);
+    }
+
+    /// Bytes currently attributed to the stage.
+    pub fn memory_current(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// The stage's memory cap (`usize::MAX` when unlimited).
+    pub fn memory_cap(&self) -> usize {
+        self.wd.budget.max_memory_bytes
     }
 }
 

@@ -1,11 +1,11 @@
 //! On-the-fly state-space exploration of an operational semantics.
 
 use crate::action::{Action, ActionId};
-use crate::budget::{Budget, ExhaustReason, Exhausted, Meter, Stage, Watchdog};
+use crate::budget::{Budget, ExhaustReason, Exhausted, Meter, PartialStats, Stage, Watchdog};
 use crate::builder::LtsBuilder;
+use crate::compact::{ArenaStore, CodecSemantics, HashStore, SpillBackend, StateStore, StoreMetrics};
 use crate::jobs::Jobs;
 use crate::lts::{Lts, StateId};
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -158,10 +158,23 @@ enum BudgetRef<'wd> {
 /// assert_eq!(lts.num_states(), 2);
 /// # Ok::<(), bb_lts::budget::Exhausted>(())
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct ExploreOptions<'wd> {
     budget: BudgetRef<'wd>,
     jobs: Jobs,
+    compact: bool,
+    spill: Option<&'wd dyn SpillBackend>,
+}
+
+impl fmt::Debug for ExploreOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExploreOptions")
+            .field("budget", &self.budget)
+            .field("jobs", &self.jobs)
+            .field("compact", &self.compact)
+            .field("spill", &self.spill.is_some())
+            .finish()
+    }
 }
 
 impl Default for ExploreOptions<'_> {
@@ -181,6 +194,8 @@ impl<'wd> ExploreOptions<'wd> {
         ExploreOptions {
             budget: BudgetRef::Limits(limits),
             jobs: Jobs::serial(),
+            compact: true,
+            spill: None,
         }
     }
 
@@ -191,6 +206,8 @@ impl<'wd> ExploreOptions<'wd> {
         ExploreOptions {
             budget: BudgetRef::Governed(wd),
             jobs: Jobs::serial(),
+            compact: true,
+            spill: None,
         }
     }
 
@@ -205,6 +222,46 @@ impl<'wd> ExploreOptions<'wd> {
     pub fn jobs(&self) -> Jobs {
         self.jobs
     }
+
+    /// Selects between the compact bit-packed state store (the default) and
+    /// the rich-struct baseline. Only honored by entry points that require
+    /// a [`CodecSemantics`] (e.g. `bb_sim::explore_system_with`); the plain
+    /// [`explore_with`] always runs the baseline.
+    pub fn with_compact(mut self, compact: bool) -> Self {
+        self.compact = compact;
+        self
+    }
+
+    /// Whether the compact state store is selected.
+    pub fn compact(&self) -> bool {
+        self.compact
+    }
+
+    /// Installs a disk-spill tier for cold state-arena segments (see
+    /// [`SpillBackend`]); only the compact engine consults it.
+    pub fn with_spill(mut self, spill: &'wd dyn SpillBackend) -> Self {
+        self.spill = Some(spill);
+        self
+    }
+
+    /// The configured spill backend, if any.
+    pub fn spill(&self) -> Option<&'wd dyn SpillBackend> {
+        self.spill
+    }
+}
+
+/// Success-path report of an exploration: the final metered statistics
+/// (peak memory, states, transitions) plus the state store's own size
+/// figures, so callers can compare engines truthfully.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreReport {
+    /// Metered totals; `memory_bytes` is the stage's peak attribution.
+    pub stats: PartialStats,
+    /// High-water mark of the state store's in-core bytes (seen set +
+    /// frontier + index), excluding transition bookkeeping.
+    pub store_bytes_peak: usize,
+    /// Raw/stored/spilled byte figures of the store.
+    pub store: StoreMetrics,
 }
 
 /// Unfolds `sem` into an explicit [`Lts`] by breadth-first exploration,
@@ -302,37 +359,123 @@ pub fn explore_with_sink<S: Semantics>(
     opts: &ExploreOptions<'_>,
     sink: Option<&mut dyn ExploreSink>,
 ) -> Result<Lts, Exhausted> {
+    let mut store: HashStore<S> = HashStore::new(None);
+    with_watchdog(opts, |wd| {
+        explore_impl(sem, &mut store, wd, opts.jobs, sink)
+    })
+    .map(|(lts, _)| lts)
+}
+
+/// The compact engine: states are hashed, stored and compared as their
+/// canonical byte encodings, in a prefix-compressed arena that can spill
+/// cold segments to `opts.spill()` under memory pressure. The produced
+/// [`Lts`] is bit-identical to [`explore_with_sink`] at any worker count,
+/// with or without a spill tier.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
+/// trips; the partial statistics describe the aborted frontier.
+pub fn explore_compact_with_sink<S: CodecSemantics>(
+    sem: &S,
+    opts: &ExploreOptions<'_>,
+    sink: Option<&mut dyn ExploreSink>,
+) -> Result<(Lts, ExploreReport), Exhausted> {
+    let mut store = ArenaStore::new(opts.spill);
+    with_watchdog(opts, |wd| {
+        explore_impl(sem, &mut store, wd, opts.jobs, sink)
+    })
+}
+
+/// The rich-struct baseline with truthful deep-size metering
+/// ([`CodecSemantics::state_heap_bytes`]) and the same [`ExploreReport`]
+/// as the compact engine — the fair memory baseline for benchmarks.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
+/// trips; the partial statistics describe the aborted frontier.
+pub fn explore_baseline_with_sink<S: CodecSemantics>(
+    sem: &S,
+    opts: &ExploreOptions<'_>,
+    sink: Option<&mut dyn ExploreSink>,
+) -> Result<(Lts, ExploreReport), Exhausted> {
+    let mut store: HashStore<S> = HashStore::new(Some(S::state_heap_bytes));
+    with_watchdog(opts, |wd| {
+        explore_impl(sem, &mut store, wd, opts.jobs, sink)
+    })
+}
+
+fn with_watchdog<R>(opts: &ExploreOptions<'_>, f: impl FnOnce(&Watchdog) -> R) -> R {
     match opts.budget {
         BudgetRef::Limits(limits) => {
             let wd = Watchdog::new(limits.into());
-            explore_impl(sem, &wd, opts.jobs, sink)
+            f(&wd)
         }
-        BudgetRef::Governed(wd) => explore_impl(sem, wd, opts.jobs, sink),
+        BudgetRef::Governed(wd) => f(wd),
     }
 }
 
-fn explore_impl<S: Semantics>(
+fn explore_impl<S: Semantics, ST: StateStore<S>>(
     sem: &S,
+    store: &mut ST,
     wd: &Watchdog,
     jobs: Jobs,
     sink: Option<&mut dyn ExploreSink>,
-) -> Result<Lts, Exhausted> {
+) -> Result<(Lts, ExploreReport), Exhausted> {
     let span = bb_obs::span("explore").with("jobs", jobs.get());
     let mut meter = wd.meter(Stage::Explore);
     let result = if jobs.is_serial() {
-        explore_serial(sem, &mut meter, sink)
+        explore_serial(sem, store, &mut meter, sink)
     } else {
-        explore_parallel(sem, wd, jobs, &mut meter, sink)
+        explore_parallel(sem, store, wd, jobs, &mut meter, sink)
     };
     let stats = meter.stats();
     span.record("states", stats.states);
     span.record("transitions", stats.transitions);
     span.record("mem_bytes", stats.memory_bytes);
     span.record("frontier_peak", bb_obs::hot::EXPLORE_FRONTIER.peak());
-    if let Err(e) = &result {
-        span.record("exhausted", e.reason.to_string());
+    let metrics = store.metrics();
+    if let Some(pct) = (metrics.stored_bytes * 100).checked_div(metrics.raw_bytes) {
+        bb_obs::hot::COMPACT_COMPRESSION_PCT.set(pct);
     }
-    result
+    match result {
+        Ok(lts) => Ok((
+            lts,
+            ExploreReport {
+                stats,
+                store_bytes_peak: store.bytes_peak(),
+                store: metrics,
+            },
+        )),
+        Err(e) => {
+            span.record("exhausted", e.reason.to_string());
+            Err(e)
+        }
+    }
+}
+
+/// Keeps the meter's memory attribution in lock-step with the state
+/// store's actual footprint: charge growth, release shrink (spill). The
+/// sync points are identical at any worker count, so so are the charges.
+#[derive(Default)]
+struct MemSync {
+    charged: usize,
+}
+
+impl MemSync {
+    fn sync(&mut self, bytes: usize, meter: &mut Meter) -> Result<(), Exhausted> {
+        bb_obs::hot::EXPLORE_STORE_BYTES.set(bytes as u64);
+        if bytes >= self.charged {
+            let delta = bytes - self.charged;
+            self.charged = bytes;
+            meter.add_memory(delta)
+        } else {
+            meter.sub_memory(self.charged - bytes);
+            self.charged = bytes;
+            Ok(())
+        }
+    }
 }
 
 /// Unfolds `sem` into an explicit [`Lts`] by breadth-first exploration.
@@ -388,64 +531,62 @@ pub fn explore_governed_jobs<S: Semantics>(
     explore_with(sem, &ExploreOptions::governed(wd).with_jobs(jobs))
 }
 
-fn explore_serial<S: Semantics>(
+fn explore_serial<S: Semantics, ST: StateStore<S>>(
     sem: &S,
+    store: &mut ST,
     meter: &mut Meter,
     mut sink: Option<&mut dyn ExploreSink>,
 ) -> Result<Lts, Exhausted> {
-    // Approximate per-state footprint: the interned key in the id map plus
-    // the copy on the `discovered` list, and builder bookkeeping.
-    let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
+    // Transitions are metered by their builder footprint; states are
+    // metered as the store's actual byte growth (see `MemSync`).
     let transition_bytes = std::mem::size_of::<(StateId, u32, StateId)>();
 
     let mut builder = LtsBuilder::new();
-    let mut ids: HashMap<S::State, StateId> = HashMap::new();
+    let mut mem = MemSync::default();
 
-    let init = sem.initial_state();
-    let init_id = builder.add_state();
-    ids.insert(init.clone(), init_id);
+    let (init_id, _) = store.intern(sem, sem.initial_state());
+    debug_assert_eq!(init_id, StateId(0));
+    let built = builder.add_state();
+    debug_assert_eq!(built, init_id);
     meter.add_state()?;
-    meter.add_memory(state_bytes)?;
+    mem.sync(store.bytes(), meter)?;
 
-    // BFS frontier; states are explored in id order so the queue is just a
-    // cursor over the id-indexed list of discovered states.
-    let mut discovered: Vec<S::State> = vec![init];
+    // BFS frontier: states are explored in id order, so the queue is just a
+    // cursor over the store's dense id range — no second copy of any state.
     let mut cursor = 0usize;
+    let mut rd = ST::Cursor::default();
     let mut steps: Vec<(Action, S::State)> = Vec::new();
 
     // Cursor position of the next BFS level boundary: when the cursor
     // reaches it, everything discovered so far forms the next level — the
     // same boundaries the parallel engine synchronizes on, so a sink sees
-    // identical `on_level` calls at any worker count.
+    // identical `on_level` calls (and the store identical `end_level`
+    // spill points) at any worker count.
     let mut next_level_start = 0usize;
-    while cursor < discovered.len() {
-        bb_obs::hot::EXPLORE_FRONTIER.set((discovered.len() - cursor) as u64);
+    while cursor < store.len() {
+        bb_obs::hot::EXPLORE_FRONTIER.set((store.len() - cursor) as u64);
         if cursor == next_level_start {
-            next_level_start = discovered.len();
+            next_level_start = store.len();
             if let Some(sk) = sink.as_deref_mut() {
                 sk.on_level((next_level_start - cursor) as u64);
             }
+            store.end_level(cursor as u32, meter);
+            mem.sync(store.bytes(), meter)?;
         }
         let src_id = StateId(cursor as u32);
-        // Clone-free expansion: the shared borrow of `discovered[cursor]`
-        // ends with the `successors` call, before any state discovered in
-        // this expansion is pushed onto `discovered` below.
+        let state = store.read(sem, cursor as u32, &mut rd);
         steps.clear();
-        sem.successors(&discovered[cursor], &mut steps);
+        sem.successors(&state, &mut steps);
         cursor += 1;
 
         for (action, next) in steps.drain(..) {
-            let dst_id = match ids.get(&next) {
-                Some(&id) => id,
-                None => {
-                    meter.add_state()?;
-                    meter.add_memory(state_bytes)?;
-                    let id = builder.add_state();
-                    ids.insert(next.clone(), id);
-                    discovered.push(next);
-                    id
-                }
-            };
+            let (dst_id, fresh) = store.intern(sem, next);
+            if fresh {
+                meter.add_state()?;
+                mem.sync(store.bytes(), meter)?;
+                let id = builder.add_state();
+                debug_assert_eq!(id, dst_id);
+            }
             let aid = builder.intern_action(action);
             builder.add_transition(src_id, aid, dst_id);
             meter.add_transition()?;
@@ -489,37 +630,37 @@ const WORKER_CHECK_INTERVAL: usize = 32;
 ///
 /// Returns [`Exhausted`] (stage [`Stage::Explore`]) when any budget axis
 /// trips; the partial statistics describe the aborted frontier.
-fn explore_parallel<S: Semantics>(
+fn explore_parallel<S: Semantics, ST: StateStore<S>>(
     sem: &S,
+    store: &mut ST,
     wd: &Watchdog,
     jobs: Jobs,
     meter: &mut Meter,
     mut sink: Option<&mut dyn ExploreSink>,
 ) -> Result<Lts, Exhausted> {
     debug_assert!(!jobs.is_serial());
-    let state_bytes = 2 * std::mem::size_of::<S::State>() + 64;
     let transition_bytes = std::mem::size_of::<(StateId, u32, StateId)>();
 
     let mut builder = LtsBuilder::new();
-    let mut ids: HashMap<S::State, StateId> = HashMap::new();
+    let mut mem = MemSync::default();
 
-    let init = sem.initial_state();
-    let init_id = builder.add_state();
-    ids.insert(init.clone(), init_id);
+    let (init_id, _) = store.intern(sem, sem.initial_state());
+    debug_assert_eq!(init_id, StateId(0));
+    builder.add_state();
     meter.add_state()?;
-    meter.add_memory(state_bytes)?;
+    mem.sync(store.bytes(), meter)?;
 
-    let mut discovered: Vec<S::State> = vec![init];
     let mut level_start = 0usize;
 
-    while level_start < discovered.len() {
-        let level_end = discovered.len();
+    while level_start < store.len() {
+        let level_end = store.len();
         bb_obs::hot::EXPLORE_FRONTIER.set((level_end - level_start) as u64);
         if let Some(sk) = sink.as_deref_mut() {
             sk.on_level((level_end - level_start) as u64);
         }
-        let expansions =
-            expand_level(sem, wd, &discovered[level_start..level_end], jobs, meter)?;
+        store.end_level(level_start as u32, meter);
+        mem.sync(store.bytes(), meter)?;
+        let expansions = expand_level(sem, &*store, wd, level_start, level_end, jobs, meter)?;
 
         // Deterministic merge. Chunks are contiguous id ranges and are
         // concatenated in chunk order, so iterating the level's expansions
@@ -527,17 +668,13 @@ fn explore_parallel<S: Semantics>(
         for (offset, steps) in expansions.into_iter().enumerate() {
             let src_id = StateId((level_start + offset) as u32);
             for (action, next) in steps {
-                let dst_id = match ids.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        meter.add_state()?;
-                        meter.add_memory(state_bytes)?;
-                        let id = builder.add_state();
-                        ids.insert(next.clone(), id);
-                        discovered.push(next);
-                        id
-                    }
-                };
+                let (dst_id, fresh) = store.intern(sem, next);
+                if fresh {
+                    meter.add_state()?;
+                    mem.sync(store.bytes(), meter)?;
+                    let id = builder.add_state();
+                    debug_assert_eq!(id, dst_id);
+                }
                 let aid = builder.intern_action(action);
                 builder.add_transition(src_id, aid, dst_id);
                 meter.add_transition()?;
@@ -559,37 +696,45 @@ type Steps<S> = Vec<(Action, <S as Semantics>::State)>;
 /// Expands one BFS level, in parallel when the frontier is large enough.
 ///
 /// Returns one successor buffer per frontier state, in frontier order.
-fn expand_level<S: Semantics>(
+fn expand_level<S: Semantics, ST: StateStore<S>>(
     sem: &S,
+    store: &ST,
     wd: &Watchdog,
-    frontier: &[S::State],
+    start: usize,
+    end: usize,
     jobs: Jobs,
     meter: &mut Meter,
 ) -> Result<Vec<Steps<S>>, Exhausted> {
-    let workers = jobs.for_items(frontier.len(), PAR_MIN_CHUNK);
+    let len = end - start;
+    let workers = jobs.for_items(len, PAR_MIN_CHUNK);
     if workers == 1 {
-        let mut out = Vec::with_capacity(frontier.len());
-        for (i, state) in frontier.iter().enumerate() {
+        let mut out = Vec::with_capacity(len);
+        let mut rd = ST::Cursor::default();
+        for (i, idx) in (start..end).enumerate() {
             if i % WORKER_CHECK_INTERVAL == 0 {
                 meter.checkpoint()?;
             }
+            let state = store.read(sem, idx as u32, &mut rd);
             let mut steps = Vec::new();
-            sem.successors(state, &mut steps);
+            sem.successors(&state, &mut steps);
             out.push(steps);
         }
         return Ok(out);
     }
 
     let aborted = AtomicBool::new(false);
-    let chunk = frontier.len().div_ceil(workers);
+    let chunk = len.div_ceil(workers);
+    let pieces = len.div_ceil(chunk);
     let per_chunk: Vec<Vec<Steps<S>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = frontier
-            .chunks(chunk)
-            .map(|piece| {
+        let handles: Vec<_> = (0..pieces)
+            .map(|w| {
                 let aborted = &aborted;
+                let lo = start + w * chunk;
+                let hi = (lo + chunk).min(end);
                 scope.spawn(move || {
-                    let mut out = Vec::with_capacity(piece.len());
-                    for (i, state) in piece.iter().enumerate() {
+                    let mut out = Vec::with_capacity(hi - lo);
+                    let mut rd = ST::Cursor::default();
+                    for (i, idx) in (lo..hi).enumerate() {
                         // Cooperative abort: cancellation and the deadline
                         // are observed mid-fan-out, from every worker, and
                         // propagate to the sibling workers via the flag.
@@ -601,8 +746,9 @@ fn expand_level<S: Semantics>(
                             aborted.store(true, Ordering::Relaxed);
                             break;
                         }
+                        let state = store.read(sem, idx as u32, &mut rd);
                         let mut steps = Vec::new();
-                        sem.successors(state, &mut steps);
+                        sem.successors(&state, &mut steps);
                         out.push(steps);
                     }
                     out
@@ -862,5 +1008,181 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.reason, ExhaustReason::Deadline);
+    }
+
+    impl CodecSemantics for Tree {
+        fn encode_state(&self, s: &(u32, u32), out: &mut Vec<u8>) {
+            out.extend_from_slice(&s.0.to_be_bytes());
+            out.extend_from_slice(&s.1.to_be_bytes());
+        }
+        fn decode_state(&self, bytes: &[u8]) -> (u32, u32) {
+            (
+                u32::from_be_bytes(bytes[0..4].try_into().unwrap()),
+                u32::from_be_bytes(bytes[4..8].try_into().unwrap()),
+            )
+        }
+    }
+
+    /// The compact engine must reproduce the rich-struct engine's LTS
+    /// byte-for-byte, at any worker count.
+    #[test]
+    fn compact_explore_is_bit_identical_to_hash_engine() {
+        let sem = Tree {
+            depth: 12,
+            fanout: 9,
+        };
+        let baseline = explore_with(&sem, &ExploreOptions::default()).unwrap();
+        for jobs in [1, 2, 4] {
+            let opts = ExploreOptions::default().with_jobs(Jobs::new(jobs));
+            let (compact, report) = explore_compact_with_sink(&sem, &opts, None).unwrap();
+            assert_eq!(compact.num_states(), baseline.num_states(), "jobs={jobs}");
+            assert_eq!(
+                crate::aut::to_aut(&compact),
+                crate::aut::to_aut(&baseline),
+                "jobs={jobs}: compact .aut must be byte-identical"
+            );
+            assert_eq!(report.stats.states, baseline.num_states());
+            assert!(report.store.raw_bytes > 0);
+            assert!(report.store.stored_bytes <= report.store.raw_bytes);
+        }
+    }
+
+    /// An in-memory spill tier for engine-level tests.
+    #[derive(Default)]
+    struct MemSpill {
+        segments: std::sync::Mutex<std::collections::HashMap<u32, Vec<u8>>>,
+    }
+
+    impl SpillBackend for MemSpill {
+        fn write_segment(&self, index: u32, payload: &[u8]) -> std::io::Result<()> {
+            self.segments
+                .lock()
+                .unwrap()
+                .insert(index, payload.to_vec());
+            Ok(())
+        }
+        fn read_segment(&self, index: u32) -> std::io::Result<Vec<u8>> {
+            self.segments
+                .lock()
+                .unwrap()
+                .get(&index)
+                .cloned()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "missing"))
+        }
+    }
+
+    /// Spilling cold segments must not change the LTS (any worker count),
+    /// and must actually fire under a tight memory cap.
+    ///
+    /// The semantics is a chain of fat states with a back-edge to the root:
+    /// store bytes dominate the meter, each level boundary is a spill
+    /// opportunity, and the back-edge makes every intern probe (and the
+    /// store re-read) segments that spilled long ago.
+    #[test]
+    fn spill_preserves_lts_bit_identically() {
+        let sem = Blob { n: 600, back: true };
+        let baseline = explore_with(&sem, &ExploreOptions::default()).unwrap();
+        let (_, unspilled) =
+            explore_compact_with_sink(&sem, &ExploreOptions::default(), None).unwrap();
+        // Cap at roughly half the in-core peak: only spilling keeps the run
+        // under it, and the 5/8 high-water mark is crossed mid-run.
+        let cap = unspilled.stats.memory_bytes / 2;
+        for jobs in [1, 4] {
+            let spill = MemSpill::default();
+            let wd = Watchdog::new(Budget::unlimited().with_max_memory_bytes(cap));
+            let mut store = ArenaStore::with_seg_target(Some(&spill), 2048);
+            let (lts, report) =
+                explore_impl(&sem, &mut store, &wd, Jobs::new(jobs), None).unwrap();
+            assert!(
+                report.store.spilled_segments > 0,
+                "jobs={jobs}: the tight cap must force spilling: {report:?}"
+            );
+            assert_eq!(
+                crate::aut::to_aut(&lts),
+                crate::aut::to_aut(&baseline),
+                "jobs={jobs}: spilled .aut must be byte-identical"
+            );
+            assert!(
+                report.stats.memory_bytes <= cap,
+                "jobs={jobs}: metered peak must respect the cap"
+            );
+        }
+    }
+
+    /// A chain semantics with large, incompressible states: store bytes
+    /// dominate, so the metered peak must track the store's real footprint.
+    struct Blob {
+        n: u32,
+        /// Add a back-edge from every state to the root.
+        back: bool,
+    }
+
+    fn blob_payload(i: u32) -> [u8; 200] {
+        let mut a = [0u8; 200];
+        let mut x = u64::from(i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for byte in a.iter_mut() {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            *byte = (x >> 56) as u8;
+        }
+        a
+    }
+
+    impl Semantics for Blob {
+        type State = (u32, [u8; 200]);
+        fn initial_state(&self) -> Self::State {
+            (0, blob_payload(0))
+        }
+        fn successors(&self, s: &Self::State, out: &mut Vec<(Action, Self::State)>) {
+            if s.0 + 1 < self.n {
+                out.push((Action::tau(ThreadId(1)), (s.0 + 1, blob_payload(s.0 + 1))));
+            }
+            if self.back && s.0 > 0 {
+                out.push((Action::tau(ThreadId(2)), (0, blob_payload(0))));
+            }
+        }
+    }
+
+    impl CodecSemantics for Blob {
+        fn encode_state(&self, s: &Self::State, out: &mut Vec<u8>) {
+            out.extend_from_slice(&s.0.to_be_bytes());
+            out.extend_from_slice(&s.1);
+        }
+        fn decode_state(&self, bytes: &[u8]) -> Self::State {
+            (
+                u32::from_be_bytes(bytes[0..4].try_into().unwrap()),
+                bytes[4..204].try_into().unwrap(),
+            )
+        }
+    }
+
+    /// Meter-accounting audit: the reported peak must be within 10% of the
+    /// store's actual allocated bytes (transition bookkeeping is the only
+    /// other charge, and it is small against 200-byte states).
+    #[test]
+    fn metered_peak_tracks_store_bytes_within_ten_percent() {
+        let sem = Blob {
+            n: 2000,
+            back: false,
+        };
+        for compact in [true, false] {
+            let opts = ExploreOptions::default();
+            let (_, report) = if compact {
+                explore_compact_with_sink(&sem, &opts, None).unwrap()
+            } else {
+                explore_baseline_with_sink(&sem, &opts, None).unwrap()
+            };
+            let peak = report.stats.memory_bytes;
+            let store = report.store_bytes_peak;
+            assert!(
+                peak >= store,
+                "compact={compact}: peak {peak} must cover the store {store}"
+            );
+            assert!(
+                peak <= store + store / 10,
+                "compact={compact}: peak {peak} strays more than 10% from store {store}"
+            );
+        }
     }
 }

@@ -29,6 +29,7 @@ mod analysis;
 mod aut;
 pub mod budget;
 mod builder;
+mod compact;
 mod dot;
 mod explore;
 mod jobs;
@@ -45,12 +46,14 @@ pub use budget::{
     Budget, CancelToken, ExhaustReason, Exhausted, Meter, PartialStats, Stage, Watchdog,
 };
 pub use builder::LtsBuilder;
+pub use compact::{CodecSemantics, SpillBackend, StoreMetrics};
 pub use dot::to_dot;
 #[allow(deprecated)]
 pub use explore::{explore_governed, explore_governed_jobs, explore_jobs};
 pub use explore::{
-    explore, explore_with, explore_with_sink, ExploreError, ExploreLimits, ExploreOptions,
-    ExploreSink, InDegreeSink, Semantics,
+    explore, explore_baseline_with_sink, explore_compact_with_sink, explore_with,
+    explore_with_sink, ExploreError, ExploreLimits, ExploreOptions, ExploreReport, ExploreSink,
+    InDegreeSink, Semantics,
 };
 pub use jobs::Jobs;
 pub use lts::{Lts, PredecessorTable, StateId, Transition};

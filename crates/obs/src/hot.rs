@@ -241,12 +241,24 @@ pub static FAULTS_INJECTED: Counter = Counter::new("fault.injected");
 /// Transitions streamed from exploration straight into the fused
 /// refinement pipeline (`--fuse`).
 pub static FUSE_STREAMED_TRANSITIONS: Counter = Counter::new("fuse.streamed_transitions");
+/// Cold state-arena segments written to the disk-spill tier (`--spill`).
+pub static SPILL_SEGMENTS: Counter = Counter::new("compact.spill_segments");
+/// Payload bytes written to the disk-spill tier (before framing).
+pub static SPILL_BYTES: Counter = Counter::new("compact.spill_bytes");
+/// Spilled segments reloaded from disk to answer a seen-set probe.
+pub static SPILL_RELOADS: Counter = Counter::new("compact.spill_reloads");
 
 /// Current BFS frontier depth (undiscovered tail of the exploration queue).
 pub static EXPLORE_FRONTIER: Gauge = Gauge::new("explore.frontier_depth");
 /// Frontier depth observed by the fused exploration sink at each level
 /// boundary (`--fuse`).
 pub static FUSE_FRONTIER: Gauge = Gauge::new("fuse.frontier_depth");
+/// In-core bytes of the exploration's state store (seen-set arena or hash
+/// store plus its index); the peak is the store's high-water mark.
+pub static EXPLORE_STORE_BYTES: Gauge = Gauge::new("explore.store_bytes");
+/// Stored-to-raw size of the compact state arena, in percent (prefix
+/// compression plus varint framing; 100 = no compression).
+pub static COMPACT_COMPRESSION_PCT: Gauge = Gauge::new("compact.compression_pct");
 
 /// Symmetry orbit sizes searched during canonicalization.
 pub static ORBIT_SIZE: Histogram = Histogram::new("reduce.sym.orbit_size");
@@ -259,8 +271,11 @@ pub static REFINE_SHARD_IMBALANCE: Histogram = Histogram::new("bisim.shard_imbal
 /// Journal append fsync latency (µs) in the serve daemon — the per-submit
 /// durability cost on the admission path.
 pub static JOURNAL_FSYNC_US: Histogram = Histogram::new("serve.journal_fsync_us");
+/// Open-addressing probe lengths of the exploration seen-set index
+/// (0 = direct hit; long tails indicate index pressure).
+pub static SEEN_PROBE_LEN: Histogram = Histogram::new("explore.seen_probe_len");
 
-static COUNTERS: [&Counter; 22] = [
+static COUNTERS: [&Counter; 25] = [
     &SIG_STATE_RECOMPUTES,
     &SIG_ROUNDS,
     &SIG_DIRTY_STATES,
@@ -283,12 +298,25 @@ static COUNTERS: [&Counter; 22] = [
     &CACHE_CORRUPT,
     &FAULTS_INJECTED,
     &FUSE_STREAMED_TRANSITIONS,
+    &SPILL_SEGMENTS,
+    &SPILL_BYTES,
+    &SPILL_RELOADS,
 ];
 
-static GAUGES: [&Gauge; 2] = [&EXPLORE_FRONTIER, &FUSE_FRONTIER];
+static GAUGES: [&Gauge; 4] = [
+    &EXPLORE_FRONTIER,
+    &FUSE_FRONTIER,
+    &EXPLORE_STORE_BYTES,
+    &COMPACT_COMPRESSION_PCT,
+];
 
-static HISTOGRAMS: [&Histogram; 4] =
-    [&ORBIT_SIZE, &SHARD_IMBALANCE, &REFINE_SHARD_IMBALANCE, &JOURNAL_FSYNC_US];
+static HISTOGRAMS: [&Histogram; 5] = [
+    &ORBIT_SIZE,
+    &SHARD_IMBALANCE,
+    &REFINE_SHARD_IMBALANCE,
+    &JOURNAL_FSYNC_US,
+    &SEEN_PROBE_LEN,
+];
 
 /// Reset every registered instrument (called by `install`).
 pub(crate) fn reset_all() {

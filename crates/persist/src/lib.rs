@@ -29,9 +29,11 @@ pub mod cache;
 pub mod checkpoint;
 pub mod format;
 pub mod session;
+pub mod spill;
 
 pub use atomic::{sweep_temp_files, sweep_temp_files_older_than, write_atomic, TEMP_GRACE};
 pub use cache::{Cache, CacheEntry, CacheStats};
 pub use checkpoint::{Checkpoint, Section, CHECKPOINT_FILE};
 pub use format::FORMAT_VERSION;
 pub use session::{active, clear, install, recorded_argv, PersistSession};
+pub use spill::SpillDir;

@@ -132,6 +132,8 @@ mod tests {
     #[derive(Debug, Clone, PartialEq, Eq, Hash)]
     struct ScratchSpec;
 
+    bb_sim::impl_pack!(struct ScratchSpec {});
+
     impl bb_sim::SequentialSpec for ScratchSpec {
         fn name(&self) -> &'static str {
             "scratch spec"

@@ -36,6 +36,8 @@ pub struct Shared {
     pub slots: Vec<Value>,
 }
 
+bb_sim::impl_pack!(struct Shared { slots });
+
 /// Per-invocation frames.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Frame {
@@ -47,6 +49,8 @@ pub enum Frame {
     /// Method complete.
     Done,
 }
+
+bb_sim::impl_pack!(enum Frame { 0 => Write { v }, 1 => Done });
 
 impl ObjectAlgorithm for ScratchPad {
     type Shared = Shared;

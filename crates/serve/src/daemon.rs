@@ -325,7 +325,7 @@ impl Daemon {
                 // Tag the worker thread: every span/diag/heartbeat emitted
                 // while this job runs streams to its watchers.
                 let _tag = bb_obs::tag_job(job);
-                let ctl = RunCtl { cancel, checkpoint: ck };
+                let ctl = RunCtl { cancel, checkpoint: ck, ..RunCtl::default() };
                 execute(&spec, self.cache.as_ref(), &ctl)
             };
             let wall_ms = start.elapsed().as_millis() as u64;

@@ -64,6 +64,14 @@ pub struct RunCtl {
     pub cancel: CancelToken,
     /// Install a checkpoint session for this run.
     pub checkpoint: Option<CheckpointCtl>,
+    /// Spill cold seen-set segments under this directory when exploration
+    /// memory crosses the high-water mark (`--spill`). Local execution
+    /// control, not part of the job spec: results are bit-identical with or
+    /// without a spill tier.
+    pub spill_dir: Option<PathBuf>,
+    /// Use the rich-struct hash-map seen-set instead of the compact arena
+    /// (`--compact off`). Results are bit-identical either way.
+    pub no_compact: bool,
 }
 
 /// Buffered stdout plus named artifacts (`dot`, `aut`) of one command run.
@@ -469,7 +477,11 @@ fn verify_governed<A: ObjectAlgorithm, S: SequentialSpec>(
     let mut config = GovernedConfig::new(bound, budget_of(spec, ctl))
         .with_jobs(spec.jobs)
         .with_refine(spec.refine)
-        .with_fuse(spec.fuse);
+        .with_fuse(spec.fuse)
+        .with_compact(!ctl.no_compact);
+    if let Some(dir) = &ctl.spill_dir {
+        config = config.with_spill_dir(dir);
+    }
     if !spec.check_lock_freedom || !non_blocking {
         config = config.linearizability_only();
     }

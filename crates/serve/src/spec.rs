@@ -194,8 +194,9 @@ impl JobSpec {
     /// or fusion toggled must still seed the recorded sections.
     pub fn config_tag(&self) -> u64 {
         let desc = format!(
-            "bbp{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}",
+            "bbp{}.{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}",
             bb_persist::FORMAT_VERSION,
+            bb_sim::STATE_ENCODING_VERSION,
             self.command,
             self.algorithm,
             self.threads,
@@ -218,8 +219,9 @@ impl JobSpec {
     /// entry a `-j 1` run stored.
     pub fn cache_key(&self) -> String {
         format!(
-            "bbc{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}|budget=({:?},{:?},{:?},{:?},nf{})",
+            "bbc{}.{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}|budget=({:?},{:?},{:?},{:?},nf{})",
             bb_persist::FORMAT_VERSION,
+            bb_sim::STATE_ENCODING_VERSION,
             self.command,
             self.algorithm,
             self.threads,
@@ -501,6 +503,50 @@ mod tests {
         c.timeout = Some(Duration::from_secs(9));
         assert_ne!(a.cache_key(), c.cache_key());
         assert_eq!(a.config_tag(), c.config_tag(), "budgets never change the tag");
+    }
+
+    #[test]
+    fn cache_keys_are_pinned_to_the_state_encoding_version() {
+        // A bump of `STATE_ENCODING_VERSION` must invalidate every cached
+        // result and checkpoint: recomputing the key under the next version
+        // yields different fingerprints, so stale entries can never hit.
+        let spec = sample();
+        let bumped = |v: u32| {
+            let desc = format!(
+                "bbp{}.{}|{}|{}|t{}|o{}|d{:?}|lf{}|wf{}|formula{:?}|reduce={}|refine={}",
+                bb_persist::FORMAT_VERSION,
+                v,
+                spec.command,
+                spec.algorithm,
+                spec.threads,
+                spec.ops,
+                spec.domain,
+                spec.check_lock_freedom,
+                spec.wait_freedom,
+                spec.formula,
+                spec.reduce,
+                spec.refine,
+            );
+            bb_lts::snapshot::fnv1a(0, desc.as_bytes())
+        };
+        assert_eq!(
+            spec.config_tag(),
+            bumped(bb_sim::STATE_ENCODING_VERSION),
+            "the tag must be derived from the current encoding version"
+        );
+        assert_ne!(
+            spec.config_tag(),
+            bumped(bb_sim::STATE_ENCODING_VERSION + 1),
+            "an encoding bump must change the tag"
+        );
+        assert!(
+            spec.cache_key().starts_with(&format!(
+                "bbc{}.{}|",
+                bb_persist::FORMAT_VERSION,
+                bb_sim::STATE_ENCODING_VERSION
+            )),
+            "the result-cache key must carry the encoding version"
+        );
     }
 
     #[test]

@@ -170,10 +170,12 @@ impl ThreadPerm {
 /// are plain data everywhere, so the bounds cost implementors nothing.
 pub trait ObjectAlgorithm: Sync {
     /// The shared portion of the object state (heap, top/head pointers,
-    /// hazard-pointer slots, locks…).
-    type Shared: Clone + Eq + Hash + Debug + Send + Sync;
+    /// hazard-pointer slots, locks…). The [`Pack`](crate::Pack) bound gives
+    /// every state a canonical byte encoding, which is what the compact
+    /// exploration engine hashes and stores (see `crate::pack`).
+    type Shared: Clone + Eq + Hash + Debug + Send + Sync + crate::Pack;
     /// The per-invocation local state: program counter plus registers.
-    type Frame: Clone + Eq + Hash + Debug + Send + Sync;
+    type Frame: Clone + Eq + Hash + Debug + Send + Sync + crate::Pack;
 
     /// Human-readable algorithm name (used in reports and benches).
     fn name(&self) -> &'static str;

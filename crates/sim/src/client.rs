@@ -1,9 +1,11 @@
 //! The most general client (Section II-B) and system-level semantics.
 
 use crate::algorithm::{MethodId, MethodSpec, ObjectAlgorithm, Outcome};
+use crate::pack::{Pack, PackReader, PackWriter};
 use bb_lts::budget::{Exhausted, Watchdog};
 use bb_lts::{
-    explore, explore_with, Action, ExploreError, ExploreLimits, ExploreOptions, Jobs, Lts,
+    explore, explore_baseline_with_sink, explore_compact_with_sink, explore_with, Action,
+    CodecSemantics, ExploreError, ExploreLimits, ExploreOptions, ExploreReport, Jobs, Lts,
     Semantics, ThreadId,
 };
 use std::fmt::Debug;
@@ -48,6 +50,50 @@ pub enum ThreadStatus<F> {
         /// Operations remaining *after* this one completes.
         remaining: u32,
     },
+}
+
+impl<F: Pack> Pack for ThreadStatus<F> {
+    /// `remaining` and the idle/running discriminant fuse into a single
+    /// varint (`remaining << 1 | is_running`), so the common idle status
+    /// costs one byte; a running status additionally packs the method index
+    /// and the frame.
+    fn pack(&self, w: &mut PackWriter<'_>) {
+        match self {
+            ThreadStatus::Idle { remaining } => w.put_u64(u64::from(*remaining) << 1),
+            ThreadStatus::Running {
+                method,
+                frame,
+                remaining,
+            } => {
+                w.put_u64(u64::from(*remaining) << 1 | 1);
+                w.put_u64(*method as u64);
+                frame.pack(w);
+            }
+        }
+    }
+
+    fn unpack(r: &mut PackReader<'_>) -> Option<Self> {
+        let fused = r.take_u64()?;
+        let remaining = u32::try_from(fused >> 1).ok()?;
+        if fused & 1 == 0 {
+            Some(ThreadStatus::Idle { remaining })
+        } else {
+            let method = usize::try_from(r.take_u64()?).ok()?;
+            let frame = F::unpack(r)?;
+            Some(ThreadStatus::Running {
+                method,
+                frame,
+                remaining,
+            })
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ThreadStatus::Idle { .. } => 0,
+            ThreadStatus::Running { frame, .. } => frame.heap_bytes(),
+        }
+    }
 }
 
 /// Global state of the most general client: shared object state plus every
@@ -210,6 +256,40 @@ where
     }
 }
 
+impl<A: ObjectAlgorithm> CodecSemantics for System<'_, A>
+where
+    A::Shared: Debug + Clone + Eq + Hash,
+    A::Frame: Debug + Clone + Eq + Hash,
+{
+    /// The canonical system encoding: the shared state, then every thread's
+    /// status in thread order. No length prefix is needed — `threads` always
+    /// has exactly `bound.threads` entries, so the layout is derived from
+    /// the [`Bound`] at decode time.
+    fn encode_state(&self, state: &Self::State, out: &mut Vec<u8>) {
+        let mut w = PackWriter::new(out);
+        state.shared.pack(&mut w);
+        for t in &state.threads {
+            t.pack(&mut w);
+        }
+    }
+
+    fn decode_state(&self, bytes: &[u8]) -> Self::State {
+        let mut r = PackReader::new(bytes);
+        let shared = A::Shared::unpack(&mut r).expect("corrupt shared-state encoding");
+        let threads = (0..self.bound.threads)
+            .map(|_| ThreadStatus::unpack(&mut r).expect("corrupt thread-status encoding"))
+            .collect();
+        debug_assert!(r.finished(), "trailing bytes after state encoding");
+        SysState { shared, threads }
+    }
+
+    fn state_heap_bytes(&self, state: &Self::State) -> usize {
+        state.shared.heap_bytes()
+            + state.threads.capacity() * std::mem::size_of::<ThreadStatus<A::Frame>>()
+            + state.threads.iter().map(Pack::heap_bytes).sum::<usize>()
+    }
+}
+
 /// Unfolds the most general client of `alg` under `bound` into an explicit
 /// LTS, with budget and worker count chosen by `opts`.
 ///
@@ -230,7 +310,41 @@ pub fn explore_system_with<A: ObjectAlgorithm>(
         .with("threads", bound.threads as u64)
         .with("ops", bound.ops_per_thread as u64);
     let system = System::new(alg, bound);
-    explore_with(&system, opts)
+    if opts.compact() {
+        explore_compact_with_sink(&system, opts, None).map(|(lts, _)| lts)
+    } else {
+        explore_with(&system, opts)
+    }
+}
+
+/// [`explore_system_with`] returning the seen-set's [`ExploreReport`]
+/// (exploration stats plus store footprint/compression metrics) alongside
+/// the LTS — the entry point benchmarks use to compare the compact and
+/// rich-struct engines truthfully.
+///
+/// The engine is picked by [`ExploreOptions::with_compact`]: compact (the
+/// default) interns canonical bit-packed encodings in an arena with an
+/// optional disk-spill tier, the baseline stores the rich states in a
+/// hash map. Both produce bit-identical LTSs.
+///
+/// # Errors
+///
+/// Returns [`Exhausted`] (stage `explore`) when any budget axis trips.
+pub fn explore_system_report<A: ObjectAlgorithm>(
+    alg: &A,
+    bound: Bound,
+    opts: &ExploreOptions<'_>,
+) -> Result<(Lts, ExploreReport), Exhausted> {
+    let _span = bb_obs::span("explore.system")
+        .with("object", alg.name())
+        .with("threads", bound.threads as u64)
+        .with("ops", bound.ops_per_thread as u64);
+    let system = System::new(alg, bound);
+    if opts.compact() {
+        explore_compact_with_sink(&system, opts, None)
+    } else {
+        explore_baseline_with_sink(&system, opts, None)
+    }
 }
 
 /// Fused variant of [`explore_system_with`]: streams the exploration's
@@ -255,7 +369,11 @@ pub fn explore_system_fused<A: ObjectAlgorithm>(
         .with("fused", 1u64);
     let system = System::new(alg, bound);
     let mut sink = bb_lts::InDegreeSink::new();
-    let lts = bb_lts::explore_with_sink(&system, opts, Some(&mut sink))?;
+    let lts = if opts.compact() {
+        explore_compact_with_sink(&system, opts, Some(&mut sink))?.0
+    } else {
+        bb_lts::explore_with_sink(&system, opts, Some(&mut sink))?
+    };
     let preds = sink.into_table(&lts);
     Ok((lts, preds))
 }
@@ -355,6 +473,8 @@ mod tests {
         IncGot(Value),
         Read,
     }
+
+    crate::impl_pack!(enum Frame { 0 => IncStart, 1 => IncGot(v), 2 => Read });
 
     impl ObjectAlgorithm for TestCounter {
         type Shared = Value;
@@ -515,6 +635,8 @@ mod tests {
         Release,
     }
 
+    crate::impl_pack!(enum LockFrame { 0 => Acquire, 1 => Release });
+
     impl ObjectAlgorithm for TestLock {
         type Shared = Option<ThreadId>;
         type Frame = LockFrame;
@@ -574,6 +696,77 @@ mod tests {
         // No divergence: a blocked thread contributes no self-loop.
         let p = crate::client::tests_no_cycle_helper(&lts);
         assert!(p, "lock blocking must not create τ-cycles");
+    }
+
+    #[test]
+    fn system_encoding_round_trips_and_is_deterministic() {
+        // decode(encode(s)) == s and re-encoding is byte-stable for every
+        // reachable state of the test objects.
+        let system = System::new(&TestCounter, Bound::new(2, 2));
+        let lts = explore_system(&TestCounter, Bound::new(2, 2), ExploreLimits::default())
+            .unwrap();
+        assert!(lts.num_states() > 10);
+        // Walk the reachable set again via Semantics (the LTS doesn't keep
+        // rich states) and round-trip each one.
+        let mut seen = std::collections::HashSet::new();
+        let mut frontier = vec![Semantics::initial_state(&system)];
+        let mut buf = Vec::new();
+        let mut buf2 = Vec::new();
+        while let Some(st) = frontier.pop() {
+            buf.clear();
+            system.encode_state(&st, &mut buf);
+            if !seen.insert(buf.clone()) {
+                continue;
+            }
+            let back = system.decode_state(&buf);
+            assert_eq!(back, st, "decode(encode(s)) != s");
+            buf2.clear();
+            system.encode_state(&back, &mut buf2);
+            assert_eq!(buf, buf2, "re-encoding is not deterministic");
+            let mut succ = Vec::new();
+            Semantics::successors(&system, &st, &mut succ);
+            frontier.extend(succ.into_iter().map(|(_, s)| s));
+        }
+        assert_eq!(seen.len(), lts.num_states());
+    }
+
+    #[test]
+    fn compact_engine_is_bit_identical_to_rich_engine() {
+        // The compact (packed-arena) seen-set must reproduce the
+        // HashMap engine's `.aut` bytes exactly, at any worker count,
+        // staged and fused.
+        let bound = Bound::new(2, 2);
+        let rich_opts = ExploreOptions::limits(ExploreLimits::default()).with_compact(false);
+        let rich = explore_system_with(&TestCounter, bound, &rich_opts).unwrap();
+        let (rich_fused, rich_preds) = explore_system_fused(&TestCounter, bound, &rich_opts)
+            .unwrap();
+        assert_eq!(bb_lts::to_aut(&rich), bb_lts::to_aut(&rich_fused));
+        for jobs in [Jobs::serial(), Jobs::new(4)] {
+            let opts = ExploreOptions::limits(ExploreLimits::default()).with_jobs(jobs);
+            assert!(opts.compact(), "compact engine must be the default");
+            let lts = explore_system_with(&TestCounter, bound, &opts).unwrap();
+            assert_eq!(
+                bb_lts::to_aut(&rich),
+                bb_lts::to_aut(&lts),
+                "compact LTS differs at {jobs:?}"
+            );
+            let (fused, preds) = explore_system_fused(&TestCounter, bound, &opts).unwrap();
+            assert_eq!(bb_lts::to_aut(&rich), bb_lts::to_aut(&fused));
+            for s in 0..fused.num_states() {
+                let s = bb_lts::StateId(s as u32);
+                assert_eq!(rich_preds.of(s), preds.of(s));
+            }
+            let (reported, report) = explore_system_report(&TestCounter, bound, &opts).unwrap();
+            assert_eq!(bb_lts::to_aut(&rich), bb_lts::to_aut(&reported));
+            assert!(report.store.raw_bytes > 0);
+            // Tiny encodings may not amortize the 2-byte entry header, but
+            // compression must never cost more than that header per state.
+            assert!(
+                report.store.stored_bytes
+                    <= report.store.raw_bytes + 2 * report.stats.states as u64
+            );
+            assert!(report.store_bytes_peak > 0);
+        }
     }
 
     #[test]

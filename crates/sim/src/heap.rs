@@ -29,6 +29,23 @@ impl<N: HeapNode> Default for Heap<N> {
     }
 }
 
+impl<N: HeapNode + crate::Pack> crate::Pack for Heap<N> {
+    // Canonicalized heaps are a dense prefix of live nodes, but the arena
+    // representation is encoded faithfully (free slots as `None`) so the
+    // round-trip holds for every heap, canonical or not.
+    fn pack(&self, w: &mut crate::PackWriter<'_>) {
+        self.nodes.pack(w);
+    }
+    fn unpack(r: &mut crate::PackReader<'_>) -> Option<Self> {
+        Some(Heap {
+            nodes: crate::Pack::unpack(r)?,
+        })
+    }
+    fn heap_bytes(&self) -> usize {
+        self.nodes.heap_bytes()
+    }
+}
+
 /// The renaming produced by [`Heap::canonicalize`]; apply it to every
 /// pointer stored outside the heap (shared variables, thread frames).
 #[derive(Debug, Clone)]

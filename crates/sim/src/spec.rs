@@ -12,7 +12,7 @@ use std::hash::Hash;
 ///
 /// The specification is deterministic: applying a method to a state yields
 /// exactly one successor state and return value.
-pub trait SequentialSpec: Clone + Eq + Hash + Debug + Send + Sync {
+pub trait SequentialSpec: Clone + Eq + Hash + Debug + Send + Sync + crate::Pack {
     /// Name used in reports.
     fn name(&self) -> &'static str;
     /// The object's methods (must match the concrete implementation's
@@ -54,6 +54,11 @@ pub enum SpecFrame {
         val: Option<Value>,
     },
 }
+
+crate::impl_pack!(enum SpecFrame {
+    0 => Pending { method, arg },
+    1 => Done { val },
+});
 
 impl<S: SequentialSpec> ObjectAlgorithm for AtomicSpec<S> {
     type Shared = S;
@@ -105,6 +110,8 @@ mod tests {
     struct SeqQueue {
         items: Vec<Value>,
     }
+
+    crate::impl_pack!(struct SeqQueue { items });
 
     impl SequentialSpec for SeqQueue {
         fn name(&self) -> &'static str {

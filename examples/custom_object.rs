@@ -17,6 +17,17 @@ use bbverify::sim::{
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SeqCounter(Value);
 
+
+// Tuple structs are outside `impl_pack!`'s derive grammar, so pack by hand.
+impl bb_sim::Pack for SeqCounter {
+    fn pack(&self, w: &mut bb_sim::PackWriter<'_>) {
+        self.0.pack(w);
+    }
+    fn unpack(r: &mut bb_sim::PackReader<'_>) -> Option<Self> {
+        bb_sim::Pack::unpack(r).map(SeqCounter)
+    }
+}
+
 impl SequentialSpec for SeqCounter {
     fn name(&self) -> &'static str {
         "counter-spec"
@@ -44,6 +55,8 @@ enum NaiveFrame {
     Read,
     Done(Value),
 }
+
+bb_sim::impl_pack!(enum NaiveFrame { 0 => IncRead, 1 => IncWrite(a), 2 => Read, 3 => Done(a) });
 
 impl ObjectAlgorithm for NaiveCounter {
     type Shared = Value;
@@ -108,6 +121,8 @@ enum CasFrame {
     Read,
     Done(Value),
 }
+
+bb_sim::impl_pack!(enum CasFrame { 0 => IncRead, 1 => IncCas(a), 2 => Read, 3 => Done(a) });
 
 impl ObjectAlgorithm for CasCounter {
     type Shared = Value;

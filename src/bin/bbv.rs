@@ -62,6 +62,8 @@ struct Options {
     checkpoint: Option<String>,
     checkpoint_every: u64,
     cache: Option<String>,
+    compact: bool,
+    spill: Option<String>,
 }
 
 impl Default for Options {
@@ -91,6 +93,8 @@ impl Default for Options {
             checkpoint: None,
             checkpoint_every: 8,
             cache: None,
+            compact: true,
+            spill: None,
         }
     }
 }
@@ -251,6 +255,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cache" => {
                 opts.cache = Some(it.next().ok_or("--cache needs a directory")?.clone())
             }
+            "--compact" => {
+                opts.compact = match it.next().ok_or("--compact needs on or off")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--compact: expected on or off, got `{other}`")),
+                };
+            }
+            "--spill" => {
+                opts.spill = Some(it.next().ok_or("--spill needs a directory")?.clone())
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -289,6 +303,10 @@ fn print_usage() {
     eprintln!("           codes are byte-identical with or without these flags");
     eprintln!("  budget:  --timeout 30s  --max-states 1e6  --max-transitions 1e7");
     eprintln!("           --max-memory 2e9  --no-fallback");
+    eprintln!("           --spill DIR     (spill cold seen-set segments to disk when memory");
+    eprintln!("           nears the cap; verdicts and artifacts stay byte-identical)");
+    eprintln!("           --compact on|off   (bit-packed arena seen-set; default on — `off`");
+    eprintln!("           restores the rich-struct hash map, identical output either way)");
     eprintln!("           with a budget, `verify` degrades gracefully: on exhaustion it");
     eprintln!("           retries with strong-bisimulation pre-reduction, then a smaller");
     eprintln!("           bound, and reports which rung answered");
@@ -540,7 +558,11 @@ fn run(args: &[String], command: Command) -> i32 {
 /// Runs one parsed spec: wires the CLI persistence flags into a `RunCtl`,
 /// executes through the shared runner, and prints the buffered outcome.
 fn run_spec(spec: &JobSpec, opts: &Options, argv_tail: &[String]) -> i32 {
-    let mut ctl = RunCtl::default();
+    let mut ctl = RunCtl {
+        no_compact: !opts.compact,
+        spill_dir: opts.spill.as_ref().map(PathBuf::from),
+        ..RunCtl::default()
+    };
     if let Some(dir) = &opts.checkpoint {
         // The raw command line (with the --checkpoint flags themselves) is
         // recorded, so `bbv resume` re-installs the session on replay.
@@ -700,6 +722,8 @@ fn client_submit(args: &[String]) -> i32 {
         ("--cache", opts.cache.is_some()),
         ("--metrics", opts.metrics.is_some()),
         ("--trace", opts.trace.is_some()),
+        ("--spill", opts.spill.is_some()),
+        ("--compact off", !opts.compact),
     ] {
         if set {
             eprintln!("note: {flag} is daemon-side; ignored for a submitted job");
